@@ -1,0 +1,324 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (macro benchmarks over internal/experiments; one iteration = one full
+// table/figure) plus micro benchmarks for the substrates. Each macro bench
+// prints the same rows as `cmd/experiments` and reports the headline
+// metrics via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the complete evaluation. Set PATHRANK_BENCH_QUICK=1 to run
+// the scaled-down world (for smoke runs).
+package pathrank_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"pathrank/internal/experiments"
+	"pathrank/internal/geo"
+	"pathrank/internal/nn"
+	"pathrank/internal/node2vec"
+	"pathrank/internal/pathsim"
+	"pathrank/internal/roadnet"
+	"pathrank/internal/spath"
+	"pathrank/internal/traj"
+)
+
+var (
+	worldOnce sync.Once
+	world     *experiments.World
+	worldErr  error
+)
+
+func benchWorld(b *testing.B) *experiments.World {
+	b.Helper()
+	worldOnce.Do(func() {
+		cfg := experiments.DefaultWorldConfig()
+		if os.Getenv("PATHRANK_BENCH_QUICK") != "" {
+			cfg = experiments.QuickWorldConfig()
+		}
+		world, worldErr = experiments.NewWorld(cfg)
+	})
+	if worldErr != nil {
+		b.Fatalf("world: %v", worldErr)
+	}
+	return world
+}
+
+func benchMs() []int {
+	if os.Getenv("PATHRANK_BENCH_QUICK") != "" {
+		return []int{8, 16}
+	}
+	return []int{64, 128}
+}
+
+func benchRefM() int {
+	if os.Getenv("PATHRANK_BENCH_QUICK") != "" {
+		return 8
+	}
+	return 64
+}
+
+// reportRows prints experiment rows and pushes the mean tau/MAE into the
+// benchmark metrics so regressions are visible in bench output diffs.
+func reportRows(b *testing.B, rows []experiments.Row) {
+	b.Helper()
+	var tau, mae float64
+	for _, r := range rows {
+		fmt.Printf("    %s\n", r)
+		tau += r.Report.Tau
+		mae += r.Report.MAE
+	}
+	n := float64(len(rows))
+	b.ReportMetric(tau/n, "mean_tau")
+	b.ReportMetric(mae/n, "mean_mae")
+}
+
+// BenchmarkTable1 regenerates Table 1: training strategies x M, PR-A1.
+func BenchmarkTable1(b *testing.B) {
+	w := benchWorld(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(w, benchMs())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rows)
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: training strategies x M, PR-A2.
+func BenchmarkTable2(b *testing.B) {
+	w := benchWorld(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(w, benchMs())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rows)
+	}
+}
+
+// BenchmarkFigureK sweeps the candidate-set size k (F1).
+func BenchmarkFigureK(b *testing.B) {
+	w := benchWorld(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.SweepK(w, nil, benchRefM())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rows)
+	}
+}
+
+// BenchmarkFigureDiversity sweeps the D-TkDI similarity threshold (F2).
+func BenchmarkFigureDiversity(b *testing.B) {
+	w := benchWorld(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.SweepDiversity(w, nil, benchRefM())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rows)
+	}
+}
+
+// BenchmarkFigureM sweeps the embedding dimensionality (F3).
+func BenchmarkFigureM(b *testing.B) {
+	w := benchWorld(b)
+	for i := 0; i < b.N; i++ {
+		ms := []int{16, 32, 64, 128}
+		if os.Getenv("PATHRANK_BENCH_QUICK") != "" {
+			ms = []int{8, 16}
+		}
+		rows, err := experiments.SweepM(w, ms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rows)
+	}
+}
+
+// BenchmarkFigureTrainSize sweeps the training-set fraction (F4).
+func BenchmarkFigureTrainSize(b *testing.B) {
+	w := benchWorld(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.SweepTrainSize(w, nil, benchRefM())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rows)
+	}
+}
+
+// BenchmarkBaselines compares PathRank with the non-learned and
+// shallow-learned rankers (B1).
+func BenchmarkBaselines(b *testing.B) {
+	w := benchWorld(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Baselines(w, benchRefM())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rows)
+	}
+}
+
+// BenchmarkAblationBody swaps the sequence model (A1).
+func BenchmarkAblationBody(b *testing.B) {
+	w := benchWorld(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationBody(w, benchRefM())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rows)
+	}
+}
+
+// BenchmarkAblationMultiTask varies the auxiliary-loss weight (A2).
+func BenchmarkAblationMultiTask(b *testing.B) {
+	w := benchWorld(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationMultiTask(w, nil, benchRefM())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rows)
+	}
+}
+
+// --- Substrate micro benchmarks ---
+
+func microGraph(b *testing.B) *roadnet.Graph {
+	b.Helper()
+	g, err := roadnet.Generate(roadnet.GenConfig{
+		Rows: 20, Cols: 25, SpacingM: 250, JitterFrac: 0.25,
+		RemoveFrac: 0.10, ArterialEvery: 5, Motorway: true,
+		Origin: geo.Point{Lon: 9.9187, Lat: 57.0488}, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkDijkstra measures one shortest-path query on the experiment
+// network.
+func BenchmarkDijkstra(b *testing.B) {
+	g := microGraph(b)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := roadnet.VertexID(rng.Intn(g.NumVertices()))
+		dst := roadnet.VertexID(rng.Intn(g.NumVertices()))
+		_, _ = spath.Dijkstra(g, src, dst, spath.ByLength)
+	}
+}
+
+// BenchmarkBidirectionalDijkstra measures the bidirectional variant.
+func BenchmarkBidirectionalDijkstra(b *testing.B) {
+	g := microGraph(b)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := roadnet.VertexID(rng.Intn(g.NumVertices()))
+		dst := roadnet.VertexID(rng.Intn(g.NumVertices()))
+		_, _ = spath.BidirectionalDijkstra(g, src, dst, spath.ByLength)
+	}
+}
+
+// BenchmarkTopK5 measures Yen's algorithm for k=5 (TkDI generation cost).
+func BenchmarkTopK5(b *testing.B) {
+	g := microGraph(b)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := roadnet.VertexID(rng.Intn(g.NumVertices()))
+		dst := roadnet.VertexID(rng.Intn(g.NumVertices()))
+		_, _ = spath.TopK(g, src, dst, 5, spath.ByLength)
+	}
+}
+
+// BenchmarkDiversifiedTopK5 measures D-TkDI generation cost.
+func BenchmarkDiversifiedTopK5(b *testing.B) {
+	g := microGraph(b)
+	sim := pathsim.WeightedJaccardSim(g)
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := roadnet.VertexID(rng.Intn(g.NumVertices()))
+		dst := roadnet.VertexID(rng.Intn(g.NumVertices()))
+		_, _ = spath.DiversifiedTopK(g, src, dst, 5, spath.ByLength, sim, 0.8, 50)
+	}
+}
+
+// BenchmarkWeightedJaccard measures the ground-truth label function.
+func BenchmarkWeightedJaccard(b *testing.B) {
+	g := microGraph(b)
+	p1, err := spath.Dijkstra(g, 0, roadnet.VertexID(g.NumVertices()-1), spath.ByLength)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p2, err := spath.Dijkstra(g, 0, roadnet.VertexID(g.NumVertices()-1), spath.ByTime)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pathsim.WeightedJaccard(g, p1, p2)
+	}
+}
+
+// BenchmarkNode2vecWalks measures biased-walk generation.
+func BenchmarkNode2vecWalks(b *testing.B) {
+	g := microGraph(b)
+	cfg := node2vec.WalkConfig{WalksPerVertex: 1, WalkLength: 20, P: 1, Q: 0.5, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = node2vec.GenerateWalks(g, cfg)
+	}
+}
+
+// BenchmarkGRUForwardBackward measures one training step of the recurrent
+// body at paper scale (M=128 inputs, 20-step sequence).
+func BenchmarkGRUForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	gru := nn.NewGRU("bench", 128, 32, rng)
+	xs := make([]nn.Vec, 20)
+	for t := range xs {
+		xs[t] = make(nn.Vec, 128)
+		for i := range xs[t] {
+			xs[t][i] = rng.NormFloat64() * 0.1
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hs, cache := gru.Forward(xs)
+		dhs := make([]nn.Vec, len(hs))
+		dhs[len(hs)-1] = hs[len(hs)-1]
+		gru.Backward(cache, dhs)
+		for _, p := range gru.Params() {
+			p.ZeroGrad()
+		}
+	}
+}
+
+// BenchmarkMapMatch measures HMM map matching of one noisy 1 Hz trace.
+func BenchmarkMapMatch(b *testing.B) {
+	g := microGraph(b)
+	p, err := spath.Dijkstra(g, 0, roadnet.VertexID(g.NumVertices()/2), spath.ByLength)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := traj.SampleGPS(g, p, traj.GPSConfig{IntervalSec: 1, NoiseStdM: 8, Seed: 1})
+	m := traj.NewMatcher(g, traj.DefaultMatchConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Match(recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

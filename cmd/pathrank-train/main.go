@@ -1,0 +1,135 @@
+// Command pathrank-train runs the full PathRank training pipeline on a
+// generated network and trip log: node2vec embedding, candidate generation
+// (TkDI or D-TkDI), training, evaluation on a held-out split, and model
+// export.
+//
+// Usage:
+//
+//	pathrank-train -net net.gob -trips trips.gob -m 64 -strategy d-tkdi -out model.gob
+package main
+
+import (
+	"bufio"
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"pathrank/internal/dataset"
+	"pathrank/internal/node2vec"
+	"pathrank/internal/pathrank"
+	"pathrank/internal/roadnet"
+	"pathrank/internal/traj"
+)
+
+// TripsFile mirrors the netgen output format.
+type TripsFile struct {
+	Trips []traj.Trip
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pathrank-train: ")
+
+	netPath := flag.String("net", "net.gob", "road network file from netgen")
+	tripsPath := flag.String("trips", "trips.gob", "trip log file from netgen")
+	m := flag.Int("m", 64, "embedding dimensionality M")
+	hidden := flag.Int("hidden", 32, "GRU hidden size")
+	strategy := flag.String("strategy", "d-tkdi", "candidate strategy: tkdi or d-tkdi")
+	k := flag.Int("k", 5, "candidate-set size")
+	threshold := flag.Float64("threshold", 0.8, "D-TkDI similarity threshold")
+	variant := flag.String("variant", "a2", "embedding variant: a1 (frozen) or a2 (fine-tuned)")
+	lambda := flag.Float64("lambda", 0, "multi-task auxiliary loss weight (0 = off)")
+	epochs := flag.Int("epochs", 10, "training epochs")
+	lr := flag.Float64("lr", 0.003, "Adam learning rate")
+	testFrac := flag.Float64("test-frac", 0.25, "held-out query fraction")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", "model.gob", "output path for the trained model")
+	flag.Parse()
+
+	g, err := roadnet.LoadFile(*netPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trips, err := loadTrips(*tripsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d vertices, %d edges, %d trips\n", g.NumVertices(), g.NumEdges(), len(trips))
+
+	dcfg := dataset.Config{K: *k, Threshold: *threshold, IncludeTruth: true}
+	switch strings.ToLower(*strategy) {
+	case "tkdi":
+		dcfg.Strategy = dataset.TkDI
+	case "d-tkdi", "dtkdi":
+		dcfg.Strategy = dataset.DTkDI
+	default:
+		log.Fatalf("unknown strategy %q (want tkdi or d-tkdi)", *strategy)
+	}
+	mcfg := pathrank.Config{
+		EmbeddingDim: *m, Hidden: *hidden, Body: pathrank.GRUBody,
+		MultiTaskLambda: *lambda, Seed: *seed,
+	}
+	switch strings.ToLower(*variant) {
+	case "a1":
+		mcfg.Variant = pathrank.PRA1
+	case "a2":
+		mcfg.Variant = pathrank.PRA2
+	default:
+		log.Fatalf("unknown variant %q (want a1 or a2)", *variant)
+	}
+
+	wc := node2vec.DefaultWalkConfig()
+	wc.Seed = *seed + 1
+	sc := node2vec.DefaultTrainConfig(*m)
+	sc.Seed = *seed + 2
+
+	start := time.Now()
+	pipe, err := pathrank.BuildPipeline(g, trips, pathrank.PipelineConfig{
+		Walk: wc, SGNS: sc, Data: dcfg, Model: mcfg,
+		Train: pathrank.TrainConfig{
+			Epochs: *epochs, LR: *lr, ClipNorm: 5, Seed: *seed + 3,
+			Logf: func(format string, args ...any) { fmt.Printf("  "+format+"\n", args...) },
+		},
+		TestFrac: *testFrac, SplitSeed: *seed + 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %s %s M=%d in %v (%d params)\n",
+		dcfg.Strategy, mcfg.Variant, *m, time.Since(start).Round(time.Second), pipe.Model.NumParams())
+	fmt.Println("train:", pipe.Model.Evaluate(pipe.Train))
+	fmt.Println("test: ", pipe.Model.Evaluate(pipe.Test))
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := bufio.NewWriter(f)
+	if err := pipe.Model.Save(w); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model -> %s\n", *out)
+}
+
+func loadTrips(path string) ([]traj.Trip, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var tf TripsFile
+	if err := gob.NewDecoder(bufio.NewReader(f)).Decode(&tf); err != nil {
+		return nil, fmt.Errorf("decode trips: %w", err)
+	}
+	return tf.Trips, nil
+}

@@ -1,0 +1,210 @@
+// Package baseline provides the non-learned and shallow-learned
+// comparators PathRank is evaluated against: ranking candidates purely by
+// length, purely by travel time, and a linear regression over handcrafted
+// path features. These anchor the benchmark tables — PathRank's claim is
+// that sequence learning over embedded vertices beats all of them.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"pathrank/internal/dataset"
+	"pathrank/internal/metrics"
+	"pathrank/internal/roadnet"
+)
+
+// Scorer assigns a ranking score to a candidate path within a query; higher
+// is better. All baselines implement this.
+type Scorer interface {
+	Name() string
+	// ScoreQuery returns one score per candidate of q.
+	ScoreQuery(q dataset.Query) []float64
+}
+
+// Evaluate runs a scorer over queries and aggregates the paper's metrics.
+func Evaluate(s Scorer, queries []dataset.Query) metrics.Report {
+	preds := make([][]float64, len(queries))
+	targets := make([][]float64, len(queries))
+	for qi, q := range queries {
+		preds[qi] = s.ScoreQuery(q)
+		targets[qi] = make([]float64, len(q.Candidates))
+		for ci, c := range q.Candidates {
+			targets[qi][ci] = c.Label
+		}
+	}
+	return metrics.Evaluate(preds, targets)
+}
+
+// LengthRank scores each candidate by minLength/length, i.e. shorter paths
+// rank higher with the shortest scoring 1.
+type LengthRank struct{ G *roadnet.Graph }
+
+// Name identifies the baseline.
+func (LengthRank) Name() string { return "rank-by-length" }
+
+// ScoreQuery implements Scorer.
+func (b LengthRank) ScoreQuery(q dataset.Query) []float64 {
+	out := make([]float64, len(q.Candidates))
+	minLen := math.Inf(1)
+	for _, c := range q.Candidates {
+		if l := c.Path.Length(b.G); l < minLen {
+			minLen = l
+		}
+	}
+	for i, c := range q.Candidates {
+		out[i] = minLen / c.Path.Length(b.G)
+	}
+	return out
+}
+
+// TimeRank scores each candidate by minTime/time.
+type TimeRank struct{ G *roadnet.Graph }
+
+// Name identifies the baseline.
+func (TimeRank) Name() string { return "rank-by-time" }
+
+// ScoreQuery implements Scorer.
+func (b TimeRank) ScoreQuery(q dataset.Query) []float64 {
+	out := make([]float64, len(q.Candidates))
+	minTime := math.Inf(1)
+	for _, c := range q.Candidates {
+		if t := c.Path.Time(b.G); t < minTime {
+			minTime = t
+		}
+	}
+	for i, c := range q.Candidates {
+		out[i] = minTime / c.Path.Time(b.G)
+	}
+	return out
+}
+
+// Features extracts the handcrafted feature vector of a candidate used by
+// the linear baseline: length ratio, time ratio, hop count (normalized),
+// and the fraction of path length on each road category.
+func Features(g *roadnet.Graph, q dataset.Query, inst dataset.Instance) []float64 {
+	f := make([]float64, 0, 4+roadnet.NumCategories)
+	f = append(f, inst.LengthRatio, inst.TimeRatio, 1.0/float64(1+inst.Path.Len()), 1.0)
+	var catLen [roadnet.NumCategories]float64
+	var total float64
+	for _, eid := range inst.Path.Edges {
+		e := g.Edge(eid)
+		catLen[e.Category] += e.Length
+		total += e.Length
+	}
+	for c := 0; c < roadnet.NumCategories; c++ {
+		if total > 0 {
+			f = append(f, catLen[c]/total)
+		} else {
+			f = append(f, 0)
+		}
+	}
+	return f
+}
+
+// LinearRegression fits ridge-regularized least squares on the handcrafted
+// features against the ground-truth labels, solved exactly via normal
+// equations. It is the "shallow learning" comparison point.
+type LinearRegression struct {
+	G       *roadnet.Graph
+	Ridge   float64 // L2 regularization strength (default 1e-3)
+	weights []float64
+}
+
+// Name identifies the baseline.
+func (*LinearRegression) Name() string { return "linear-features" }
+
+// Fit estimates the weights from training queries.
+func (lr *LinearRegression) Fit(train []dataset.Query) error {
+	ridge := lr.Ridge
+	if ridge <= 0 {
+		ridge = 1e-3
+	}
+	var dim int
+	var xtx [][]float64
+	var xty []float64
+	n := 0
+	for _, q := range train {
+		for _, inst := range q.Candidates {
+			x := Features(lr.G, q, inst)
+			if xtx == nil {
+				dim = len(x)
+				xtx = make([][]float64, dim)
+				for i := range xtx {
+					xtx[i] = make([]float64, dim)
+				}
+				xty = make([]float64, dim)
+			}
+			for i := 0; i < dim; i++ {
+				for j := 0; j < dim; j++ {
+					xtx[i][j] += x[i] * x[j]
+				}
+				xty[i] += x[i] * inst.Label
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("baseline: no training candidates")
+	}
+	for i := 0; i < dim; i++ {
+		xtx[i][i] += ridge
+	}
+	w, err := solve(xtx, xty)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	lr.weights = w
+	return nil
+}
+
+// ScoreQuery implements Scorer. Fit must have been called.
+func (lr *LinearRegression) ScoreQuery(q dataset.Query) []float64 {
+	out := make([]float64, len(q.Candidates))
+	for i, inst := range q.Candidates {
+		x := Features(lr.G, q, inst)
+		var s float64
+		for j := range x {
+			s += lr.weights[j] * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// solve performs Gaussian elimination with partial pivoting on a (copied)
+// square system.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("singular normal equations at column %d", col)
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := m[i][n]
+		for j := i + 1; j < n; j++ {
+			s -= m[i][j] * x[j]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, nil
+}

@@ -1,0 +1,170 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"pathrank/internal/dataset"
+	"pathrank/internal/geo"
+	"pathrank/internal/roadnet"
+	"pathrank/internal/traj"
+)
+
+func testQueries(t testing.TB) (*roadnet.Graph, []dataset.Query) {
+	t.Helper()
+	cfg := roadnet.GenConfig{
+		Rows: 10, Cols: 10, SpacingM: 250, JitterFrac: 0.2,
+		RemoveFrac: 0.08, ArterialEvery: 4, Motorway: false,
+		Origin: geo.Point{Lon: 10, Lat: 57}, Seed: 51,
+	}
+	g, err := roadnet.Generate(cfg)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	drivers := traj.NewPopulation(traj.PopulationConfig{NumDrivers: 8, Seed: 52})
+	trips, err := traj.GenerateTrips(g, drivers, traj.TripConfig{TripsPerDriver: 3, MinHops: 5, Seed: 53})
+	if err != nil {
+		t.Fatalf("trips: %v", err)
+	}
+	queries, err := dataset.Generate(g, trips, dataset.DefaultConfig())
+	if err != nil {
+		t.Fatalf("dataset: %v", err)
+	}
+	return g, queries
+}
+
+func TestLengthRankScores(t *testing.T) {
+	g, queries := testQueries(t)
+	b := LengthRank{G: g}
+	for _, q := range queries {
+		scores := b.ScoreQuery(q)
+		if len(scores) != len(q.Candidates) {
+			t.Fatalf("got %d scores for %d candidates", len(scores), len(q.Candidates))
+		}
+		best := -1.0
+		for i, s := range scores {
+			if s <= 0 || s > 1+1e-12 {
+				t.Fatalf("score %v outside (0,1]", s)
+			}
+			if s > best {
+				best = s
+			}
+			// Shorter paths must score strictly higher.
+			for j := range scores {
+				li := q.Candidates[i].Path.Length(g)
+				lj := q.Candidates[j].Path.Length(g)
+				if li < lj && scores[i] < scores[j] {
+					t.Fatal("length rank not monotone in length")
+				}
+			}
+		}
+		if math.Abs(best-1) > 1e-12 {
+			t.Fatalf("best score %v, want 1", best)
+		}
+	}
+}
+
+func TestTimeRankScores(t *testing.T) {
+	g, queries := testQueries(t)
+	b := TimeRank{G: g}
+	for _, q := range queries {
+		scores := b.ScoreQuery(q)
+		best := -1.0
+		for _, s := range scores {
+			if s <= 0 || s > 1+1e-12 {
+				t.Fatalf("score %v outside (0,1]", s)
+			}
+			if s > best {
+				best = s
+			}
+		}
+		if math.Abs(best-1) > 1e-12 {
+			t.Fatalf("best time score %v, want 1", best)
+		}
+	}
+}
+
+func TestFeaturesShapeAndBounds(t *testing.T) {
+	g, queries := testQueries(t)
+	q := queries[0]
+	f := Features(g, q, q.Candidates[0])
+	want := 4 + roadnet.NumCategories
+	if len(f) != want {
+		t.Fatalf("feature dim %d, want %d", len(f), want)
+	}
+	// Category fractions sum to ~1.
+	var catSum float64
+	for _, v := range f[4:] {
+		catSum += v
+	}
+	if math.Abs(catSum-1) > 1e-9 {
+		t.Fatalf("category fractions sum %v, want 1", catSum)
+	}
+	if f[3] != 1 {
+		t.Fatalf("bias feature %v, want 1", f[3])
+	}
+}
+
+func TestLinearRegressionFitsAndBeatsNothing(t *testing.T) {
+	g, queries := testQueries(t)
+	train, test := dataset.Split(queries, 0.3, 3)
+	lr := &LinearRegression{G: g}
+	if err := lr.Fit(train); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	rep := Evaluate(lr, test)
+	if math.IsNaN(rep.MAE) {
+		t.Fatal("NaN MAE")
+	}
+	// The linear model has real features; it must do clearly better than
+	// chance on ranking (tau > 0).
+	if rep.Tau <= 0 {
+		t.Fatalf("linear baseline tau %.4f, want > 0", rep.Tau)
+	}
+}
+
+func TestLinearRegressionEmptyTraining(t *testing.T) {
+	lr := &LinearRegression{G: nil}
+	if err := lr.Fit(nil); err == nil {
+		t.Fatal("empty training should error")
+	}
+}
+
+func TestEvaluateAllBaselines(t *testing.T) {
+	g, queries := testQueries(t)
+	train, test := dataset.Split(queries, 0.3, 4)
+	lr := &LinearRegression{G: g}
+	if err := lr.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Scorer{LengthRank{G: g}, TimeRank{G: g}, lr} {
+		rep := Evaluate(s, test)
+		if rep.NQueries != len(test) {
+			t.Fatalf("%s evaluated %d queries, want %d", s.Name(), rep.NQueries, len(test))
+		}
+		if rep.MAE < 0 || math.IsNaN(rep.Tau) {
+			t.Fatalf("%s produced invalid report %v", s.Name(), rep)
+		}
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Fatalf("solution %v, want [1 3]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := [][]float64{{1, 1}, {2, 2}}
+	b := []float64{1, 2}
+	if _, err := solve(a, b); err == nil {
+		t.Fatal("singular system should error")
+	}
+}

@@ -1,0 +1,38 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Fold is one cross-validation fold.
+type Fold struct {
+	Train []Query
+	Test  []Query
+}
+
+// KFold partitions queries into k cross-validation folds with a
+// deterministic shuffle. Every query appears in exactly one test set.
+func KFold(queries []Query, k int, seed int64) ([]Fold, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("dataset: k-fold needs k >= 2, got %d", k)
+	}
+	if len(queries) < k {
+		return nil, fmt.Errorf("dataset: %d queries cannot fill %d folds", len(queries), k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(queries))
+	folds := make([]Fold, k)
+	for i, pi := range perm {
+		f := i % k
+		folds[f].Test = append(folds[f].Test, queries[pi])
+	}
+	for f := range folds {
+		for other := range folds {
+			if other != f {
+				folds[f].Train = append(folds[f].Train, folds[other].Test...)
+			}
+		}
+	}
+	return folds, nil
+}

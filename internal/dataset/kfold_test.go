@@ -1,0 +1,81 @@
+package dataset
+
+import "testing"
+
+func TestKFoldPartition(t *testing.T) {
+	g := testNet(t)
+	trips := testTrips(t, g, 6)
+	queries, err := Generate(g, trips, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 3
+	folds, err := KFold(queries, k, 7)
+	if err != nil {
+		t.Fatalf("KFold: %v", err)
+	}
+	if len(folds) != k {
+		t.Fatalf("got %d folds, want %d", len(folds), k)
+	}
+	// Every query appears in exactly one test set.
+	seen := map[int]int{}
+	key := func(q Query) int { return int(q.Source)<<16 | int(q.Destination) }
+	for _, f := range folds {
+		if len(f.Train)+len(f.Test) != len(queries) {
+			t.Fatalf("fold sizes %d+%d != %d", len(f.Train), len(f.Test), len(queries))
+		}
+		for _, q := range f.Test {
+			seen[key(q)]++
+		}
+		// Train and test within a fold must be disjoint.
+		inTest := map[int]bool{}
+		for _, q := range f.Test {
+			inTest[key(q)] = true
+		}
+		for _, q := range f.Train {
+			if inTest[key(q)] {
+				t.Fatal("query appears in both train and test of one fold")
+			}
+		}
+	}
+	total := 0
+	for _, c := range seen {
+		total += c
+	}
+	if total != len(queries) {
+		t.Fatalf("test sets cover %d query instances, want %d", total, len(queries))
+	}
+}
+
+func TestKFoldDeterministic(t *testing.T) {
+	g := testNet(t)
+	trips := testTrips(t, g, 4)
+	queries, _ := Generate(g, trips, DefaultConfig())
+	f1, err := KFold(queries, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, _ := KFold(queries, 2, 9)
+	for i := range f1 {
+		if len(f1[i].Test) != len(f2[i].Test) {
+			t.Fatal("same seed produced different folds")
+		}
+		for j := range f1[i].Test {
+			if f1[i].Test[j].Source != f2[i].Test[j].Source {
+				t.Fatal("same seed produced different fold contents")
+			}
+		}
+	}
+}
+
+func TestKFoldRejectsBadK(t *testing.T) {
+	g := testNet(t)
+	trips := testTrips(t, g, 2)
+	queries, _ := Generate(g, trips, DefaultConfig())
+	if _, err := KFold(queries, 1, 1); err == nil {
+		t.Fatal("k=1 should be rejected")
+	}
+	if _, err := KFold(queries[:1], 2, 1); err == nil {
+		t.Fatal("more folds than queries should be rejected")
+	}
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pathrank/internal/dataset"
+	"pathrank/internal/pathrank"
+)
+
+func quickWorld(t testing.TB) *World {
+	t.Helper()
+	w, err := NewWorld(QuickWorldConfig())
+	if err != nil {
+		t.Fatalf("NewWorld: %v", err)
+	}
+	return w
+}
+
+func TestNewWorldDeterministic(t *testing.T) {
+	w1 := quickWorld(t)
+	w2 := quickWorld(t)
+	if w1.G.NumVertices() != w2.G.NumVertices() || len(w1.Trips) != len(w2.Trips) {
+		t.Fatal("same config produced different worlds")
+	}
+}
+
+func TestEmbeddingsCached(t *testing.T) {
+	w := quickWorld(t)
+	e1 := w.Embeddings(8)
+	e2 := w.Embeddings(8)
+	if e1 != e2 {
+		t.Fatal("embeddings not cached")
+	}
+	e3 := w.Embeddings(16)
+	if e3 == e1 || e3.Dim != 16 {
+		t.Fatal("different dims should produce different embeddings")
+	}
+}
+
+func TestQueriesCached(t *testing.T) {
+	w := quickWorld(t)
+	cfg := dataset.Config{Strategy: dataset.TkDI, K: 3, IncludeTruth: true}
+	q1, err := w.Queries(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, _ := w.Queries(cfg)
+	if &q1[0] != &q2[0] {
+		t.Fatal("queries not cached")
+	}
+}
+
+func TestRunModelProducesFiniteReport(t *testing.T) {
+	w := quickWorld(t)
+	rep, err := w.RunModel(ModelSpec{
+		Data: dataset.Config{Strategy: dataset.TkDI, K: 3, IncludeTruth: true},
+		M:    8, Variant: pathrank.PRA2, Body: pathrank.GRUBody,
+	})
+	if err != nil {
+		t.Fatalf("RunModel: %v", err)
+	}
+	if math.IsNaN(rep.MAE) || math.IsNaN(rep.Tau) {
+		t.Fatalf("non-finite report: %v", rep)
+	}
+	if rep.NQueries == 0 {
+		t.Fatal("no test queries evaluated")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	w := quickWorld(t)
+	rows, err := Table1(w, []int{8, 12})
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("Table1 has %d rows, want 4 (2 strategies x 2 Ms)", len(rows))
+	}
+	for _, r := range rows {
+		if !strings.Contains(r.Label, "PR-A1") {
+			t.Fatalf("Table1 row %q missing PR-A1", r.Label)
+		}
+	}
+	if !strings.Contains(rows[0].Label, "TkDI") || !strings.Contains(rows[2].Label, "D-TkDI") {
+		t.Fatalf("unexpected row order: %q, %q", rows[0].Label, rows[2].Label)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	w := quickWorld(t)
+	rows, err := Table2(w, []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("Table2 has %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if !strings.Contains(r.Label, "PR-A2") {
+			t.Fatalf("Table2 row %q missing PR-A2", r.Label)
+		}
+	}
+}
+
+func TestSweepsShapes(t *testing.T) {
+	w := quickWorld(t)
+	if rows, err := SweepK(w, []int{3, 4}, 8); err != nil || len(rows) != 2 {
+		t.Fatalf("SweepK rows=%d err=%v", len(rows), err)
+	}
+	if rows, err := SweepDiversity(w, []float64{0.7, 0.9}, 8); err != nil || len(rows) != 2 {
+		t.Fatalf("SweepDiversity rows=%d err=%v", len(rows), err)
+	}
+	if rows, err := SweepM(w, []int{8, 12}); err != nil || len(rows) != 2 {
+		t.Fatalf("SweepM rows=%d err=%v", len(rows), err)
+	}
+	if rows, err := SweepTrainSize(w, []float64{0.5, 1.0}, 8); err != nil || len(rows) != 2 {
+		t.Fatalf("SweepTrainSize rows=%d err=%v", len(rows), err)
+	}
+}
+
+func TestBaselinesIncludePathRankAndComparators(t *testing.T) {
+	w := quickWorld(t)
+	rows, err := Baselines(w, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("Baselines has %d rows, want 4", len(rows))
+	}
+	labels := make([]string, len(rows))
+	for i, r := range rows {
+		labels[i] = r.Label
+	}
+	joined := strings.Join(labels, ",")
+	for _, want := range []string{"rank-by-length", "rank-by-time", "linear-features", "PathRank"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing baseline %q in %v", want, labels)
+		}
+	}
+}
+
+func TestAblationsShapes(t *testing.T) {
+	w := quickWorld(t)
+	rows, err := AblationBody(w, 8)
+	if err != nil || len(rows) != 5 {
+		t.Fatalf("AblationBody rows=%d err=%v", len(rows), err)
+	}
+	rows, err = AblationMultiTask(w, []float64{0, 0.5}, 8)
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("AblationMultiTask rows=%d err=%v", len(rows), err)
+	}
+}
+
+func TestRowString(t *testing.T) {
+	r := Row{Label: "test"}
+	if !strings.Contains(r.String(), "test") || !strings.Contains(r.String(), "MAE") {
+		t.Fatalf("row string %q", r.String())
+	}
+}

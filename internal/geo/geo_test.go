@@ -1,0 +1,215 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestHaversineKnownDistance(t *testing.T) {
+	// Aalborg to Copenhagen, roughly 223 km great-circle.
+	aalborg := Point{Lon: 9.9187, Lat: 57.0488}
+	copenhagen := Point{Lon: 12.5683, Lat: 55.6761}
+	d := Haversine(aalborg, copenhagen)
+	if d < 215_000 || d > 232_000 {
+		t.Fatalf("Haversine(Aalborg, Copenhagen) = %.0f m, want ~223 km", d)
+	}
+}
+
+func TestHaversineZero(t *testing.T) {
+	p := Point{Lon: 9.92, Lat: 57.05}
+	if d := Haversine(p, p); d != 0 {
+		t.Fatalf("Haversine(p,p) = %v, want 0", d)
+	}
+}
+
+func TestDistanceMatchesHaversineNearby(t *testing.T) {
+	a := Point{Lon: 9.9187, Lat: 57.0488}
+	b := Point{Lon: 9.9350, Lat: 57.0600}
+	h := Haversine(a, b)
+	e := Distance(a, b)
+	if math.Abs(h-e)/h > 0.001 {
+		t.Fatalf("equirectangular %.2f vs haversine %.2f differ by >0.1%%", e, h)
+	}
+}
+
+func TestDistanceSymmetryProperty(t *testing.T) {
+	f := func(lon1, lat1, lon2, lat2 float64) bool {
+		a := Point{Lon: math.Mod(lon1, 10) + 9, Lat: math.Mod(lat1, 2) + 56}
+		b := Point{Lon: math.Mod(lon2, 10) + 9, Lat: math.Mod(lat2, 2) + 56}
+		return almostEqual(Distance(a, b), Distance(b, a), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceTriangleInequalityProperty(t *testing.T) {
+	f := func(x1, y1, x2, y2, x3, y3 float64) bool {
+		norm := func(v float64, span float64) float64 { return math.Mod(math.Abs(v), span) }
+		a := Point{Lon: 9 + norm(x1, 1), Lat: 56 + norm(y1, 1)}
+		b := Point{Lon: 9 + norm(x2, 1), Lat: 56 + norm(y2, 1)}
+		c := Point{Lon: 9 + norm(x3, 1), Lat: 56 + norm(y3, 1)}
+		return Distance(a, c) <= Distance(a, b)+Distance(b, c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	a := Point{Lon: 1, Lat: 2}
+	b := Point{Lon: 3, Lat: 6}
+	if got := Lerp(a, b, 0); got != a {
+		t.Fatalf("Lerp(t=0) = %v, want %v", got, a)
+	}
+	if got := Lerp(a, b, 1); got != b {
+		t.Fatalf("Lerp(t=1) = %v, want %v", got, b)
+	}
+	mid := Lerp(a, b, 0.5)
+	if !almostEqual(mid.Lon, 2, 1e-12) || !almostEqual(mid.Lat, 4, 1e-12) {
+		t.Fatalf("Lerp(t=0.5) = %v, want (2,4)", mid)
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	a := Point{Lon: 0, Lat: 0}
+	b := Point{Lon: 2, Lat: 4}
+	m := Midpoint(a, b)
+	if m.Lon != 1 || m.Lat != 2 {
+		t.Fatalf("Midpoint = %v, want (1,2)", m)
+	}
+}
+
+func TestBearingCardinalDirections(t *testing.T) {
+	origin := Point{Lon: 10, Lat: 57}
+	cases := []struct {
+		name string
+		to   Point
+		want float64
+	}{
+		{"north", Point{Lon: 10, Lat: 57.1}, 0},
+		{"east", Point{Lon: 10.1, Lat: 57}, 90},
+		{"south", Point{Lon: 10, Lat: 56.9}, 180},
+		{"west", Point{Lon: 9.9, Lat: 57}, 270},
+	}
+	for _, tc := range cases {
+		got := Bearing(origin, tc.to)
+		diff := math.Abs(got - tc.want)
+		if diff > 180 {
+			diff = 360 - diff
+		}
+		if diff > 1.0 {
+			t.Errorf("Bearing %s = %.2f, want ~%.0f", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestBBoxExtendContains(t *testing.T) {
+	b := NewBBox()
+	if !b.Empty() {
+		t.Fatal("new bbox should be empty")
+	}
+	pts := []Point{{1, 1}, {3, 2}, {2, 5}}
+	for _, p := range pts {
+		b.Extend(p)
+	}
+	if b.Empty() {
+		t.Fatal("bbox should not be empty after Extend")
+	}
+	for _, p := range pts {
+		if !b.Contains(p) {
+			t.Errorf("bbox should contain %v", p)
+		}
+	}
+	if b.Contains(Point{Lon: 0, Lat: 0}) {
+		t.Error("bbox should not contain (0,0)")
+	}
+	c := b.Center()
+	if !almostEqual(c.Lon, 2, 1e-12) || !almostEqual(c.Lat, 3, 1e-12) {
+		t.Errorf("center = %v, want (2,3)", c)
+	}
+}
+
+func TestBBoxPad(t *testing.T) {
+	b := NewBBox()
+	b.Extend(Point{Lon: 10, Lat: 57})
+	padded := b.Pad(1000)
+	if !padded.Contains(Point{Lon: 10, Lat: 57.005}) {
+		t.Error("padded box should contain a point ~550 m north")
+	}
+	if padded.Contains(Point{Lon: 10, Lat: 57.02}) {
+		t.Error("padded box should not contain a point ~2.2 km north")
+	}
+}
+
+func TestPolylineLength(t *testing.T) {
+	pts := []Point{
+		{Lon: 10, Lat: 57},
+		{Lon: 10.01, Lat: 57},
+		{Lon: 10.02, Lat: 57},
+	}
+	total := PolylineLength(pts)
+	seg := Distance(pts[0], pts[1]) + Distance(pts[1], pts[2])
+	if !almostEqual(total, seg, 1e-9) {
+		t.Fatalf("polyline length %.3f != sum of segments %.3f", total, seg)
+	}
+	if PolylineLength(pts[:1]) != 0 {
+		t.Fatal("single-point polyline should have zero length")
+	}
+	if PolylineLength(nil) != 0 {
+		t.Fatal("nil polyline should have zero length")
+	}
+}
+
+func TestProjectOntoSegment(t *testing.T) {
+	a := Point{Lon: 10, Lat: 57}
+	b := Point{Lon: 10.02, Lat: 57}
+	// Point directly above the middle projects onto the middle.
+	p := Point{Lon: 10.01, Lat: 57.001}
+	q, tpar := ProjectOntoSegment(p, a, b)
+	if !almostEqual(tpar, 0.5, 1e-6) {
+		t.Fatalf("t = %v, want 0.5", tpar)
+	}
+	if !almostEqual(q.Lon, 10.01, 1e-9) || !almostEqual(q.Lat, 57, 1e-9) {
+		t.Fatalf("projection = %v, want (10.01,57)", q)
+	}
+	// Point beyond segment end clamps to the end.
+	p2 := Point{Lon: 10.05, Lat: 57}
+	q2, t2 := ProjectOntoSegment(p2, a, b)
+	if t2 != 1 || q2 != b {
+		t.Fatalf("projection beyond end = %v t=%v, want b t=1", q2, t2)
+	}
+	// Degenerate segment.
+	q3, t3 := ProjectOntoSegment(p, a, a)
+	if t3 != 0 || q3 != a {
+		t.Fatalf("degenerate segment projection = %v t=%v, want a t=0", q3, t3)
+	}
+}
+
+func TestDistanceToSegmentPerpendicular(t *testing.T) {
+	a := Point{Lon: 10, Lat: 57}
+	b := Point{Lon: 10.02, Lat: 57}
+	p := Point{Lon: 10.01, Lat: 57.001}
+	d := DistanceToSegment(p, a, b)
+	want := Distance(p, Point{Lon: 10.01, Lat: 57})
+	if !almostEqual(d, want, 1e-6) {
+		t.Fatalf("distance to segment %.3f, want %.3f", d, want)
+	}
+}
+
+func TestProjectionParameterWithinBoundsProperty(t *testing.T) {
+	f := func(px, py, ax, ay, bx, by float64) bool {
+		n := func(v float64) float64 { return 9 + math.Mod(math.Abs(v), 2) }
+		p := Point{Lon: n(px), Lat: n(py) + 47}
+		a := Point{Lon: n(ax), Lat: n(ay) + 47}
+		b := Point{Lon: n(bx), Lat: n(by) + 47}
+		_, tpar := ProjectOntoSegment(p, a, b)
+		return tpar >= 0 && tpar <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package metrics
+
+import "fmt"
+
+// RankOfBest returns the 1-based rank that pred assigns to the item with
+// the highest target (the "true" item). Ties in pred count against the
+// ranker (worst-case rank). It returns 0 for empty input.
+func RankOfBest(pred, target []float64) int {
+	if len(pred) == 0 {
+		return 0
+	}
+	if len(pred) != len(target) {
+		panic(fmt.Sprintf("metrics: RankOfBest length mismatch %d vs %d", len(pred), len(target)))
+	}
+	bestIdx := 0
+	for i := range target {
+		if target[i] > target[bestIdx] {
+			bestIdx = i
+		}
+	}
+	rank := 1
+	for i := range pred {
+		if i != bestIdx && pred[i] >= pred[bestIdx] {
+			rank++
+		}
+	}
+	return rank
+}
+
+// MRR returns the mean reciprocal rank of the highest-target item over a
+// set of queries.
+func MRR(preds, targets [][]float64) float64 {
+	if len(preds) == 0 {
+		return 0
+	}
+	var sum float64
+	var n int
+	for q := range preds {
+		if r := RankOfBest(preds[q], targets[q]); r > 0 {
+			sum += 1 / float64(r)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// HitAtK returns the fraction of queries whose highest-target item is
+// ranked within the top k by pred.
+func HitAtK(preds, targets [][]float64, k int) float64 {
+	if len(preds) == 0 || k < 1 {
+		return 0
+	}
+	var hits, n int
+	for q := range preds {
+		if r := RankOfBest(preds[q], targets[q]); r > 0 {
+			n++
+			if r <= k {
+				hits++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(hits) / float64(n)
+}
+
+// MeanRank returns the average rank of the highest-target item.
+func MeanRank(preds, targets [][]float64) float64 {
+	var sum float64
+	var n int
+	for q := range preds {
+		if r := RankOfBest(preds[q], targets[q]); r > 0 {
+			sum += float64(r)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRankOfBest(t *testing.T) {
+	pred := []float64{0.9, 0.5, 0.7}
+	target := []float64{1.0, 0.2, 0.5} // best item is index 0
+	if r := RankOfBest(pred, target); r != 1 {
+		t.Fatalf("rank = %d, want 1", r)
+	}
+	pred2 := []float64{0.1, 0.5, 0.7}
+	if r := RankOfBest(pred2, target); r != 3 {
+		t.Fatalf("rank = %d, want 3", r)
+	}
+	if r := RankOfBest(nil, nil); r != 0 {
+		t.Fatalf("empty rank = %d, want 0", r)
+	}
+}
+
+func TestRankOfBestTiesPessimistic(t *testing.T) {
+	pred := []float64{0.5, 0.5, 0.5}
+	target := []float64{1.0, 0.2, 0.1}
+	if r := RankOfBest(pred, target); r != 3 {
+		t.Fatalf("tied rank = %d, want worst-case 3", r)
+	}
+}
+
+func TestRankOfBestPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RankOfBest([]float64{1}, []float64{1, 2})
+}
+
+func TestMRRPerfectAndWorst(t *testing.T) {
+	preds := [][]float64{{0.9, 0.1}, {0.8, 0.2}}
+	targets := [][]float64{{1, 0}, {1, 0}}
+	if m := MRR(preds, targets); math.Abs(m-1) > 1e-12 {
+		t.Fatalf("perfect MRR = %v, want 1", m)
+	}
+	worst := [][]float64{{0.1, 0.9}, {0.2, 0.8}}
+	if m := MRR(worst, targets); math.Abs(m-0.5) > 1e-12 {
+		t.Fatalf("worst MRR = %v, want 0.5", m)
+	}
+	if m := MRR(nil, nil); m != 0 {
+		t.Fatalf("empty MRR = %v", m)
+	}
+}
+
+func TestHitAtK(t *testing.T) {
+	preds := [][]float64{{0.9, 0.5, 0.1}, {0.1, 0.5, 0.9}}
+	targets := [][]float64{{1, 0, 0}, {1, 0, 0}}
+	if h := HitAtK(preds, targets, 1); math.Abs(h-0.5) > 1e-12 {
+		t.Fatalf("hit@1 = %v, want 0.5", h)
+	}
+	if h := HitAtK(preds, targets, 3); math.Abs(h-1) > 1e-12 {
+		t.Fatalf("hit@3 = %v, want 1", h)
+	}
+	if h := HitAtK(preds, targets, 0); h != 0 {
+		t.Fatalf("hit@0 = %v, want 0", h)
+	}
+}
+
+func TestMeanRank(t *testing.T) {
+	preds := [][]float64{{0.9, 0.5}, {0.1, 0.9}}
+	targets := [][]float64{{1, 0}, {1, 0}}
+	if m := MeanRank(preds, targets); math.Abs(m-1.5) > 1e-12 {
+		t.Fatalf("mean rank = %v, want 1.5", m)
+	}
+	if m := MeanRank(nil, nil); m != 0 {
+		t.Fatalf("empty mean rank = %v", m)
+	}
+}

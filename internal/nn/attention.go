@@ -1,0 +1,120 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Attention is additive (Bahdanau-style) attention pooling over a sequence
+// of hidden states:
+//
+//	e_t = vᵀ tanh(W·h_t)
+//	α   = softmax(e)
+//	s   = Σ_t α_t · h_t
+//
+// It provides a learned alternative to mean pooling for summarizing the
+// recurrent states of a path — the attention extension discussed as future
+// work for sequence summarization in PathRank-style models.
+type Attention struct {
+	In, Att int
+
+	W *Param // Att x In
+	V *Param // 1 x Att
+}
+
+// NewAttention returns an attention pooler over In-dimensional states with
+// an Att-dimensional scoring space.
+func NewAttention(name string, in, att int, rng *rand.Rand) *Attention {
+	a := &Attention{
+		In: in, Att: att,
+		W: NewParam(name+".W", att, in),
+		V: NewParam(name+".v", 1, att),
+	}
+	a.W.InitXavier(rng)
+	a.V.InitXavier(rng)
+	return a
+}
+
+// AttentionCache stores forward activations for Backward.
+type AttentionCache struct {
+	hs     []Vec
+	us     []Vec // tanh(W h_t)
+	alphas Vec
+}
+
+// Forward pools the sequence into one summary vector.
+func (a *Attention) Forward(hs []Vec) (Vec, *AttentionCache) {
+	T := len(hs)
+	c := &AttentionCache{hs: hs, us: make([]Vec, T), alphas: NewVec(T)}
+	scores := NewVec(T)
+	for t, h := range hs {
+		u := NewVec(a.Att)
+		a.W.MatVec(h, u)
+		TanhVec(u, u)
+		c.us[t] = u
+		scores[t] = Dot(a.V.W, u)
+	}
+	// Softmax with max subtraction.
+	maxS := math.Inf(-1)
+	for _, s := range scores {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	var sum float64
+	for t, s := range scores {
+		c.alphas[t] = math.Exp(s - maxS)
+		sum += c.alphas[t]
+	}
+	for t := range c.alphas {
+		c.alphas[t] /= sum
+	}
+	out := NewVec(a.In)
+	for t, h := range hs {
+		Axpy(c.alphas[t], h, out)
+	}
+	return out, c
+}
+
+// Backward propagates the summary gradient, accumulating parameter
+// gradients and returning per-step gradients on the hidden states.
+func (a *Attention) Backward(c *AttentionCache, dOut Vec) []Vec {
+	T := len(c.hs)
+	dhs := make([]Vec, T)
+	dAlpha := NewVec(T)
+	for t, h := range c.hs {
+		// s = Σ α_t h_t: direct path into h_t ...
+		dh := NewVec(a.In)
+		Axpy(c.alphas[t], dOut, dh)
+		dhs[t] = dh
+		// ... and into α_t.
+		dAlpha[t] = Dot(dOut, h)
+	}
+	// Softmax backward: dE_t = α_t (dAlpha_t - Σ_k α_k dAlpha_k).
+	var dot float64
+	for t := range dAlpha {
+		dot += c.alphas[t] * dAlpha[t]
+	}
+	for t := 0; t < T; t++ {
+		dE := c.alphas[t] * (dAlpha[t] - dot)
+		if dE == 0 {
+			continue
+		}
+		// e_t = vᵀ u_t.
+		du := NewVec(a.Att)
+		Axpy(dE, a.V.W, du)
+		// v gradient.
+		Axpy(dE, c.us[t], a.V.G)
+		// u_t = tanh(W h_t).
+		dPre := NewVec(a.Att)
+		for i := range du {
+			dPre[i] = du[i] * (1 - c.us[t][i]*c.us[t][i])
+		}
+		a.W.AccumOuter(dPre, c.hs[t])
+		a.W.MatTVecAdd(dPre, dhs[t])
+	}
+	return dhs
+}
+
+// Params returns the trainable parameters.
+func (a *Attention) Params() []*Param { return []*Param{a.W, a.V} }

@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Embedding is a lookup table mapping integer IDs to dense vectors. It is
+// PathRank's vertex-embedding matrix B: initialized from node2vec and either
+// frozen (PR-A1) or fine-tuned by backpropagation (PR-A2).
+type Embedding struct {
+	Table *Param // Vocab x Dim
+}
+
+// NewEmbedding allocates a vocab x dim embedding with Xavier init.
+func NewEmbedding(vocab, dim int, rng *rand.Rand) *Embedding {
+	e := &Embedding{Table: NewParam("embedding", vocab, dim)}
+	e.Table.InitXavier(rng)
+	return e
+}
+
+// Vocab returns the number of rows.
+func (e *Embedding) Vocab() int { return e.Table.Rows }
+
+// Dim returns the embedding dimensionality.
+func (e *Embedding) Dim() int { return e.Table.Cols }
+
+// SetRow overwrites the embedding of id (used to load node2vec vectors).
+func (e *Embedding) SetRow(id int, v Vec) {
+	if len(v) != e.Dim() {
+		panic(fmt.Sprintf("nn: SetRow dim %d != embedding dim %d", len(v), e.Dim()))
+	}
+	copy(e.Table.Row(id), v)
+}
+
+// Lookup returns the embedding row of id. The returned slice aliases the
+// table; callers must not modify it.
+func (e *Embedding) Lookup(id int) Vec { return e.Table.Row(id) }
+
+// AccumGrad adds the gradient d to row id's gradient unless frozen.
+func (e *Embedding) AccumGrad(id int, d Vec) {
+	if e.Table.Frozen {
+		return
+	}
+	AddTo(e.Table.GradRow(id), d)
+}
+
+// Params returns the trainable parameters.
+func (e *Embedding) Params() []*Param { return []*Param{e.Table} }
+
+// Dense is a fully connected layer y = act(W*x + b).
+type Dense struct {
+	W   *Param
+	B   *Param
+	Act Activation
+}
+
+// Activation selects the nonlinearity of a Dense layer.
+type Activation int
+
+// Supported activations.
+const (
+	Linear Activation = iota
+	Tanh
+	SigmoidAct
+	ReLU
+)
+
+// NewDense returns an in->out dense layer with Xavier init.
+func NewDense(name string, in, out int, act Activation, rng *rand.Rand) *Dense {
+	d := &Dense{
+		W:   NewParam(name+".W", out, in),
+		B:   NewParam(name+".b", 1, out),
+		Act: act,
+	}
+	d.W.InitXavier(rng)
+	return d
+}
+
+// DenseCache stores forward activations needed by Backward.
+type DenseCache struct {
+	x   Vec // input
+	pre Vec // pre-activation
+	out Vec // post-activation
+}
+
+// Forward computes the layer output and a cache for Backward.
+func (d *Dense) Forward(x Vec) (Vec, *DenseCache) {
+	out := NewVec(d.W.Rows)
+	d.W.MatVec(x, out)
+	AddTo(out, d.B.W)
+	pre := Copy(out)
+	switch d.Act {
+	case Tanh:
+		TanhVec(out, out)
+	case SigmoidAct:
+		SigmoidVec(out, out)
+	case ReLU:
+		for i := range out {
+			if out[i] < 0 {
+				out[i] = 0
+			}
+		}
+	}
+	return out, &DenseCache{x: Copy(x), pre: pre, out: out}
+}
+
+// Backward propagates dOut, accumulating parameter gradients, and returns
+// the gradient with respect to the input.
+func (d *Dense) Backward(c *DenseCache, dOut Vec) Vec {
+	dPre := Copy(dOut)
+	switch d.Act {
+	case Tanh:
+		for i := range dPre {
+			dPre[i] *= 1 - c.out[i]*c.out[i]
+		}
+	case SigmoidAct:
+		for i := range dPre {
+			dPre[i] *= c.out[i] * (1 - c.out[i])
+		}
+	case ReLU:
+		for i := range dPre {
+			if c.pre[i] <= 0 {
+				dPre[i] = 0
+			}
+		}
+	}
+	d.W.AccumOuter(dPre, c.x)
+	AddTo(d.B.G, dPre)
+	dx := NewVec(d.W.Cols)
+	d.W.MatTVecAdd(dPre, dx)
+	return dx
+}
+
+// Params returns the trainable parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }

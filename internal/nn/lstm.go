@@ -1,0 +1,182 @@
+package nn
+
+import "math/rand"
+
+// LSTM is a long short-term memory cell, provided as an ablation alternative
+// to the GRU body of PathRank:
+//
+//	i_t = σ(Wi·x_t + Ui·h_{t-1} + bi)
+//	f_t = σ(Wf·x_t + Uf·h_{t-1} + bf)
+//	o_t = σ(Wo·x_t + Uo·h_{t-1} + bo)
+//	g_t = tanh(Wg·x_t + Ug·h_{t-1} + bg)
+//	c_t = f_t⊙c_{t-1} + i_t⊙g_t
+//	h_t = o_t⊙tanh(c_t)
+type LSTM struct {
+	In, Hidden int
+
+	Wi, Ui, Wf, Uf, Wo, Uo, Wg, Ug *Param
+	Bi, Bf, Bo, Bg                 *Param
+}
+
+// NewLSTM returns an LSTM with Xavier-initialized weights and forget-gate
+// bias 1 (the standard trick that eases gradient flow early in training).
+func NewLSTM(name string, in, hidden int, rng *rand.Rand) *LSTM {
+	l := &LSTM{
+		In: in, Hidden: hidden,
+		Wi: NewParam(name+".Wi", hidden, in), Ui: NewParam(name+".Ui", hidden, hidden),
+		Wf: NewParam(name+".Wf", hidden, in), Uf: NewParam(name+".Uf", hidden, hidden),
+		Wo: NewParam(name+".Wo", hidden, in), Uo: NewParam(name+".Uo", hidden, hidden),
+		Wg: NewParam(name+".Wg", hidden, in), Ug: NewParam(name+".Ug", hidden, hidden),
+		Bi: NewParam(name+".bi", 1, hidden), Bf: NewParam(name+".bf", 1, hidden),
+		Bo: NewParam(name+".bo", 1, hidden), Bg: NewParam(name+".bg", 1, hidden),
+	}
+	for _, p := range []*Param{l.Wi, l.Ui, l.Wf, l.Uf, l.Wo, l.Uo, l.Wg, l.Ug} {
+		p.InitXavier(rng)
+	}
+	for i := range l.Bf.W {
+		l.Bf.W[i] = 1
+	}
+	return l
+}
+
+// LSTMCache stores per-step activations for BPTT.
+type LSTMCache struct {
+	xs             []Vec
+	hs, cs         []Vec
+	is, fs, os, gs []Vec
+	tanhC          []Vec
+}
+
+// Len returns the cached sequence length.
+func (c *LSTMCache) Len() int { return len(c.xs) }
+
+// Forward runs the LSTM over xs from zero initial state.
+func (l *LSTM) Forward(xs []Vec) ([]Vec, *LSTMCache) {
+	T := len(xs)
+	H := l.Hidden
+	c := &LSTMCache{
+		xs: xs,
+		hs: make([]Vec, T), cs: make([]Vec, T),
+		is: make([]Vec, T), fs: make([]Vec, T),
+		os: make([]Vec, T), gs: make([]Vec, T),
+		tanhC: make([]Vec, T),
+	}
+	hPrev, cPrev := NewVec(H), NewVec(H)
+	for t := 0; t < T; t++ {
+		i := NewVec(H)
+		f := NewVec(H)
+		o := NewVec(H)
+		gg := NewVec(H)
+		l.Wi.MatVec(xs[t], i)
+		l.Ui.MatVecAdd(hPrev, i)
+		AddTo(i, l.Bi.W)
+		SigmoidVec(i, i)
+		l.Wf.MatVec(xs[t], f)
+		l.Uf.MatVecAdd(hPrev, f)
+		AddTo(f, l.Bf.W)
+		SigmoidVec(f, f)
+		l.Wo.MatVec(xs[t], o)
+		l.Uo.MatVecAdd(hPrev, o)
+		AddTo(o, l.Bo.W)
+		SigmoidVec(o, o)
+		l.Wg.MatVec(xs[t], gg)
+		l.Ug.MatVecAdd(hPrev, gg)
+		AddTo(gg, l.Bg.W)
+		TanhVec(gg, gg)
+
+		ct := NewVec(H)
+		ht := NewVec(H)
+		tc := NewVec(H)
+		for k := 0; k < H; k++ {
+			ct[k] = f[k]*cPrev[k] + i[k]*gg[k]
+		}
+		TanhVec(tc, ct)
+		for k := 0; k < H; k++ {
+			ht[k] = o[k] * tc[k]
+		}
+		c.is[t], c.fs[t], c.os[t], c.gs[t] = i, f, o, gg
+		c.cs[t], c.hs[t], c.tanhC[t] = ct, ht, tc
+		hPrev, cPrev = ht, ct
+	}
+	return c.hs, c
+}
+
+// Backward propagates hidden-state gradients dhs (nil entries mean zero)
+// and returns input gradients, accumulating parameter gradients.
+func (l *LSTM) Backward(c *LSTMCache, dhs []Vec) []Vec {
+	T := c.Len()
+	H := l.Hidden
+	dxs := make([]Vec, T)
+	dhNext := NewVec(H)
+	dcNext := NewVec(H)
+
+	for t := T - 1; t >= 0; t-- {
+		dh := Copy(dhNext)
+		if t < len(dhs) && dhs[t] != nil {
+			AddTo(dh, dhs[t])
+		}
+		var hPrev, cPrev Vec
+		if t == 0 {
+			hPrev, cPrev = NewVec(H), NewVec(H)
+		} else {
+			hPrev, cPrev = c.hs[t-1], c.cs[t-1]
+		}
+		i, f, o, g := c.is[t], c.fs[t], c.os[t], c.gs[t]
+		tc := c.tanhC[t]
+
+		do := NewVec(H)
+		dc := Copy(dcNext)
+		for k := 0; k < H; k++ {
+			do[k] = dh[k] * tc[k]
+			dc[k] += dh[k] * o[k] * (1 - tc[k]*tc[k])
+		}
+		di := NewVec(H)
+		df := NewVec(H)
+		dg := NewVec(H)
+		dcPrev := NewVec(H)
+		for k := 0; k < H; k++ {
+			di[k] = dc[k] * g[k]
+			df[k] = dc[k] * cPrev[k]
+			dg[k] = dc[k] * i[k]
+			dcPrev[k] = dc[k] * f[k]
+		}
+
+		diPre := NewVec(H)
+		dfPre := NewVec(H)
+		doPre := NewVec(H)
+		dgPre := NewVec(H)
+		for k := 0; k < H; k++ {
+			diPre[k] = di[k] * i[k] * (1 - i[k])
+			dfPre[k] = df[k] * f[k] * (1 - f[k])
+			doPre[k] = do[k] * o[k] * (1 - o[k])
+			dgPre[k] = dg[k] * (1 - g[k]*g[k])
+		}
+
+		dx := NewVec(l.In)
+		dhPrev := NewVec(H)
+		step := func(W, U, B *Param, dPre Vec) {
+			W.AccumOuter(dPre, c.xs[t])
+			U.AccumOuter(dPre, hPrev)
+			AddTo(B.G, dPre)
+			W.MatTVecAdd(dPre, dx)
+			U.MatTVecAdd(dPre, dhPrev)
+		}
+		step(l.Wi, l.Ui, l.Bi, diPre)
+		step(l.Wf, l.Uf, l.Bf, dfPre)
+		step(l.Wo, l.Uo, l.Bo, doPre)
+		step(l.Wg, l.Ug, l.Bg, dgPre)
+
+		dxs[t] = dx
+		dhNext = dhPrev
+		dcNext = dcPrev
+	}
+	return dxs
+}
+
+// Params returns the trainable parameters.
+func (l *LSTM) Params() []*Param {
+	return []*Param{
+		l.Wi, l.Ui, l.Wf, l.Uf, l.Wo, l.Uo, l.Wg, l.Ug,
+		l.Bi, l.Bf, l.Bo, l.Bg,
+	}
+}

@@ -1,0 +1,233 @@
+// Package nn is a small, dependency-free neural-network library sufficient
+// to train PathRank end to end: embedding lookups, GRU/LSTM recurrent cells
+// with backpropagation through time, dense layers, MSE/Huber losses and
+// SGD/Adam/RMSProp optimizers. Computation is float64 on flat slices;
+// training is sample-at-a-time, which matches variable-length path
+// sequences and keeps the implementation auditable.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Vec is a dense vector.
+type Vec = []float64
+
+// NewVec returns a zero vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Copy returns a copy of v.
+func Copy(v Vec) Vec { return append(Vec(nil), v...) }
+
+// Dot returns the inner product of a and b. Lengths must match.
+func Dot(a, b Vec) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float64, x, y Vec) {
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies v by alpha in place.
+func Scale(alpha float64, v Vec) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// AddTo computes dst += src in place.
+func AddTo(dst, src Vec) {
+	for i := range src {
+		dst[i] += src[i]
+	}
+}
+
+// Hadamard computes dst[i] = a[i]*b[i].
+func Hadamard(dst, a, b Vec) {
+	for i := range a {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v Vec) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Param is a trainable tensor with its gradient accumulator and optimizer
+// state. A Param with Rows>0 is a Rows x Cols matrix stored row-major; a
+// bias vector has Rows == 1.
+type Param struct {
+	Name string
+	Rows int
+	Cols int
+	W    Vec // weights, len Rows*Cols
+	G    Vec // gradient accumulator, same shape
+
+	// Optimizer slots (lazily allocated by Adam/RMSProp).
+	m, v Vec
+
+	// Frozen parameters accumulate no updates (PR-A1 freezes the
+	// embedding matrix B; PR-A2 trains it).
+	Frozen bool
+}
+
+// NewParam allocates a rows x cols parameter initialized to zero.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{
+		Name: name, Rows: rows, Cols: cols,
+		W: NewVec(rows * cols), G: NewVec(rows * cols),
+	}
+}
+
+// InitXavier fills the parameter with Glorot-uniform noise scaled by its
+// fan-in and fan-out.
+func (p *Param) InitXavier(rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(p.Rows+p.Cols))
+	for i := range p.W {
+		p.W[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// InitUniform fills the parameter with uniform noise in [-r, r].
+func (p *Param) InitUniform(rng *rand.Rand, r float64) {
+	for i := range p.W {
+		p.W[i] = (rng.Float64()*2 - 1) * r
+	}
+}
+
+// Row returns the i-th row of a matrix parameter as a subslice (no copy).
+func (p *Param) Row(i int) Vec { return p.W[i*p.Cols : (i+1)*p.Cols] }
+
+// GradRow returns the i-th row of the gradient as a subslice (no copy).
+func (p *Param) GradRow(i int) Vec { return p.G[i*p.Cols : (i+1)*p.Cols] }
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.G {
+		p.G[i] = 0
+	}
+}
+
+// NumParams returns the number of scalar weights.
+func (p *Param) NumParams() int { return len(p.W) }
+
+// MatVec computes y = W*x for a Rows x Cols parameter, writing into y
+// (len Rows). x must have length Cols.
+func (p *Param) MatVec(x, y Vec) {
+	if len(x) != p.Cols || len(y) != p.Rows {
+		panic(fmt.Sprintf("nn: MatVec shape mismatch: %s is %dx%d, x=%d y=%d",
+			p.Name, p.Rows, p.Cols, len(x), len(y)))
+	}
+	for r := 0; r < p.Rows; r++ {
+		row := p.W[r*p.Cols : (r+1)*p.Cols]
+		var s float64
+		for c, xv := range x {
+			s += row[c] * xv
+		}
+		y[r] = s
+	}
+}
+
+// MatVecAdd computes y += W*x.
+func (p *Param) MatVecAdd(x, y Vec) {
+	for r := 0; r < p.Rows; r++ {
+		row := p.W[r*p.Cols : (r+1)*p.Cols]
+		var s float64
+		for c, xv := range x {
+			s += row[c] * xv
+		}
+		y[r] += s
+	}
+}
+
+// MatTVecAdd computes x += Wᵀ*dy, propagating a gradient through MatVec.
+func (p *Param) MatTVecAdd(dy, x Vec) {
+	for r := 0; r < p.Rows; r++ {
+		row := p.W[r*p.Cols : (r+1)*p.Cols]
+		d := dy[r]
+		if d == 0 {
+			continue
+		}
+		for c := range x {
+			x[c] += row[c] * d
+		}
+	}
+}
+
+// AccumOuter accumulates G += dy ⊗ x, the weight gradient of y = W*x.
+func (p *Param) AccumOuter(dy, x Vec) {
+	for r := 0; r < p.Rows; r++ {
+		d := dy[r]
+		if d == 0 {
+			continue
+		}
+		grow := p.G[r*p.Cols : (r+1)*p.Cols]
+		for c, xv := range x {
+			grow[c] += d * xv
+		}
+	}
+}
+
+// GradNorm returns the Euclidean norm of the concatenated gradients.
+func GradNorm(params []*Param) float64 {
+	var s float64
+	for _, p := range params {
+		for _, g := range p.G {
+			s += g * g
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// ClipGrad rescales all gradients so their global norm is at most maxNorm.
+// It returns the pre-clip norm.
+func ClipGrad(params []*Param, maxNorm float64) float64 {
+	norm := GradNorm(params)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			for i := range p.G {
+				p.G[i] *= scale
+			}
+		}
+	}
+	return norm
+}
+
+// Sigmoid is the logistic function.
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+// SigmoidVec applies Sigmoid elementwise, writing into dst.
+func SigmoidVec(dst, x Vec) {
+	for i := range x {
+		dst[i] = Sigmoid(x[i])
+	}
+}
+
+// TanhVec applies tanh elementwise, writing into dst.
+func TanhVec(dst, x Vec) {
+	for i := range x {
+		dst[i] = math.Tanh(x[i])
+	}
+}

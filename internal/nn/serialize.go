@@ -1,0 +1,51 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// paramWire is the serialized form of a Param (weights only; gradients and
+// optimizer state are transient).
+type paramWire struct {
+	Name   string
+	Rows   int
+	Cols   int
+	W      []float64
+	Frozen bool
+}
+
+// SaveParams writes the weights of params to w in gob format.
+func SaveParams(w io.Writer, params []*Param) error {
+	wire := make([]paramWire, len(params))
+	for i, p := range params {
+		wire[i] = paramWire{Name: p.Name, Rows: p.Rows, Cols: p.Cols, W: p.W, Frozen: p.Frozen}
+	}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("nn: encode params: %w", err)
+	}
+	return nil
+}
+
+// LoadParams reads weights written by SaveParams into params, matching by
+// position and verifying name and shape.
+func LoadParams(r io.Reader, params []*Param) error {
+	var wire []paramWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return fmt.Errorf("nn: decode params: %w", err)
+	}
+	if len(wire) != len(params) {
+		return fmt.Errorf("nn: stored %d params, model has %d", len(wire), len(params))
+	}
+	for i, p := range params {
+		pw := wire[i]
+		if pw.Name != p.Name || pw.Rows != p.Rows || pw.Cols != p.Cols {
+			return fmt.Errorf("nn: param %d mismatch: stored %s(%dx%d), model %s(%dx%d)",
+				i, pw.Name, pw.Rows, pw.Cols, p.Name, p.Rows, p.Cols)
+		}
+		copy(p.W, pw.W)
+		p.Frozen = pw.Frozen
+	}
+	return nil
+}

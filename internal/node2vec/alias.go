@@ -1,0 +1,73 @@
+// Package node2vec implements the node2vec graph-embedding algorithm
+// (Grover & Leskovec, KDD 2016) over road networks: second-order biased
+// random walks parameterized by return parameter p and in-out parameter q,
+// followed by skip-gram training with negative sampling. PathRank uses the
+// resulting vertex vectors to initialize its embedding layer.
+package node2vec
+
+import "math/rand"
+
+// aliasTable samples from a discrete distribution in O(1) using the
+// Vose/Walker alias method.
+type aliasTable struct {
+	prob  []float64
+	alias []int32
+}
+
+// newAliasTable builds a sampler for the (unnormalized, non-negative)
+// weights. At least one weight must be positive.
+func newAliasTable(weights []float64) *aliasTable {
+	n := len(weights)
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	t := &aliasTable{prob: make([]float64, n), alias: make([]int32, n)}
+	if sum == 0 || n == 0 {
+		for i := range t.prob {
+			t.prob[i] = 1
+		}
+		return t
+	}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / sum
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		t.prob[i] = 1
+	}
+	for _, i := range small {
+		t.prob[i] = 1
+	}
+	return t
+}
+
+// sample draws an index from the distribution.
+func (t *aliasTable) sample(rng *rand.Rand) int {
+	i := rng.Intn(len(t.prob))
+	if rng.Float64() < t.prob[i] {
+		return i
+	}
+	return int(t.alias[i])
+}

@@ -1,0 +1,332 @@
+// Package pathrank implements the paper's primary contribution: a
+// data-driven framework that ranks candidate paths between an origin and a
+// destination the way local drivers would, learned from historical
+// trajectories.
+//
+// Ranking is modeled as regression. A candidate path — a sequence of
+// vertices — is embedded vertex-by-vertex with a node2vec-initialized
+// embedding matrix B, folded by a (bi)directional GRU, summarized, and
+// passed through a fully connected head that outputs an estimated
+// similarity score in [0,1]. Training minimizes the squared error against
+// the ground-truth score WeightedJaccard(candidate, trajectory path).
+//
+// Two variants from the paper are supported:
+//
+//   - PR-A1 keeps the embedding matrix B frozen at its node2vec values.
+//   - PR-A2 fine-tunes B with backpropagation (the paper's best variant).
+//
+// The multi-task extension (PR-M) attaches auxiliary heads that regress the
+// candidate's length and travel-time ratios, sharing the recurrent body.
+package pathrank
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"pathrank/internal/nn"
+	"pathrank/internal/node2vec"
+	"pathrank/internal/roadnet"
+	"pathrank/internal/spath"
+)
+
+// Variant selects how the embedding matrix is treated during training.
+type Variant int
+
+// Model variants from the paper's evaluation.
+const (
+	// PRA1 freezes the node2vec embeddings.
+	PRA1 Variant = iota
+	// PRA2 fine-tunes the embeddings end to end.
+	PRA2
+)
+
+// String names the variant as in the paper.
+func (v Variant) String() string {
+	switch v {
+	case PRA1:
+		return "PR-A1"
+	case PRA2:
+		return "PR-A2"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// Body selects the sequence model folding the embedded path.
+type Body int
+
+// Sequence-model bodies. GRUBody is the paper's architecture; the others
+// exist for the ablation study.
+const (
+	GRUBody Body = iota
+	BiGRUBody
+	LSTMBody
+	MeanPoolBody
+	// AttnGRUBody is a GRU body summarized with additive attention pooling
+	// instead of mean pooling.
+	AttnGRUBody
+)
+
+// String names the body.
+func (b Body) String() string {
+	switch b {
+	case GRUBody:
+		return "gru"
+	case BiGRUBody:
+		return "bigru"
+	case LSTMBody:
+		return "lstm"
+	case MeanPoolBody:
+		return "meanpool"
+	case AttnGRUBody:
+		return "attn-gru"
+	default:
+		return fmt.Sprintf("body(%d)", int(b))
+	}
+}
+
+// Config parameterizes a PathRank model.
+type Config struct {
+	EmbeddingDim int     // M in the paper (64 or 128 in the tables)
+	Hidden       int     // GRU hidden size per direction
+	Variant      Variant // PR-A1 or PR-A2
+	Body         Body    // sequence model (GRUBody reproduces the paper)
+
+	// MultiTaskLambda weights the auxiliary length/time-ratio losses; 0
+	// disables the multi-task extension.
+	MultiTaskLambda float64
+
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's best configuration (PR-A2, M=128)
+// scaled to a trainable-on-one-core hidden size.
+func DefaultConfig() Config {
+	return Config{EmbeddingDim: 128, Hidden: 64, Variant: PRA2, Body: GRUBody, Seed: 1}
+}
+
+// Model is a trained or trainable PathRank scorer.
+type Model struct {
+	cfg Config
+
+	emb     *nn.Embedding
+	gru     *nn.GRU
+	bigru   *nn.BiGRU
+	lstm    *nn.LSTM
+	attn    *nn.Attention
+	head    *nn.Dense
+	auxLen  *nn.Dense // multi-task heads (nil unless MultiTaskLambda > 0)
+	auxTime *nn.Dense
+
+	params []*nn.Param
+}
+
+// New builds an untrained model for a graph with numVertices vertices.
+func New(numVertices int, cfg Config) (*Model, error) {
+	if cfg.EmbeddingDim <= 0 || cfg.Hidden <= 0 {
+		return nil, fmt.Errorf("pathrank: embedding dim %d and hidden %d must be positive",
+			cfg.EmbeddingDim, cfg.Hidden)
+	}
+	if numVertices <= 0 {
+		return nil, fmt.Errorf("pathrank: vocabulary must be positive, got %d", numVertices)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{cfg: cfg}
+	m.emb = nn.NewEmbedding(numVertices, cfg.EmbeddingDim, rng)
+	m.emb.Table.Frozen = cfg.Variant == PRA1
+
+	var outDim int
+	switch cfg.Body {
+	case GRUBody:
+		m.gru = nn.NewGRU("gru", cfg.EmbeddingDim, cfg.Hidden, rng)
+		outDim = cfg.Hidden
+	case BiGRUBody:
+		m.bigru = nn.NewBiGRU("bigru", cfg.EmbeddingDim, cfg.Hidden, rng)
+		outDim = m.bigru.OutDim()
+	case LSTMBody:
+		m.lstm = nn.NewLSTM("lstm", cfg.EmbeddingDim, cfg.Hidden, rng)
+		outDim = cfg.Hidden
+	case MeanPoolBody:
+		outDim = cfg.EmbeddingDim
+	case AttnGRUBody:
+		m.gru = nn.NewGRU("gru", cfg.EmbeddingDim, cfg.Hidden, rng)
+		att := cfg.Hidden / 2
+		if att < 4 {
+			att = 4
+		}
+		m.attn = nn.NewAttention("attn", cfg.Hidden, att, rng)
+		outDim = cfg.Hidden
+	default:
+		return nil, fmt.Errorf("pathrank: unknown body %d", cfg.Body)
+	}
+	m.head = nn.NewDense("head", outDim, 1, nn.SigmoidAct, rng)
+
+	m.params = append(m.params, m.emb.Params()...)
+	switch cfg.Body {
+	case GRUBody:
+		m.params = append(m.params, m.gru.Params()...)
+	case BiGRUBody:
+		m.params = append(m.params, m.bigru.Params()...)
+	case LSTMBody:
+		m.params = append(m.params, m.lstm.Params()...)
+	case AttnGRUBody:
+		m.params = append(m.params, m.gru.Params()...)
+		m.params = append(m.params, m.attn.Params()...)
+	}
+	m.params = append(m.params, m.head.Params()...)
+
+	if cfg.MultiTaskLambda > 0 {
+		m.auxLen = nn.NewDense("aux.len", outDim, 1, nn.SigmoidAct, rng)
+		m.auxTime = nn.NewDense("aux.time", outDim, 1, nn.SigmoidAct, rng)
+		m.params = append(m.params, m.auxLen.Params()...)
+		m.params = append(m.params, m.auxTime.Params()...)
+	}
+	return m, nil
+}
+
+// Config returns the model's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// NumParams returns the number of scalar trainable weights.
+func (m *Model) NumParams() int {
+	n := 0
+	for _, p := range m.params {
+		n += p.NumParams()
+	}
+	return n
+}
+
+// InitEmbeddings loads node2vec vectors into the embedding matrix B. The
+// embedding dimensionality must match cfg.EmbeddingDim.
+func (m *Model) InitEmbeddings(emb *node2vec.Embeddings) error {
+	if emb.Dim != m.cfg.EmbeddingDim {
+		return fmt.Errorf("pathrank: node2vec dim %d != model embedding dim %d", emb.Dim, m.cfg.EmbeddingDim)
+	}
+	if emb.NumVertices() != m.emb.Vocab() {
+		return fmt.Errorf("pathrank: node2vec has %d vertices, model vocabulary is %d",
+			emb.NumVertices(), m.emb.Vocab())
+	}
+	for v := 0; v < emb.NumVertices(); v++ {
+		m.emb.SetRow(v, emb.Vector(roadnet.VertexID(v)))
+	}
+	return nil
+}
+
+// forwardState carries the activations of one forward pass for backprop.
+type forwardState struct {
+	ids          []int
+	xs           []nn.Vec
+	hs           []nn.Vec
+	gruCache     *nn.GRUCache
+	biCache      *nn.BiGRUCache
+	lstmCache    *nn.LSTMCache
+	attnCache    *nn.AttentionCache
+	summary      nn.Vec
+	headOut      nn.Vec
+	headCache    *nn.DenseCache
+	auxLenOut    nn.Vec
+	auxLenCache  *nn.DenseCache
+	auxTimeOut   nn.Vec
+	auxTimeCache *nn.DenseCache
+}
+
+// forward runs the network over the path's vertex sequence.
+func (m *Model) forward(p spath.Path) *forwardState {
+	st := &forwardState{}
+	st.ids = make([]int, len(p.Vertices))
+	st.xs = make([]nn.Vec, len(p.Vertices))
+	for i, v := range p.Vertices {
+		st.ids[i] = int(v)
+		st.xs[i] = nn.Copy(m.emb.Lookup(int(v)))
+	}
+	switch m.cfg.Body {
+	case GRUBody:
+		st.hs, st.gruCache = m.gru.Forward(st.xs)
+	case BiGRUBody:
+		st.hs, st.biCache = m.bigru.Forward(st.xs)
+	case LSTMBody:
+		st.hs, st.lstmCache = m.lstm.Forward(st.xs)
+	case MeanPoolBody:
+		st.hs = st.xs
+	case AttnGRUBody:
+		st.hs, st.gruCache = m.gru.Forward(st.xs)
+	}
+	// Summary over the hidden states. Mean pooling is robust to the large
+	// variation in path lengths (a candidate can have 5 or 80 vertices)
+	// and matches the paper's use of all hidden states H_i; AttnGRUBody
+	// learns the pooling weights instead.
+	if m.cfg.Body == AttnGRUBody {
+		st.summary, st.attnCache = m.attn.Forward(st.hs)
+	} else {
+		st.summary = meanVecs(st.hs)
+	}
+	st.headOut, st.headCache = m.head.Forward(st.summary)
+	if m.auxLen != nil {
+		st.auxLenOut, st.auxLenCache = m.auxLen.Forward(st.summary)
+		st.auxTimeOut, st.auxTimeCache = m.auxTime.Forward(st.summary)
+	}
+	return st
+}
+
+func meanVecs(vs []nn.Vec) nn.Vec {
+	out := nn.NewVec(len(vs[0]))
+	for _, v := range vs {
+		nn.AddTo(out, v)
+	}
+	nn.Scale(1/float64(len(vs)), out)
+	return out
+}
+
+// backward propagates the loss gradients (dScore on the main head; dLen and
+// dTime on the auxiliary heads, ignored when multi-task is off) and
+// accumulates parameter gradients.
+func (m *Model) backward(st *forwardState, dScore, dLen, dTime float64) {
+	dSummary := m.head.Backward(st.headCache, nn.Vec{dScore})
+	if m.auxLen != nil {
+		nn.AddTo(dSummary, m.auxLen.Backward(st.auxLenCache, nn.Vec{dLen}))
+		nn.AddTo(dSummary, m.auxTime.Backward(st.auxTimeCache, nn.Vec{dTime}))
+	}
+	T := len(st.hs)
+	var dhs []nn.Vec
+	if m.cfg.Body == AttnGRUBody {
+		// Attention pooling computes its own per-step gradients.
+		dhs = m.attn.Backward(st.attnCache, dSummary)
+	} else {
+		// Mean pooling distributes the summary gradient uniformly.
+		perStep := nn.Copy(dSummary)
+		nn.Scale(1/float64(T), perStep)
+		dhs = make([]nn.Vec, T)
+		for t := range dhs {
+			dhs[t] = perStep
+		}
+	}
+	var dxs []nn.Vec
+	switch m.cfg.Body {
+	case GRUBody, AttnGRUBody:
+		dxs = m.gru.Backward(st.gruCache, dhs)
+	case BiGRUBody:
+		dxs = m.bigru.Backward(st.biCache, dhs)
+	case LSTMBody:
+		dxs = m.lstm.Backward(st.lstmCache, dhs)
+	case MeanPoolBody:
+		dxs = dhs
+	}
+	for t, id := range st.ids {
+		m.emb.AccumGrad(id, dxs[t])
+	}
+}
+
+// Score returns the model's estimated ranking score for p in [0,1].
+func (m *Model) Score(p spath.Path) float64 {
+	if len(p.Vertices) == 0 {
+		return 0
+	}
+	return m.forward(p).headOut[0]
+}
+
+// Save writes the model weights.
+func (m *Model) Save(w io.Writer) error { return nn.SaveParams(w, m.params) }
+
+// Load reads weights saved from a model with an identical configuration.
+func (m *Model) Load(r io.Reader) error { return nn.LoadParams(r, m.params) }

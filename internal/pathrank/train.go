@@ -1,0 +1,154 @@
+package pathrank
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"pathrank/internal/dataset"
+	"pathrank/internal/metrics"
+	"pathrank/internal/nn"
+	"pathrank/internal/spath"
+)
+
+// TrainConfig parameterizes the training loop.
+type TrainConfig struct {
+	Epochs   int
+	LR       float64
+	ClipNorm float64
+	Seed     int64
+	// LRDecay multiplies the learning rate after each epoch when in (0,1);
+	// zero disables decay.
+	LRDecay float64
+	// Validation, when non-empty, is evaluated after each epoch; together
+	// with Patience it enables early stopping on validation MAE.
+	Validation []dataset.Query
+	// Patience stops training after this many consecutive epochs without
+	// validation-MAE improvement (0 disables early stopping).
+	Patience int
+	// Verbose emits one progress line per epoch via the Logf callback.
+	Logf func(format string, args ...any)
+}
+
+// DefaultTrainConfig returns the paper-style optimizer settings.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 20, LR: 0.003, ClipNorm: 5, Seed: 1}
+}
+
+// Train fits the model to the training queries with Adam, one candidate at
+// a time (sequences have variable length). It returns the per-epoch mean
+// training loss.
+func (m *Model) Train(queries []dataset.Query, cfg TrainConfig) ([]float64, error) {
+	if cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("pathrank: epochs must be positive, got %d", cfg.Epochs)
+	}
+	if cfg.LR <= 0 {
+		return nil, fmt.Errorf("pathrank: learning rate must be positive, got %v", cfg.LR)
+	}
+	type sample struct {
+		inst dataset.Instance
+	}
+	var samples []sample
+	for _, q := range queries {
+		for _, c := range q.Candidates {
+			if len(c.Path.Vertices) == 0 {
+				continue
+			}
+			samples = append(samples, sample{inst: c})
+		}
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("pathrank: no non-empty training candidates")
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	opt := nn.NewAdam(cfg.LR)
+	losses := make([]float64, 0, cfg.Epochs)
+	lambda := m.cfg.MultiTaskLambda
+
+	bestValMAE := math.Inf(1)
+	sinceBest := 0
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(samples), func(i, j int) { samples[i], samples[j] = samples[j], samples[i] })
+		var epochLoss float64
+		for _, s := range samples {
+			st := m.forward(s.inst.Path)
+			loss, dScore := nn.MSELoss(st.headOut[0], s.inst.Label)
+			var dLen, dTime float64
+			if m.auxLen != nil {
+				lLen, gLen := nn.MSELoss(st.auxLenOut[0], s.inst.LengthRatio)
+				lTime, gTime := nn.MSELoss(st.auxTimeOut[0], s.inst.TimeRatio)
+				loss += lambda * (lLen + lTime)
+				dLen = lambda * gLen
+				dTime = lambda * gTime
+			}
+			m.backward(st, dScore, dLen, dTime)
+			if cfg.ClipNorm > 0 {
+				nn.ClipGrad(m.params, cfg.ClipNorm)
+			}
+			opt.Step(m.params)
+			epochLoss += loss
+		}
+		epochLoss /= float64(len(samples))
+		losses = append(losses, epochLoss)
+
+		var valNote string
+		if len(cfg.Validation) > 0 {
+			rep := m.Evaluate(cfg.Validation)
+			valNote = fmt.Sprintf(" val MAE %.5f", rep.MAE)
+			if rep.MAE < bestValMAE-1e-9 {
+				bestValMAE = rep.MAE
+				sinceBest = 0
+			} else {
+				sinceBest++
+			}
+		}
+		if cfg.Logf != nil {
+			cfg.Logf("epoch %d/%d loss %.5f%s", epoch+1, cfg.Epochs, epochLoss, valNote)
+		}
+		if cfg.Patience > 0 && len(cfg.Validation) > 0 && sinceBest >= cfg.Patience {
+			if cfg.Logf != nil {
+				cfg.Logf("early stop after epoch %d (no val improvement for %d epochs)", epoch+1, sinceBest)
+			}
+			break
+		}
+		if cfg.LRDecay > 0 && cfg.LRDecay < 1 {
+			opt.LR *= cfg.LRDecay
+		}
+	}
+	return losses, nil
+}
+
+// Evaluate scores every candidate of every query and aggregates the paper's
+// four metrics (MAE, MARE, Kendall τ, Spearman ρ).
+func (m *Model) Evaluate(queries []dataset.Query) metrics.Report {
+	preds := make([][]float64, len(queries))
+	targets := make([][]float64, len(queries))
+	for qi, q := range queries {
+		preds[qi] = make([]float64, len(q.Candidates))
+		targets[qi] = make([]float64, len(q.Candidates))
+		for ci, c := range q.Candidates {
+			preds[qi][ci] = m.Score(c.Path)
+			targets[qi][ci] = c.Label
+		}
+	}
+	return metrics.Evaluate(preds, targets)
+}
+
+// Ranked pairs a candidate path with its model score.
+type Ranked struct {
+	Path  spath.Path
+	Score float64
+}
+
+// Rank scores the candidates and returns them in descending score order.
+func (m *Model) Rank(cands []spath.Path) []Ranked {
+	out := make([]Ranked, len(cands))
+	for i, c := range cands {
+		out[i] = Ranked{Path: c, Score: m.Score(c)}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Score > out[b].Score })
+	return out
+}

@@ -1,0 +1,144 @@
+package roadnet
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"pathrank/internal/geo"
+)
+
+// ExportCSV writes the graph as two CSV streams in an interchange format
+// compatible with common road-network dumps:
+//
+//	vertices: id,lon,lat
+//	edges:    id,from,to,length_m,time_s,category
+//
+// Either writer may be nil to skip that stream.
+func (g *Graph) ExportCSV(vertices, edges io.Writer) error {
+	if vertices != nil {
+		w := csv.NewWriter(vertices)
+		if err := w.Write([]string{"id", "lon", "lat"}); err != nil {
+			return fmt.Errorf("roadnet: write vertex header: %w", err)
+		}
+		for _, v := range g.vertices {
+			rec := []string{
+				strconv.Itoa(int(v.ID)),
+				strconv.FormatFloat(v.Point.Lon, 'f', -1, 64),
+				strconv.FormatFloat(v.Point.Lat, 'f', -1, 64),
+			}
+			if err := w.Write(rec); err != nil {
+				return fmt.Errorf("roadnet: write vertex %d: %w", v.ID, err)
+			}
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			return fmt.Errorf("roadnet: flush vertices: %w", err)
+		}
+	}
+	if edges != nil {
+		w := csv.NewWriter(edges)
+		if err := w.Write([]string{"id", "from", "to", "length_m", "time_s", "category"}); err != nil {
+			return fmt.Errorf("roadnet: write edge header: %w", err)
+		}
+		for _, e := range g.edges {
+			rec := []string{
+				strconv.Itoa(int(e.ID)),
+				strconv.Itoa(int(e.From)),
+				strconv.Itoa(int(e.To)),
+				strconv.FormatFloat(e.Length, 'f', 3, 64),
+				strconv.FormatFloat(e.Time, 'f', 3, 64),
+				e.Category.String(),
+			}
+			if err := w.Write(rec); err != nil {
+				return fmt.Errorf("roadnet: write edge %d: %w", e.ID, err)
+			}
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			return fmt.Errorf("roadnet: flush edges: %w", err)
+		}
+	}
+	return nil
+}
+
+// ParseCategory parses a category name as produced by Category.String.
+func ParseCategory(s string) (Category, error) {
+	switch s {
+	case "motorway":
+		return Motorway, nil
+	case "primary":
+		return Primary, nil
+	case "secondary":
+		return Secondary, nil
+	case "residential":
+		return Residential, nil
+	default:
+		return 0, fmt.Errorf("roadnet: unknown category %q", s)
+	}
+}
+
+// ImportCSV reads a graph from CSV streams written by ExportCSV (or an
+// external tool producing the same columns). Vertex IDs must be dense and
+// in order; edge IDs are reassigned densely in input order.
+func ImportCSV(vertices, edges io.Reader) (*Graph, error) {
+	vr := csv.NewReader(vertices)
+	vrecs, err := vr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("roadnet: read vertices: %w", err)
+	}
+	if len(vrecs) < 1 {
+		return nil, fmt.Errorf("roadnet: empty vertex CSV")
+	}
+	b := NewBuilder(len(vrecs)-1, 0)
+	for i, rec := range vrecs[1:] { // skip header
+		if len(rec) != 3 {
+			return nil, fmt.Errorf("roadnet: vertex row %d has %d columns, want 3", i+1, len(rec))
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil || id != i {
+			return nil, fmt.Errorf("roadnet: vertex row %d: id %q not dense/in order", i+1, rec[0])
+		}
+		lon, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("roadnet: vertex %d lon: %w", id, err)
+		}
+		lat, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("roadnet: vertex %d lat: %w", id, err)
+		}
+		b.AddVertex(geo.Point{Lon: lon, Lat: lat})
+	}
+
+	er := csv.NewReader(edges)
+	erecs, err := er.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("roadnet: read edges: %w", err)
+	}
+	n := b.NumVertices()
+	for i, rec := range erecs[1:] {
+		if len(rec) != 6 {
+			return nil, fmt.Errorf("roadnet: edge row %d has %d columns, want 6", i+1, len(rec))
+		}
+		from, err1 := strconv.Atoi(rec[1])
+		to, err2 := strconv.Atoi(rec[2])
+		if err1 != nil || err2 != nil || from < 0 || from >= n || to < 0 || to >= n {
+			return nil, fmt.Errorf("roadnet: edge row %d: bad endpoints %q -> %q", i+1, rec[1], rec[2])
+		}
+		length, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil || length <= 0 {
+			return nil, fmt.Errorf("roadnet: edge row %d: bad length %q", i+1, rec[3])
+		}
+		cat, err := ParseCategory(rec[5])
+		if err != nil {
+			return nil, fmt.Errorf("roadnet: edge row %d: %w", i+1, err)
+		}
+		b.AddEdgeWithLength(VertexID(from), VertexID(to), cat, length)
+	}
+	g := b.Build()
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("roadnet: imported graph invalid: %w", err)
+	}
+	return g, nil
+}

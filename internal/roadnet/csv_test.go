@@ -1,0 +1,103 @@
+package roadnet
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	g := tinyGraph(t)
+	var vbuf, ebuf bytes.Buffer
+	if err := g.ExportCSV(&vbuf, &ebuf); err != nil {
+		t.Fatalf("ExportCSV: %v", err)
+	}
+	g2, err := ImportCSV(&vbuf, &ebuf)
+	if err != nil {
+		t.Fatalf("ImportCSV: %v", err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip size %d/%d, want %d/%d",
+			g2.NumVertices(), g2.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		a, b := g.Edge(EdgeID(i)), g2.Edge(EdgeID(i))
+		if a.From != b.From || a.To != b.To || a.Category != b.Category {
+			t.Fatalf("edge %d changed: %+v vs %+v", i, a, b)
+		}
+		if math.Abs(a.Length-b.Length) > 0.01 {
+			t.Fatalf("edge %d length %.3f vs %.3f", i, a.Length, b.Length)
+		}
+	}
+	for i := 0; i < g.NumVertices(); i++ {
+		a, b := g.Vertex(VertexID(i)), g2.Vertex(VertexID(i))
+		if a.Point != b.Point {
+			t.Fatalf("vertex %d moved: %v vs %v", i, a.Point, b.Point)
+		}
+	}
+}
+
+func TestExportCSVNilWriters(t *testing.T) {
+	g := tinyGraph(t)
+	if err := g.ExportCSV(nil, nil); err != nil {
+		t.Fatalf("nil writers should be a no-op, got %v", err)
+	}
+	var ebuf bytes.Buffer
+	if err := g.ExportCSV(nil, &ebuf); err != nil {
+		t.Fatalf("edges-only export: %v", err)
+	}
+	if !strings.Contains(ebuf.String(), "length_m") {
+		t.Fatal("edges CSV missing header")
+	}
+}
+
+func TestParseCategory(t *testing.T) {
+	for _, c := range []Category{Motorway, Primary, Secondary, Residential} {
+		got, err := ParseCategory(c.String())
+		if err != nil || got != c {
+			t.Fatalf("ParseCategory(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseCategory("autobahn"); err == nil {
+		t.Fatal("unknown category should error")
+	}
+}
+
+func TestImportCSVRejectsBadInput(t *testing.T) {
+	goodV := "id,lon,lat\n0,10,57\n1,10.01,57\n"
+	goodE := "id,from,to,length_m,time_s,category\n0,0,1,100,9,primary\n1,1,0,100,9,primary\n"
+	cases := []struct {
+		name string
+		v, e string
+	}{
+		{"non-dense vertex ids", "id,lon,lat\n5,10,57\n", goodE},
+		{"bad lon", "id,lon,lat\n0,abc,57\n1,10,57\n", goodE},
+		{"edge out of range", goodV, "id,from,to,length_m,time_s,category\n0,0,9,100,9,primary\n"},
+		{"negative length", goodV, "id,from,to,length_m,time_s,category\n0,0,1,-5,9,primary\n"},
+		{"bad category", goodV, "id,from,to,length_m,time_s,category\n0,0,1,100,9,dirt\n"},
+		{"short row", goodV, "id,from,to,length_m,time_s,category\n0,0,1\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ImportCSV(strings.NewReader(tc.v), strings.NewReader(tc.e)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestImportCSVValidGraphQueryable(t *testing.T) {
+	v := "id,lon,lat\n0,10,57\n1,10.01,57\n2,10.02,57\n"
+	e := "id,from,to,length_m,time_s,category\n" +
+		"0,0,1,700,31.5,secondary\n1,1,0,700,31.5,secondary\n" +
+		"2,1,2,700,31.5,secondary\n3,2,1,700,31.5,secondary\n"
+	g, err := ImportCSV(strings.NewReader(v), strings.NewReader(e))
+	if err != nil {
+		t.Fatalf("ImportCSV: %v", err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 4 {
+		t.Fatalf("imported %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if _, ok := g.FindEdge(0, 1); !ok {
+		t.Fatal("edge 0->1 missing after import")
+	}
+}

@@ -1,0 +1,234 @@
+package roadnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pathrank/internal/geo"
+)
+
+// GenConfig parameterizes the synthetic road-network generator.
+//
+// The generator substitutes for the North Jutland OpenStreetMap extract used
+// in the paper. It produces a perturbed grid of residential streets overlaid
+// with a sparser arterial (primary/secondary) lattice and a motorway ring,
+// which matches the hierarchy of real regional road networks: most vertices
+// have degree 3-4, a small fraction of high-speed edges carries long-range
+// traffic, and shortest-distance and shortest-time paths frequently differ —
+// the property PathRank's training data relies on.
+type GenConfig struct {
+	Rows, Cols    int     // grid dimensions (vertices = Rows*Cols minus removals)
+	SpacingM      float64 // mean spacing between adjacent grid vertices, meters
+	JitterFrac    float64 // positional jitter as a fraction of SpacingM, in [0,0.45]
+	RemoveFrac    float64 // fraction of interior edges randomly removed, in [0,0.3]
+	ArterialEvery int     // every k-th row/column is upgraded to Primary/Secondary
+	Motorway      bool    // add a motorway ring with sparse on-ramps
+	Origin        geo.Point
+	Seed          int64
+}
+
+// DefaultGenConfig returns a medium-sized network (~Rows*Cols vertices)
+// centered near Aalborg, Denmark — the paper's study region.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Rows:          40,
+		Cols:          50,
+		SpacingM:      250,
+		JitterFrac:    0.25,
+		RemoveFrac:    0.12,
+		ArterialEvery: 5,
+		Motorway:      true,
+		Origin:        geo.Point{Lon: 9.9187, Lat: 57.0488},
+		Seed:          1,
+	}
+}
+
+// Generate builds a synthetic road network per cfg. The result is validated
+// and guaranteed to be strongly connected (unreachable pockets created by
+// edge removal are reconnected).
+func Generate(cfg GenConfig) (*Graph, error) {
+	if cfg.Rows < 2 || cfg.Cols < 2 {
+		return nil, fmt.Errorf("roadnet: grid must be at least 2x2, got %dx%d", cfg.Rows, cfg.Cols)
+	}
+	if cfg.SpacingM <= 0 {
+		return nil, fmt.Errorf("roadnet: spacing must be positive, got %v", cfg.SpacingM)
+	}
+	if cfg.JitterFrac < 0 || cfg.JitterFrac > 0.45 {
+		return nil, fmt.Errorf("roadnet: jitter fraction %v outside [0,0.45]", cfg.JitterFrac)
+	}
+	if cfg.RemoveFrac < 0 || cfg.RemoveFrac > 0.3 {
+		return nil, fmt.Errorf("roadnet: remove fraction %v outside [0,0.3]", cfg.RemoveFrac)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	latPerM := 1.0 / 111320.0
+	lonPerM := 1.0 / (111320.0 * math.Cos(cfg.Origin.Lat*math.Pi/180))
+
+	b := NewBuilder(cfg.Rows*cfg.Cols, cfg.Rows*cfg.Cols*4)
+	ids := make([][]VertexID, cfg.Rows)
+	for r := 0; r < cfg.Rows; r++ {
+		ids[r] = make([]VertexID, cfg.Cols)
+		for c := 0; c < cfg.Cols; c++ {
+			jx := (rng.Float64()*2 - 1) * cfg.JitterFrac * cfg.SpacingM
+			jy := (rng.Float64()*2 - 1) * cfg.JitterFrac * cfg.SpacingM
+			p := geo.Point{
+				Lon: cfg.Origin.Lon + (float64(c)*cfg.SpacingM+jx)*lonPerM,
+				Lat: cfg.Origin.Lat + (float64(r)*cfg.SpacingM+jy)*latPerM,
+			}
+			ids[r][c] = b.AddVertex(p)
+		}
+	}
+
+	category := func(r, c int, horizontal bool) Category {
+		if cfg.ArterialEvery > 0 {
+			if horizontal && r%cfg.ArterialEvery == 0 {
+				if r%(2*cfg.ArterialEvery) == 0 {
+					return Primary
+				}
+				return Secondary
+			}
+			if !horizontal && c%cfg.ArterialEvery == 0 {
+				if c%(2*cfg.ArterialEvery) == 0 {
+					return Primary
+				}
+				return Secondary
+			}
+		}
+		return Residential
+	}
+
+	// Grid edges with random removals. Boundary edges are never removed so
+	// the perimeter stays intact.
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c < cfg.Cols; c++ {
+			if c+1 < cfg.Cols {
+				interior := r > 0 && r < cfg.Rows-1
+				if !(interior && rng.Float64() < cfg.RemoveFrac) {
+					b.AddBidirectional(ids[r][c], ids[r][c+1], category(r, c, true))
+				}
+			}
+			if r+1 < cfg.Rows {
+				interior := c > 0 && c < cfg.Cols-1
+				if !(interior && rng.Float64() < cfg.RemoveFrac) {
+					b.AddBidirectional(ids[r][c], ids[r+1][c], category(r, c, false))
+				}
+			}
+		}
+	}
+
+	// Motorway ring: a fast loop just outside the grid with on-ramps at the
+	// arterial intersections on the perimeter.
+	if cfg.Motorway {
+		addMotorwayRing(b, ids, cfg, lonPerM, latPerM)
+	}
+
+	g := b.Build()
+
+	// Reconnect pockets isolated by removal: link each unreachable vertex to
+	// its nearest reachable grid neighbor.
+	g = reconnect(g, b, rng)
+
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("roadnet: generated graph invalid: %w", err)
+	}
+	return g, nil
+}
+
+func addMotorwayRing(b *Builder, ids [][]VertexID, cfg GenConfig, lonPerM, latPerM float64) {
+	rows, cols := cfg.Rows, cfg.Cols
+	off := 2.5 * cfg.SpacingM
+	corner := func(dLonM, dLatM float64) geo.Point {
+		return geo.Point{
+			Lon: cfg.Origin.Lon + dLonM*lonPerM,
+			Lat: cfg.Origin.Lat + dLatM*latPerM,
+		}
+	}
+	w := float64(cols-1) * cfg.SpacingM
+	h := float64(rows-1) * cfg.SpacingM
+
+	// Ring vertices: several per side so on-ramps are local.
+	perSide := 4
+	var ring []VertexID
+	side := func(a, bp geo.Point) {
+		for i := 0; i < perSide; i++ {
+			t := float64(i) / float64(perSide)
+			ring = append(ring, b.AddVertex(geo.Lerp(a, bp, t)))
+		}
+	}
+	sw := corner(-off, -off)
+	se := corner(w+off, -off)
+	ne := corner(w+off, h+off)
+	nw := corner(-off, h+off)
+	side(sw, se)
+	side(se, ne)
+	side(ne, nw)
+	side(nw, sw)
+	for i := range ring {
+		b.AddBidirectional(ring[i], ring[(i+1)%len(ring)], Motorway)
+	}
+
+	// On-ramps from each ring vertex to the nearest perimeter arterial.
+	arterial := make([]VertexID, 0, rows+cols)
+	for c := 0; c < cols; c += maxInt(1, cfg.ArterialEvery) {
+		arterial = append(arterial, ids[0][c], ids[rows-1][c])
+	}
+	for r := 0; r < rows; r += maxInt(1, cfg.ArterialEvery) {
+		arterial = append(arterial, ids[r][0], ids[r][cols-1])
+	}
+	for _, rv := range ring {
+		best, bestD := VertexID(-1), math.Inf(1)
+		for _, av := range arterial {
+			d := geo.Distance(b.Vertex(rv).Point, b.Vertex(av).Point)
+			if d < bestD {
+				best, bestD = av, d
+			}
+		}
+		if best >= 0 {
+			b.AddBidirectional(rv, best, Primary)
+		}
+	}
+}
+
+// reconnect ensures strong connectivity by linking every vertex not
+// reachable from vertex 0 to its nearest reachable neighbor, then rebuilds.
+func reconnect(g *Graph, b *Builder, rng *rand.Rand) *Graph {
+	for iter := 0; iter < 32; iter++ {
+		seen := g.StronglyConnectedFrom(0)
+		var unreachable []VertexID
+		for v := 0; v < g.NumVertices(); v++ {
+			if !seen[v] {
+				unreachable = append(unreachable, VertexID(v))
+			}
+		}
+		if len(unreachable) == 0 {
+			// Forward-reachable everywhere; because all edges are added in
+			// pairs the graph is strongly connected.
+			return g
+		}
+		for _, u := range unreachable {
+			best, bestD := VertexID(-1), math.Inf(1)
+			for v := 0; v < g.NumVertices(); v++ {
+				if !seen[v] {
+					continue
+				}
+				d := geo.Distance(g.Vertex(u).Point, g.Vertex(VertexID(v)).Point)
+				if d < bestD {
+					best, bestD = VertexID(v), d
+				}
+			}
+			if best >= 0 {
+				b.AddBidirectional(u, best, Residential)
+			}
+		}
+		g = b.Build()
+	}
+	return g
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,67 @@
+package roadnet
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// graphWire is the serialized form of a Graph. Only vertices and edges are
+// stored; adjacency is rebuilt on load.
+type graphWire struct {
+	Vertices []Vertex
+	Edges    []Edge
+}
+
+// Save writes the graph to w in gob format.
+func (g *Graph) Save(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(graphWire{Vertices: g.vertices, Edges: g.edges}); err != nil {
+		return fmt.Errorf("roadnet: encode graph: %w", err)
+	}
+	return nil
+}
+
+// Load reads a graph previously written with Save and rebuilds adjacency.
+func Load(r io.Reader) (*Graph, error) {
+	var wire graphWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("roadnet: decode graph: %w", err)
+	}
+	b := &Builder{vertices: wire.Vertices, edges: wire.Edges}
+	g := b.Build()
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("roadnet: loaded graph invalid: %w", err)
+	}
+	return g, nil
+}
+
+// SaveFile writes the graph to the named file.
+func (g *Graph) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("roadnet: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	if err := g.Save(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("roadnet: flush %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// LoadFile reads a graph from the named file.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("roadnet: %w", err)
+	}
+	defer f.Close()
+	return Load(bufio.NewReader(f))
+}

@@ -1,0 +1,418 @@
+package spath
+
+import (
+	"math"
+	"sort"
+
+	"pathrank/internal/roadnet"
+)
+
+// ContractionHierarchy is a preprocessing-based speedup for shortest-path
+// queries (Geisberger et al. 2008): vertices are contracted in importance
+// order, inserting shortcut edges that preserve distances, and queries run
+// a bidirectional upward search in the augmented graph. It backs the
+// "advanced routing" component for interactive candidate generation on
+// larger networks.
+//
+// The hierarchy is built for one Weight function; build one hierarchy per
+// metric of interest.
+type ContractionHierarchy struct {
+	g     *roadnet.Graph
+	order []int32 // order[v] = contraction rank of v (higher = more important)
+
+	// Augmented upward/downward adjacency. Shortcuts store the contracted
+	// middle vertex for path unpacking; original edges store mid = -1 and
+	// the edge ID.
+	upHead, downHead []int32
+	upNext, downNext []int32
+	arcFrom, arcTo   []int32
+	arcWeight        []float64
+	arcMid           []int32
+	arcEdge          []roadnet.EdgeID
+
+	// arcIndex maps (from<<32|to) to the minimum-weight arc for shortcut
+	// unpacking.
+	arcIndex map[int64]int32
+}
+
+// chArc is a temporary arc during construction.
+type chArc struct {
+	from, to int32
+	weight   float64
+	mid      int32
+	edge     roadnet.EdgeID
+}
+
+// BuildCH preprocesses g under w. Construction uses a lazy-update priority
+// queue over the edge-difference heuristic.
+func BuildCH(g *roadnet.Graph, w Weight) *ContractionHierarchy {
+	n := g.NumVertices()
+
+	// Working adjacency (mutable during contraction): out and in arc lists
+	// per vertex over remaining (uncontracted) vertices.
+	type dynArc struct {
+		other  int32
+		weight float64
+		mid    int32
+		edge   roadnet.EdgeID
+	}
+	out := make([][]dynArc, n)
+	in := make([][]dynArc, n)
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(roadnet.EdgeID(i))
+		wt := w(e)
+		out[e.From] = append(out[e.From], dynArc{other: int32(e.To), weight: wt, mid: -1, edge: e.ID})
+		in[e.To] = append(in[e.To], dynArc{other: int32(e.From), weight: wt, mid: -1, edge: e.ID})
+	}
+	contracted := make([]bool, n)
+
+	// witnessSearch checks whether a path from s to t avoiding v with cost
+	// <= bound exists, using a bounded Dijkstra over remaining vertices.
+	witnessSearch := func(s, t, v int32, bound float64) bool {
+		const maxSettle = 60
+		dist := map[int32]float64{s: 0}
+		h := &vertexHeapCH{}
+		h.push(chItem{v: s})
+		settled := 0
+		for h.len() > 0 && settled < maxSettle {
+			it := h.pop()
+			if it.dist > dist[it.v] {
+				continue
+			}
+			if it.v == t {
+				return it.dist <= bound
+			}
+			if it.dist > bound {
+				return false
+			}
+			settled++
+			for _, a := range out[it.v] {
+				if contracted[a.other] || a.other == v {
+					continue
+				}
+				nd := it.dist + a.weight
+				if cur, ok := dist[a.other]; !ok || nd < cur {
+					dist[a.other] = nd
+					h.push(chItem{v: a.other, dist: nd})
+				}
+			}
+		}
+		d, ok := dist[t]
+		return ok && d <= bound
+	}
+
+	// simulate counts the shortcuts contraction of v would add.
+	simulate := func(v int32, insert bool) int {
+		added := 0
+		for _, ia := range in[v] {
+			if contracted[ia.other] {
+				continue
+			}
+			for _, oa := range out[v] {
+				if contracted[oa.other] || ia.other == oa.other {
+					continue
+				}
+				through := ia.weight + oa.weight
+				if witnessSearch(ia.other, oa.other, v, through) {
+					continue
+				}
+				added++
+				if insert {
+					out[ia.other] = append(out[ia.other], dynArc{other: oa.other, weight: through, mid: v})
+					in[oa.other] = append(in[oa.other], dynArc{other: ia.other, weight: through, mid: v})
+				}
+			}
+		}
+		return added
+	}
+
+	degree := func(v int32) int {
+		d := 0
+		for _, a := range out[v] {
+			if !contracted[a.other] {
+				d++
+			}
+		}
+		for _, a := range in[v] {
+			if !contracted[a.other] {
+				d++
+			}
+		}
+		return d
+	}
+	priority := func(v int32) int { return simulate(v, false)*2 - degree(v) }
+
+	// Lazy priority queue.
+	type pqItem struct {
+		v    int32
+		prio int
+	}
+	pq := make([]pqItem, 0, n)
+	for v := 0; v < n; v++ {
+		pq = append(pq, pqItem{v: int32(v), prio: priority(int32(v))})
+	}
+	sort.Slice(pq, func(a, b int) bool { return pq[a].prio < pq[b].prio })
+
+	order := make([]int32, n)
+	var allArcs []chArc
+	rank := int32(0)
+	// Collect original edges as arcs once; shortcuts appended during
+	// contraction.
+	for v := 0; v < n; v++ {
+		for _, a := range out[v] {
+			allArcs = append(allArcs, chArc{from: int32(v), to: a.other, weight: a.weight, mid: -1, edge: a.edge})
+		}
+	}
+
+	heapify := func() {
+		sort.Slice(pq, func(a, b int) bool { return pq[a].prio < pq[b].prio })
+	}
+	for len(pq) > 0 {
+		top := pq[0]
+		if contracted[top.v] {
+			pq = pq[1:]
+			continue
+		}
+		// Lazy update: recompute priority; if it's no longer minimal,
+		// re-sort (amortized acceptable at our network sizes).
+		np := priority(top.v)
+		if len(pq) > 1 && np > pq[1].prio {
+			pq[0].prio = np
+			heapify()
+			continue
+		}
+		pq = pq[1:]
+		v := top.v
+		// Insert shortcuts for v, recording them as arcs.
+		for _, ia := range in[v] {
+			if contracted[ia.other] {
+				continue
+			}
+			for _, oa := range out[v] {
+				if contracted[oa.other] || ia.other == oa.other {
+					continue
+				}
+				through := ia.weight + oa.weight
+				if witnessSearch(ia.other, oa.other, v, through) {
+					continue
+				}
+				out[ia.other] = append(out[ia.other], dynArc{other: oa.other, weight: through, mid: v})
+				in[oa.other] = append(in[oa.other], dynArc{other: ia.other, weight: through, mid: v})
+				allArcs = append(allArcs, chArc{from: ia.other, to: oa.other, weight: through, mid: v})
+			}
+		}
+		contracted[v] = true
+		order[v] = rank
+		rank++
+	}
+
+	ch := &ContractionHierarchy{g: g, order: order}
+	ch.buildAdjacency(allArcs)
+	return ch
+}
+
+// buildAdjacency splits arcs into upward (rank increases) and downward
+// (rank decreases, stored reversed) linked adjacency lists.
+func (ch *ContractionHierarchy) buildAdjacency(arcs []chArc) {
+	n := ch.g.NumVertices()
+	ch.upHead = make([]int32, n)
+	ch.downHead = make([]int32, n)
+	for i := range ch.upHead {
+		ch.upHead[i] = -1
+		ch.downHead[i] = -1
+	}
+	ch.arcIndex = make(map[int64]int32, len(arcs))
+	for _, a := range arcs {
+		idx := int32(len(ch.arcFrom))
+		ch.arcFrom = append(ch.arcFrom, a.from)
+		ch.arcTo = append(ch.arcTo, a.to)
+		ch.arcWeight = append(ch.arcWeight, a.weight)
+		ch.arcMid = append(ch.arcMid, a.mid)
+		ch.arcEdge = append(ch.arcEdge, a.edge)
+		key := int64(a.from)<<32 | int64(uint32(a.to))
+		if prev, ok := ch.arcIndex[key]; !ok || a.weight < ch.arcWeight[prev] {
+			ch.arcIndex[key] = idx
+		}
+		if ch.order[a.to] > ch.order[a.from] {
+			ch.upNext = append(ch.upNext, ch.upHead[a.from])
+			ch.downNext = append(ch.downNext, -1)
+			ch.upHead[a.from] = idx
+		} else {
+			ch.downNext = append(ch.downNext, ch.downHead[a.to])
+			ch.upNext = append(ch.upNext, -1)
+			ch.downHead[a.to] = idx
+		}
+	}
+}
+
+// NumShortcuts returns the number of shortcut arcs added by preprocessing.
+func (ch *ContractionHierarchy) NumShortcuts() int {
+	n := 0
+	for _, m := range ch.arcMid {
+		if m >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// chItem / vertexHeapCH: small map-backed binary heap for CH searches.
+type chItem struct {
+	v    int32
+	dist float64
+}
+
+type vertexHeapCH struct{ a []chItem }
+
+func (h *vertexHeapCH) len() int { return len(h.a) }
+
+func (h *vertexHeapCH) push(it chItem) {
+	h.a = append(h.a, it)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p].dist <= h.a[i].dist {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *vertexHeapCH) pop() chItem {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < last && h.a[l].dist < h.a[s].dist {
+			s = l
+		}
+		if r < last && h.a[r].dist < h.a[s].dist {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h.a[i], h.a[s] = h.a[s], h.a[i]
+		i = s
+	}
+	return top
+}
+
+// Query returns a minimum-cost path from src to dst, unpacking shortcuts
+// into original edges. Costs equal Dijkstra's on the original graph.
+func (ch *ContractionHierarchy) Query(src, dst roadnet.VertexID) (Path, error) {
+	if src == dst {
+		return Path{Vertices: []roadnet.VertexID{src}}, nil
+	}
+	distF := map[int32]float64{int32(src): 0}
+	distB := map[int32]float64{int32(dst): 0}
+	parentF := map[int32]int32{} // vertex -> arc index
+	parentB := map[int32]int32{}
+	hf, hb := &vertexHeapCH{}, &vertexHeapCH{}
+	hf.push(chItem{v: int32(src)})
+	hb.push(chItem{v: int32(dst)})
+
+	best := math.Inf(1)
+	meet := int32(-1)
+	relax := func(h *vertexHeapCH, dist map[int32]float64, parent map[int32]int32, head []int32, next []int32, forward bool) {
+		it := h.pop()
+		if it.dist > dist[it.v] {
+			return
+		}
+		if other, ok := otherDist(forward, distF, distB, it.v); ok && it.dist+other < best {
+			best = it.dist + other
+			meet = it.v
+		}
+		for ai := head[it.v]; ai >= 0; ai = next[ai] {
+			var to int32
+			if forward {
+				to = ch.arcTo[ai]
+			} else {
+				to = ch.arcFrom[ai]
+			}
+			nd := it.dist + ch.arcWeight[ai]
+			if cur, ok := dist[to]; !ok || nd < cur {
+				dist[to] = nd
+				parent[to] = ai
+				h.push(chItem{v: to, dist: nd})
+			}
+		}
+	}
+	for hf.len() > 0 || hb.len() > 0 {
+		topF, topB := math.Inf(1), math.Inf(1)
+		if hf.len() > 0 {
+			topF = hf.a[0].dist
+		}
+		if hb.len() > 0 {
+			topB = hb.a[0].dist
+		}
+		if math.Min(topF, topB) >= best {
+			break
+		}
+		if topF <= topB {
+			relax(hf, distF, parentF, ch.upHead, ch.upNext, true)
+		} else {
+			relax(hb, distB, parentB, ch.downHead, ch.downNext, false)
+		}
+	}
+	if meet < 0 {
+		return Path{}, ErrNoPath
+	}
+
+	// Reconstruct arc sequences to/from the meeting vertex.
+	var upArcs []int32
+	for v := meet; v != int32(src); {
+		ai := parentF[v]
+		upArcs = append(upArcs, ai)
+		v = ch.arcFrom[ai]
+	}
+	for i, j := 0, len(upArcs)-1; i < j; i, j = i+1, j-1 {
+		upArcs[i], upArcs[j] = upArcs[j], upArcs[i]
+	}
+	var downArcs []int32
+	for v := meet; v != int32(dst); {
+		ai := parentB[v]
+		downArcs = append(downArcs, ai)
+		v = ch.arcTo[ai]
+	}
+
+	var edges []roadnet.EdgeID
+	for _, ai := range upArcs {
+		ch.unpack(ai, &edges)
+	}
+	for _, ai := range downArcs {
+		ch.unpack(ai, &edges)
+	}
+	vertices := make([]roadnet.VertexID, 0, len(edges)+1)
+	vertices = append(vertices, src)
+	for _, eid := range edges {
+		vertices = append(vertices, ch.g.Edge(eid).To)
+	}
+	return Path{Vertices: vertices, Edges: edges, Cost: best}, nil
+}
+
+func otherDist(forward bool, distF, distB map[int32]float64, v int32) (float64, bool) {
+	if forward {
+		d, ok := distB[v]
+		return d, ok
+	}
+	d, ok := distF[v]
+	return d, ok
+}
+
+// unpack recursively expands a (possibly shortcut) arc into original edges.
+func (ch *ContractionHierarchy) unpack(ai int32, edges *[]roadnet.EdgeID) {
+	mid := ch.arcMid[ai]
+	if mid < 0 {
+		*edges = append(*edges, ch.arcEdge[ai])
+		return
+	}
+	from, to := ch.arcFrom[ai], ch.arcTo[ai]
+	ch.unpack(ch.arcIndex[int64(from)<<32|int64(uint32(mid))], edges)
+	ch.unpack(ch.arcIndex[int64(mid)<<32|int64(uint32(to))], edges)
+}

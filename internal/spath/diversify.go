@@ -1,0 +1,55 @@
+package spath
+
+import (
+	"sort"
+
+	"pathrank/internal/roadnet"
+)
+
+// Similarity scores the overlap of two paths in [0,1], where 1 means
+// identical. Implementations live in internal/pathsim; the indirection keeps
+// spath free of a dependency cycle.
+type Similarity func(a, b Path) float64
+
+// DiversifiedTopK returns up to k loopless paths from src to dst such that
+// every pair of returned paths has similarity at most threshold, in
+// increasing cost order. This implements the paper's D-TkDI strategy
+// ("diversified top-k shortest paths w.r.t. distance"): candidates are
+// enumerated in Yen order and greedily accepted if sufficiently dissimilar
+// from all previously accepted paths.
+//
+// maxProbe bounds how many Yen paths are enumerated while looking for
+// diverse ones (a multiple of k, e.g. 10*k); a loose bound keeps worst-case
+// latency predictable on dense networks.
+func DiversifiedTopK(g *roadnet.Graph, src, dst roadnet.VertexID, k int, w Weight, sim Similarity, threshold float64, maxProbe int) ([]Path, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	if maxProbe < k {
+		maxProbe = 10 * k
+	}
+	all, err := TopK(g, src, dst, maxProbe, w)
+	if err != nil {
+		return nil, err
+	}
+	accepted := make([]Path, 0, k)
+	for _, p := range all {
+		ok := true
+		for _, q := range accepted {
+			if sim(p, q) > threshold {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			accepted = append(accepted, p)
+			if len(accepted) == k {
+				break
+			}
+		}
+	}
+	// Yen emits in cost order and the greedy filter preserves it, but sort
+	// defensively in case a Similarity implementation mutated costs.
+	sort.Slice(accepted, func(a, b int) bool { return accepted[a].Cost < accepted[b].Cost })
+	return accepted, nil
+}

@@ -1,0 +1,184 @@
+// Package spath implements shortest-path search over road networks:
+// Dijkstra, A* with a geographic lower bound, bidirectional Dijkstra, Yen's
+// top-k shortest paths, and the diversified top-k variant (D-TkDI) used by
+// PathRank to generate training candidates.
+//
+// All algorithms operate on a Weight function so the same code serves
+// shortest-distance and fastest-time queries.
+package spath
+
+import (
+	"fmt"
+	"math"
+
+	"pathrank/internal/roadnet"
+)
+
+// Weight extracts the cost of traversing an edge. Costs must be positive.
+type Weight func(e roadnet.Edge) float64
+
+// ByLength weights an edge by its length in meters.
+func ByLength(e roadnet.Edge) float64 { return e.Length }
+
+// ByTime weights an edge by its free-flow travel time in seconds.
+func ByTime(e roadnet.Edge) float64 { return e.Time }
+
+// Path is a connected sequence of edges through a graph. Vertices holds the
+// visited vertex sequence (len(Edges)+1 entries) and Cost the total weight
+// under the query's Weight function.
+type Path struct {
+	Vertices []roadnet.VertexID
+	Edges    []roadnet.EdgeID
+	Cost     float64
+}
+
+// Source returns the first vertex. It panics on an empty path.
+func (p Path) Source() roadnet.VertexID { return p.Vertices[0] }
+
+// Destination returns the last vertex. It panics on an empty path.
+func (p Path) Destination() roadnet.VertexID { return p.Vertices[len(p.Vertices)-1] }
+
+// Len returns the number of edges.
+func (p Path) Len() int { return len(p.Edges) }
+
+// Length returns the total geometric length of the path in meters.
+func (p Path) Length(g *roadnet.Graph) float64 {
+	var sum float64
+	for _, eid := range p.Edges {
+		sum += g.Edge(eid).Length
+	}
+	return sum
+}
+
+// Time returns the total free-flow travel time in seconds.
+func (p Path) Time(g *roadnet.Graph) float64 {
+	var sum float64
+	for _, eid := range p.Edges {
+		sum += g.Edge(eid).Time
+	}
+	return sum
+}
+
+// Equal reports whether two paths traverse the same edge sequence.
+func (p Path) Equal(q Path) bool {
+	if len(p.Edges) != len(q.Edges) {
+		return false
+	}
+	for i := range p.Edges {
+		if p.Edges[i] != q.Edges[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks that the path is connected in g, starts at its declared
+// source, and is free of repeated vertices (simple).
+func (p Path) Validate(g *roadnet.Graph) error {
+	if len(p.Vertices) == 0 {
+		return fmt.Errorf("spath: empty path")
+	}
+	if len(p.Vertices) != len(p.Edges)+1 {
+		return fmt.Errorf("spath: %d vertices but %d edges", len(p.Vertices), len(p.Edges))
+	}
+	seen := make(map[roadnet.VertexID]bool, len(p.Vertices))
+	for i, eid := range p.Edges {
+		e := g.Edge(eid)
+		if e.From != p.Vertices[i] || e.To != p.Vertices[i+1] {
+			return fmt.Errorf("spath: edge %d (%d->%d) does not connect vertices %d->%d at position %d",
+				eid, e.From, e.To, p.Vertices[i], p.Vertices[i+1], i)
+		}
+	}
+	for _, v := range p.Vertices {
+		if seen[v] {
+			return fmt.Errorf("spath: vertex %d repeated (path is not simple)", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// Clone returns a deep copy of p.
+func (p Path) Clone() Path {
+	return Path{
+		Vertices: append([]roadnet.VertexID(nil), p.Vertices...),
+		Edges:    append([]roadnet.EdgeID(nil), p.Edges...),
+		Cost:     p.Cost,
+	}
+}
+
+// ErrNoPath is returned when the destination is unreachable.
+var ErrNoPath = fmt.Errorf("spath: no path exists")
+
+// item is a priority-queue entry.
+type item struct {
+	v    roadnet.VertexID
+	dist float64
+}
+
+// minHeap is a binary min-heap over items keyed by dist. A hand-rolled heap
+// avoids container/heap's interface boxing in the hottest loop of the
+// library.
+type minHeap struct{ a []item }
+
+func (h *minHeap) push(it item) {
+	h.a = append(h.a, it)
+	i := len(h.a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.a[parent].dist <= h.a[i].dist {
+			break
+		}
+		h.a[parent], h.a[i] = h.a[i], h.a[parent]
+		i = parent
+	}
+}
+
+func (h *minHeap) pop() item {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.a[l].dist < h.a[small].dist {
+			small = l
+		}
+		if r < last && h.a[r].dist < h.a[small].dist {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+	return top
+}
+
+func (h *minHeap) empty() bool { return len(h.a) == 0 }
+
+// reconstruct walks parent edge pointers from dst back to src.
+func reconstruct(g *roadnet.Graph, parentEdge []roadnet.EdgeID, src, dst roadnet.VertexID, cost float64) Path {
+	var edges []roadnet.EdgeID
+	v := dst
+	for v != src {
+		eid := parentEdge[v]
+		edges = append(edges, eid)
+		v = g.Edge(eid).From
+	}
+	// Reverse in place.
+	for i, j := 0, len(edges)-1; i < j; i, j = i+1, j-1 {
+		edges[i], edges[j] = edges[j], edges[i]
+	}
+	vertices := make([]roadnet.VertexID, 0, len(edges)+1)
+	vertices = append(vertices, src)
+	for _, eid := range edges {
+		vertices = append(vertices, g.Edge(eid).To)
+	}
+	return Path{Vertices: vertices, Edges: edges, Cost: cost}
+}
+
+const unreached = math.MaxFloat64

@@ -1,0 +1,153 @@
+package spath
+
+import (
+	"sort"
+
+	"pathrank/internal/roadnet"
+)
+
+// dijkstraConstrained runs Dijkstra avoiding banned vertices and edges. It
+// is the spur-path primitive of Yen's algorithm.
+func dijkstraConstrained(g *roadnet.Graph, src, dst roadnet.VertexID, w Weight,
+	bannedVertex map[roadnet.VertexID]bool, bannedEdge map[roadnet.EdgeID]bool) (Path, bool) {
+
+	if bannedVertex[src] || bannedVertex[dst] {
+		return Path{}, false
+	}
+	if src == dst {
+		return Path{Vertices: []roadnet.VertexID{src}}, true
+	}
+	n := g.NumVertices()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = unreached
+	}
+	parentEdge := make([]roadnet.EdgeID, n)
+	done := make([]bool, n)
+	dist[src] = 0
+	h := &minHeap{}
+	h.push(item{v: src})
+	for !h.empty() {
+		it := h.pop()
+		if done[it.v] {
+			continue
+		}
+		done[it.v] = true
+		if it.v == dst {
+			return reconstruct(g, parentEdge, src, dst, dist[dst]), true
+		}
+		for _, eid := range g.OutEdges(it.v) {
+			if bannedEdge[eid] {
+				continue
+			}
+			e := g.Edge(eid)
+			if bannedVertex[e.To] {
+				continue
+			}
+			nd := it.dist + w(e)
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				parentEdge[e.To] = eid
+				h.push(item{v: e.To, dist: nd})
+			}
+		}
+	}
+	return Path{}, false
+}
+
+// TopK returns up to k loopless shortest paths from src to dst in increasing
+// cost order, using Yen's algorithm. This implements the paper's TkDI
+// candidate-generation strategy ("top-k shortest paths w.r.t. distance").
+// It returns ErrNoPath if even the shortest path does not exist.
+func TopK(g *roadnet.Graph, src, dst roadnet.VertexID, k int, w Weight) ([]Path, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	first, err := Dijkstra(g, src, dst, w)
+	if err != nil {
+		return nil, err
+	}
+	paths := []Path{first}
+	type candidate struct {
+		p Path
+	}
+	var candidates []candidate
+
+	seen := map[string]bool{pathKey(first): true}
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		// Each vertex of the previous path except the last is a spur node.
+		for i := 0; i < len(prev.Vertices)-1; i++ {
+			spur := prev.Vertices[i]
+			rootVertices := prev.Vertices[:i+1]
+			rootEdges := prev.Edges[:i]
+
+			bannedEdge := make(map[roadnet.EdgeID]bool)
+			// Ban the next edge of every accepted path sharing this root.
+			for _, p := range paths {
+				if sharesRoot(p, rootVertices) && len(p.Edges) > i {
+					bannedEdge[p.Edges[i]] = true
+				}
+			}
+			// Ban root vertices (except the spur) to keep paths loopless.
+			bannedVertex := make(map[roadnet.VertexID]bool, i)
+			for _, v := range rootVertices[:i] {
+				bannedVertex[v] = true
+			}
+
+			spurPath, ok := dijkstraConstrained(g, spur, dst, w, bannedVertex, bannedEdge)
+			if !ok {
+				continue
+			}
+			total := joinPaths(g, rootVertices, rootEdges, spurPath, w)
+			key := pathKey(total)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			candidates = append(candidates, candidate{p: total})
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool { return candidates[a].p.Cost < candidates[b].p.Cost })
+		paths = append(paths, candidates[0].p)
+		candidates = candidates[1:]
+	}
+	return paths, nil
+}
+
+func sharesRoot(p Path, root []roadnet.VertexID) bool {
+	if len(p.Vertices) < len(root) {
+		return false
+	}
+	for i, v := range root {
+		if p.Vertices[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func joinPaths(g *roadnet.Graph, rootVertices []roadnet.VertexID, rootEdges []roadnet.EdgeID, spur Path, w Weight) Path {
+	edges := make([]roadnet.EdgeID, 0, len(rootEdges)+len(spur.Edges))
+	edges = append(edges, rootEdges...)
+	edges = append(edges, spur.Edges...)
+	vertices := make([]roadnet.VertexID, 0, len(edges)+1)
+	vertices = append(vertices, rootVertices...)
+	vertices = append(vertices, spur.Vertices[1:]...)
+	var cost float64
+	for _, eid := range edges {
+		cost += w(g.Edge(eid))
+	}
+	return Path{Vertices: vertices, Edges: edges, Cost: cost}
+}
+
+func pathKey(p Path) string {
+	b := make([]byte, 0, len(p.Edges)*4)
+	for _, e := range p.Edges {
+		b = append(b, byte(e), byte(e>>8), byte(e>>16), byte(e>>24))
+	}
+	return string(b)
+}

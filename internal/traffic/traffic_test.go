@@ -1,0 +1,198 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pathrank/internal/geo"
+	"pathrank/internal/roadnet"
+	"pathrank/internal/spath"
+)
+
+func testNet(t testing.TB) *roadnet.Graph {
+	t.Helper()
+	g, err := roadnet.Generate(roadnet.GenConfig{
+		Rows: 8, Cols: 8, SpacingM: 250, JitterFrac: 0.2,
+		RemoveFrac: 0.05, ArterialEvery: 4, Motorway: true,
+		Origin: geo.Point{Lon: 10, Lat: 57}, Seed: 91,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDefaultModelValid(t *testing.T) {
+	if err := DefaultModel().Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	bad := []Profile{
+		{Times: []float64{0}, Factors: []float64{1, 1}},          // length mismatch
+		{Times: []float64{1}, Factors: []float64{1}},             // not starting at 0
+		{Times: []float64{0, 5, 3}, Factors: []float64{1, 1, 1}}, // not increasing
+		{Times: []float64{0, 90000}, Factors: []float64{1, 1}},   // beyond a day
+		{Times: []float64{0, 3600}, Factors: []float64{1, 0}},    // zero factor
+		{Times: []float64{0, 3600}, Factors: []float64{1, 1.5}},  // factor > 1
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("profile %d should be invalid", i)
+		}
+	}
+}
+
+func TestFactorAtInterpolatesAndWraps(t *testing.T) {
+	p := Profile{
+		Times:   []float64{0, 6 * 3600, 12 * 3600},
+		Factors: []float64{1.0, 0.5, 1.0},
+	}
+	if f := p.FactorAt(0); f != 1 {
+		t.Fatalf("f(0) = %v", f)
+	}
+	if f := p.FactorAt(3 * 3600); math.Abs(f-0.75) > 1e-12 {
+		t.Fatalf("f(3h) = %v, want 0.75 (interpolated)", f)
+	}
+	if f := p.FactorAt(6 * 3600); f != 0.5 {
+		t.Fatalf("f(6h) = %v", f)
+	}
+	// Wrap: 18h is halfway between 12h (1.0) and 24h (back to 1.0).
+	if f := p.FactorAt(18 * 3600); math.Abs(f-1.0) > 1e-12 {
+		t.Fatalf("f(18h) = %v, want 1.0", f)
+	}
+	// Negative and >1day times wrap.
+	if math.Abs(p.FactorAt(-3*3600)-p.FactorAt(21*3600)) > 1e-12 {
+		t.Fatal("negative time should wrap")
+	}
+	if math.Abs(p.FactorAt(27*3600)-p.FactorAt(3*3600)) > 1e-12 {
+		t.Fatal("time beyond one day should wrap")
+	}
+}
+
+func TestFactorBoundsProperty(t *testing.T) {
+	p := DefaultModel().Profiles[roadnet.Motorway]
+	f := func(t64 float64) bool {
+		if math.IsNaN(t64) || math.IsInf(t64, 0) {
+			return true
+		}
+		v := p.FactorAt(t64)
+		return v > 0 && v <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTravelTimeAtLeastFreeFlow(t *testing.T) {
+	g := testNet(t)
+	m := DefaultModel()
+	for i := 0; i < g.NumEdges(); i += 11 {
+		e := g.Edge(roadnet.EdgeID(i))
+		for _, tod := range []float64{0, 8 * 3600, 12 * 3600, 16 * 3600} {
+			tt := m.TravelTime(g, e, tod)
+			if tt < e.Time-1e-9 {
+				t.Fatalf("edge %d at %v: TD time %.2f < free flow %.2f", i, tod, tt, e.Time)
+			}
+			// Congestion at most 1/0.45 of free flow in the default model.
+			if tt > e.Time/0.40 {
+				t.Fatalf("edge %d at %v: TD time %.2f implausibly high vs %.2f", i, tod, tt, e.Time)
+			}
+		}
+	}
+}
+
+func TestRushHourSlowerThanNight(t *testing.T) {
+	g := testNet(t)
+	m := DefaultModel()
+	var night, peak float64
+	for i := 0; i < g.NumEdges(); i += 7 {
+		e := g.Edge(roadnet.EdgeID(i))
+		night += m.TravelTime(g, e, 2*3600)
+		peak += m.TravelTime(g, e, 7.5*3600)
+	}
+	if !(peak > night*1.1) {
+		t.Fatalf("peak total %.1f not clearly slower than night %.1f", peak, night)
+	}
+}
+
+func TestEarliestArrivalMatchesStaticAtNight(t *testing.T) {
+	// At 02:00 all factors are 1, so TD routing must match static ByTime.
+	g := testNet(t)
+	m := DefaultModel()
+	rng := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 10; trial++ {
+		src := roadnet.VertexID(rng.Intn(g.NumVertices()))
+		dst := roadnet.VertexID(rng.Intn(g.NumVertices()))
+		static, errS := spath.Dijkstra(g, src, dst, spath.ByTime)
+		td, errT := m.EarliestArrival(g, src, dst, 2*3600)
+		if (errS == nil) != (errT == nil) {
+			t.Fatalf("error mismatch: %v vs %v", errS, errT)
+		}
+		if errS != nil {
+			continue
+		}
+		if math.Abs(static.Cost-td.Cost) > static.Cost*0.02+1 {
+			t.Fatalf("night TD cost %.1f differs from static %.1f", td.Cost, static.Cost)
+		}
+		if err := td.Validate(g); err != nil {
+			t.Fatalf("TD path invalid: %v", err)
+		}
+	}
+}
+
+func TestEarliestArrivalPeakSlower(t *testing.T) {
+	g := testNet(t)
+	m := DefaultModel()
+	src, dst := roadnet.VertexID(0), roadnet.VertexID(g.NumVertices()-1)
+	night, err := m.EarliestArrival(g, src, dst, 2*3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, err := m.EarliestArrival(g, src, dst, 7.5*3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(peak.Cost > night.Cost) {
+		t.Fatalf("peak %.1f s not slower than night %.1f s", peak.Cost, night.Cost)
+	}
+}
+
+func TestEarliestArrivalFIFOProperty(t *testing.T) {
+	// Departing later never arrives earlier (FIFO networks).
+	g := testNet(t)
+	m := DefaultModel()
+	src, dst := roadnet.VertexID(3), roadnet.VertexID(g.NumVertices()-5)
+	prevArrival := -math.MaxFloat64
+	for depart := 0.0; depart < 10*3600; depart += 1800 {
+		p, err := m.EarliestArrival(g, src, dst, depart)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrive := depart + p.Cost
+		if arrive < prevArrival-1e-6 {
+			t.Fatalf("departing at %.0f arrives %.1f, earlier than a previous departure (%.1f)",
+				depart, arrive, prevArrival)
+		}
+		prevArrival = arrive
+	}
+}
+
+func TestEarliestArrivalSelfAndNoPath(t *testing.T) {
+	g := testNet(t)
+	m := DefaultModel()
+	p, err := m.EarliestArrival(g, 4, 4, 0)
+	if err != nil || p.Len() != 0 {
+		t.Fatalf("self: len=%d err=%v", p.Len(), err)
+	}
+	b := roadnet.NewBuilder(2, 0)
+	b.AddVertex(geo.Point{Lon: 10, Lat: 57})
+	b.AddVertex(geo.Point{Lon: 10.1, Lat: 57})
+	g2 := b.Build()
+	if _, err := m.EarliestArrival(g2, 0, 1, 0); err != spath.ErrNoPath {
+		t.Fatalf("err = %v, want ErrNoPath", err)
+	}
+}

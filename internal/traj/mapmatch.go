@@ -1,0 +1,378 @@
+package traj
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pathrank/internal/geo"
+	"pathrank/internal/roadnet"
+	"pathrank/internal/spath"
+)
+
+// MatchConfig parameterizes the HMM map matcher.
+type MatchConfig struct {
+	// Candidates is the number of nearest vertices considered per GPS
+	// sample.
+	Candidates int
+	// SigmaM is the GPS noise standard deviation used by the emission
+	// model (meters).
+	SigmaM float64
+	// BetaM is the scale of the transition model's penalty on the
+	// difference between routed and great-circle distance (meters).
+	BetaM float64
+	// StrideSec subsamples the GPS stream so consecutive matched samples
+	// are at least this many seconds apart; 1 Hz input with StrideSec=10
+	// matches every ~10th record. Matching every high-rate sample wastes
+	// work without improving the recovered path.
+	StrideSec float64
+}
+
+// DefaultMatchConfig returns the Newson–Krumm-style defaults used in tests
+// and examples. SigmaM is deliberately larger than the raw GPS noise: with
+// vertex candidates, samples taken mid-edge sit a substantial distance from
+// every candidate, and a wide emission keeps the transition model (which
+// carries the road-topology information) decisive.
+func DefaultMatchConfig() MatchConfig {
+	return MatchConfig{Candidates: 4, SigmaM: 40, BetaM: 25, StrideSec: 10}
+}
+
+// gridIndex is a uniform spatial hash over vertices for nearest-neighbor
+// queries.
+type gridIndex struct {
+	g        *roadnet.Graph
+	cellDegs float64
+	cells    map[[2]int][]roadnet.VertexID
+}
+
+func newGridIndex(g *roadnet.Graph, cellMeters float64) *gridIndex {
+	idx := &gridIndex{
+		g:        g,
+		cellDegs: cellMeters / 111320.0,
+		cells:    make(map[[2]int][]roadnet.VertexID),
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		key := idx.key(g.Vertex(roadnet.VertexID(v)).Point)
+		idx.cells[key] = append(idx.cells[key], roadnet.VertexID(v))
+	}
+	return idx
+}
+
+func (idx *gridIndex) key(p geo.Point) [2]int {
+	return [2]int{int(math.Floor(p.Lon / idx.cellDegs)), int(math.Floor(p.Lat / idx.cellDegs))}
+}
+
+// nearest returns up to k vertices closest to p, searching expanding rings
+// of cells.
+func (idx *gridIndex) nearest(p geo.Point, k int) []roadnet.VertexID {
+	center := idx.key(p)
+	type cand struct {
+		v roadnet.VertexID
+		d float64
+	}
+	var cands []cand
+	for ring := 0; ring < 8; ring++ {
+		for dx := -ring; dx <= ring; dx++ {
+			for dy := -ring; dy <= ring; dy++ {
+				if ring > 0 && abs(dx) != ring && abs(dy) != ring {
+					continue // only the new ring boundary
+				}
+				for _, v := range idx.cells[[2]int{center[0] + dx, center[1] + dy}] {
+					cands = append(cands, cand{v: v, d: geo.Distance(p, idx.g.Vertex(v).Point)})
+				}
+			}
+		}
+		if len(cands) >= k && ring >= 1 {
+			break
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]roadnet.VertexID, len(cands))
+	for i, c := range cands {
+		out[i] = c.v
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Matcher recovers network paths from GPS streams using a hidden Markov
+// model over candidate vertices with Viterbi decoding, following
+// Newson & Krumm (GIS 2009): emissions are Gaussian in the GPS-to-candidate
+// distance, transitions penalize the gap between routed distance and
+// great-circle displacement.
+type Matcher struct {
+	g   *roadnet.Graph
+	idx *gridIndex
+	cfg MatchConfig
+}
+
+// NewMatcher builds a matcher over g.
+func NewMatcher(g *roadnet.Graph, cfg MatchConfig) *Matcher {
+	if cfg.Candidates <= 0 {
+		cfg.Candidates = 4
+	}
+	if cfg.SigmaM <= 0 {
+		cfg.SigmaM = 10
+	}
+	if cfg.BetaM <= 0 {
+		cfg.BetaM = 60
+	}
+	return &Matcher{g: g, idx: newGridIndex(g, 4*cfg.SigmaM+200), cfg: cfg}
+}
+
+// Match decodes the most likely vertex sequence for the GPS stream and
+// stitches it into a connected path with shortest-path segments. The
+// returned path starts and ends at the matched first and last samples. An
+// error is returned when the stream is empty or decoding fails.
+func (m *Matcher) Match(records []GPSRecord) (spath.Path, error) {
+	if len(records) == 0 {
+		return spath.Path{}, fmt.Errorf("traj: empty GPS stream")
+	}
+	samples := m.subsample(records)
+
+	// Candidate sets per sample.
+	cands := make([][]roadnet.VertexID, len(samples))
+	for i, r := range samples {
+		cands[i] = m.idx.nearest(r.Point, m.cfg.Candidates)
+		if len(cands[i]) == 0 {
+			return spath.Path{}, fmt.Errorf("traj: no candidate vertices near sample %d", i)
+		}
+	}
+
+	// Viterbi in log space.
+	sigma2 := 2 * m.cfg.SigmaM * m.cfg.SigmaM
+	emit := func(r GPSRecord, v roadnet.VertexID) float64 {
+		d := geo.Distance(r.Point, m.g.Vertex(v).Point)
+		return -d * d / sigma2
+	}
+	type back struct{ prev int }
+	score := make([]float64, len(cands[0]))
+	for i, v := range cands[0] {
+		score[i] = emit(samples[0], v)
+	}
+	backs := make([][]back, len(samples))
+
+	// Cache of routed distances from each candidate of step t to the
+	// candidates of step t+1 via a truncated Dijkstra.
+	for t := 1; t < len(samples); t++ {
+		prevCands := cands[t-1]
+		curCands := cands[t]
+		next := make([]float64, len(curCands))
+		backs[t] = make([]back, len(curCands))
+		for j := range next {
+			next[j] = math.Inf(-1)
+		}
+		gcDist := geo.Distance(samples[t-1].Point, samples[t].Point)
+		for i, pv := range prevCands {
+			if math.IsInf(score[i], -1) {
+				continue
+			}
+			routed := m.boundedDistances(pv, curCands, gcDist*4+500)
+			for j, cv := range curCands {
+				rd := routed[cv]
+				var trans float64
+				if math.IsInf(rd, 1) {
+					trans = math.Inf(-1)
+				} else {
+					trans = -math.Abs(rd-gcDist) / m.cfg.BetaM
+				}
+				s := score[i] + trans + emit(samples[t], cv)
+				if s > next[j] {
+					next[j] = s
+					backs[t][j] = back{prev: i}
+				}
+			}
+		}
+		score = next
+	}
+
+	// Best final state.
+	bestJ, bestS := -1, math.Inf(-1)
+	for j, s := range score {
+		if s > bestS {
+			bestJ, bestS = j, s
+		}
+	}
+	if bestJ < 0 {
+		return spath.Path{}, fmt.Errorf("traj: Viterbi decoding found no feasible state sequence")
+	}
+	seq := make([]roadnet.VertexID, len(samples))
+	j := bestJ
+	for t := len(samples) - 1; t >= 0; t-- {
+		seq[t] = cands[t][j]
+		if t > 0 {
+			j = backs[t][j].prev
+		}
+	}
+	return m.stitch(seq)
+}
+
+// subsample thins the GPS stream per StrideSec, always keeping the first
+// and last records.
+func (m *Matcher) subsample(records []GPSRecord) []GPSRecord {
+	if m.cfg.StrideSec <= 0 || len(records) < 3 {
+		return records
+	}
+	out := []GPSRecord{records[0]}
+	lastT := records[0].TimeOffset
+	for _, r := range records[1 : len(records)-1] {
+		if r.TimeOffset-lastT >= m.cfg.StrideSec {
+			out = append(out, r)
+			lastT = r.TimeOffset
+		}
+	}
+	out = append(out, records[len(records)-1])
+	return out
+}
+
+// boundedDistances runs Dijkstra (by length) from src, stopping once all
+// targets are settled or the distance bound is exceeded. Unreached targets
+// map to +Inf.
+func (m *Matcher) boundedDistances(src roadnet.VertexID, targets []roadnet.VertexID, bound float64) map[roadnet.VertexID]float64 {
+	want := make(map[roadnet.VertexID]bool, len(targets))
+	for _, v := range targets {
+		want[v] = true
+	}
+	out := make(map[roadnet.VertexID]float64, len(targets))
+	for _, v := range targets {
+		out[v] = math.Inf(1)
+	}
+	dist := map[roadnet.VertexID]float64{src: 0}
+	done := map[roadnet.VertexID]bool{}
+	h := &vertexHeap{}
+	h.push(vertexItem{v: src})
+	remaining := len(want)
+	for h.len() > 0 && remaining > 0 {
+		it := h.pop()
+		if done[it.v] {
+			continue
+		}
+		done[it.v] = true
+		if want[it.v] && math.IsInf(out[it.v], 1) {
+			out[it.v] = it.dist
+			remaining--
+		}
+		if it.dist > bound {
+			break
+		}
+		for _, eid := range m.g.OutEdges(it.v) {
+			e := m.g.Edge(eid)
+			nd := it.dist + e.Length
+			if cur, ok := dist[e.To]; !ok || nd < cur {
+				dist[e.To] = nd
+				h.push(vertexItem{v: e.To, dist: nd})
+			}
+		}
+	}
+	return out
+}
+
+// stitch connects the decoded vertex sequence with shortest-path segments,
+// skipping consecutive duplicates.
+func (m *Matcher) stitch(seq []roadnet.VertexID) (spath.Path, error) {
+	// Deduplicate consecutive repeats.
+	uniq := seq[:1]
+	for _, v := range seq[1:] {
+		if v != uniq[len(uniq)-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	if len(uniq) == 1 {
+		return spath.Path{Vertices: []roadnet.VertexID{uniq[0]}}, nil
+	}
+	var edges []roadnet.EdgeID
+	for i := 1; i < len(uniq); i++ {
+		seg, err := spath.Dijkstra(m.g, uniq[i-1], uniq[i], spath.ByLength)
+		if err != nil {
+			return spath.Path{}, fmt.Errorf("traj: stitch segment %d->%d: %w", uniq[i-1], uniq[i], err)
+		}
+		edges = append(edges, seg.Edges...)
+	}
+	return m.removeCycles(uniq[0], edges), nil
+}
+
+// removeCycles walks the edge sequence from src, cutting any loop the
+// decoder introduced (e.g. a brief detour to an off-path vertex and back).
+// The result is a simple path.
+func (m *Matcher) removeCycles(src roadnet.VertexID, edges []roadnet.EdgeID) spath.Path {
+	vertices := []roadnet.VertexID{src}
+	var kept []roadnet.EdgeID
+	pos := map[roadnet.VertexID]int{src: 0}
+	for _, eid := range edges {
+		to := m.g.Edge(eid).To
+		if k, seen := pos[to]; seen {
+			// Loop back to an earlier vertex: drop the cycle.
+			for _, v := range vertices[k+1:] {
+				delete(pos, v)
+			}
+			vertices = vertices[:k+1]
+			kept = kept[:k]
+			continue
+		}
+		kept = append(kept, eid)
+		vertices = append(vertices, to)
+		pos[to] = len(vertices) - 1
+	}
+	var cost float64
+	for _, eid := range kept {
+		cost += m.g.Edge(eid).Length
+	}
+	return spath.Path{Vertices: vertices, Edges: kept, Cost: cost}
+}
+
+// vertexItem / vertexHeap: a tiny map-based Dijkstra heap for bounded
+// searches (sparse, so slice-indexed arrays would waste work).
+type vertexItem struct {
+	v    roadnet.VertexID
+	dist float64
+}
+
+type vertexHeap struct{ a []vertexItem }
+
+func (h *vertexHeap) len() int { return len(h.a) }
+
+func (h *vertexHeap) push(it vertexItem) {
+	h.a = append(h.a, it)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p].dist <= h.a[i].dist {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *vertexHeap) pop() vertexItem {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.a[l].dist < h.a[small].dist {
+			small = l
+		}
+		if r < last && h.a[r].dist < h.a[small].dist {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,218 @@
+// Package pathrank is a Go implementation of "Learning to Rank Paths in
+// Spatial Networks" (Sean Bin Yang and Bin Yang, ICDE 2020): a data-driven
+// framework that learns from vehicle trajectories to rank candidate paths
+// between an origin and a destination the way local drivers would.
+//
+// The module root re-exports the user-facing workflow; implementation lives
+// under internal/:
+//
+//	g, _   := pathrank.GenerateNetwork(pathrank.DefaultNetworkConfig())
+//	pop    := pathrank.NewPopulation(pathrank.PopulationConfig{NumDrivers: 60, Seed: 1})
+//	trips, _ := pathrank.GenerateTrips(g, pop, pathrank.TripConfig{TripsPerDriver: 6, MinHops: 5, Seed: 2})
+//	pipe, _  := pathrank.BuildPipeline(g, trips, pathrank.DefaultPipelineConfig(64))
+//	ranker   := pathrank.NewRanker(g, pipe.Model)
+//	ranked, _ := ranker.Query(src, dst)
+//
+// See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+// reproduction of the paper's tables.
+package pathrank
+
+import (
+	"pathrank/internal/dataset"
+	"pathrank/internal/metrics"
+	"pathrank/internal/node2vec"
+	"pathrank/internal/pathrank"
+	"pathrank/internal/pathsim"
+	"pathrank/internal/roadnet"
+	"pathrank/internal/spath"
+	"pathrank/internal/traj"
+)
+
+// Road-network substrate.
+type (
+	// Graph is a spatial road network.
+	Graph = roadnet.Graph
+	// NetworkConfig parameterizes synthetic network generation.
+	NetworkConfig = roadnet.GenConfig
+	// VertexID identifies a network vertex.
+	VertexID = roadnet.VertexID
+	// EdgeID identifies a network edge.
+	EdgeID = roadnet.EdgeID
+)
+
+// GenerateNetwork builds a synthetic road network.
+func GenerateNetwork(cfg NetworkConfig) (*Graph, error) { return roadnet.Generate(cfg) }
+
+// DefaultNetworkConfig returns a medium regional network configuration.
+func DefaultNetworkConfig() NetworkConfig { return roadnet.DefaultGenConfig() }
+
+// LoadNetwork reads a network written with (*Graph).SaveFile.
+func LoadNetwork(path string) (*Graph, error) { return roadnet.LoadFile(path) }
+
+// Shortest-path engine.
+type (
+	// Path is a connected edge sequence through a Graph.
+	Path = spath.Path
+	// Weight maps an edge to a traversal cost.
+	Weight = spath.Weight
+)
+
+// Edge weight functions.
+var (
+	// ByLength weights edges by length in meters.
+	ByLength = spath.ByLength
+	// ByTime weights edges by free-flow travel time in seconds.
+	ByTime = spath.ByTime
+)
+
+// ShortestPath returns a minimum-cost path (Dijkstra).
+func ShortestPath(g *Graph, src, dst VertexID, w Weight) (Path, error) {
+	return spath.Dijkstra(g, src, dst, w)
+}
+
+// TopKPaths returns up to k loopless shortest paths (Yen), the paper's TkDI
+// candidate generator.
+func TopKPaths(g *Graph, src, dst VertexID, k int, w Weight) ([]Path, error) {
+	return spath.TopK(g, src, dst, k, w)
+}
+
+// DiversifiedTopKPaths returns up to k mutually dissimilar shortest paths,
+// the paper's D-TkDI candidate generator, using weighted Jaccard as the
+// similarity measure.
+func DiversifiedTopKPaths(g *Graph, src, dst VertexID, k int, threshold float64) ([]Path, error) {
+	return spath.DiversifiedTopK(g, src, dst, k, spath.ByLength,
+		pathsim.WeightedJaccardSim(g), threshold, 10*k)
+}
+
+// WeightedJaccard is the paper's ground-truth ranking score: length-weighted
+// edge-set overlap of two paths in [0,1].
+func WeightedJaccard(g *Graph, a, b Path) float64 { return pathsim.WeightedJaccard(g, a, b) }
+
+// Trajectory substrate.
+type (
+	// Driver is a simulated driver with latent route preferences.
+	Driver = traj.Driver
+	// PopulationConfig parameterizes driver sampling.
+	PopulationConfig = traj.PopulationConfig
+	// Trip is one driven journey.
+	Trip = traj.Trip
+	// TripConfig parameterizes trip simulation.
+	TripConfig = traj.TripConfig
+	// GPSRecord is one raw positioning sample.
+	GPSRecord = traj.GPSRecord
+	// GPSConfig parameterizes GPS sampling.
+	GPSConfig = traj.GPSConfig
+	// Matcher recovers network paths from GPS streams (HMM + Viterbi).
+	Matcher = traj.Matcher
+	// MatchConfig parameterizes the map matcher.
+	MatchConfig = traj.MatchConfig
+)
+
+// NewPopulation samples a driver population with shared local conventions.
+func NewPopulation(cfg PopulationConfig) []*Driver { return traj.NewPopulation(cfg) }
+
+// GenerateTrips simulates preference-optimal trips for every driver.
+func GenerateTrips(g *Graph, drivers []*Driver, cfg TripConfig) ([]Trip, error) {
+	return traj.GenerateTrips(g, drivers, cfg)
+}
+
+// SampleGPS emits noisy GPS records along a driven path.
+func SampleGPS(g *Graph, p Path, cfg GPSConfig) []GPSRecord { return traj.SampleGPS(g, p, cfg) }
+
+// NewMatcher builds an HMM map matcher over g.
+func NewMatcher(g *Graph, cfg MatchConfig) *Matcher { return traj.NewMatcher(g, cfg) }
+
+// Training data.
+type (
+	// DataConfig selects and sizes the candidate-generation strategy.
+	DataConfig = dataset.Config
+	// Query is one trajectory's labeled candidate set.
+	Query = dataset.Query
+	// Instance is one labeled candidate path.
+	Instance = dataset.Instance
+	// Strategy selects TkDI or D-TkDI candidate generation.
+	Strategy = dataset.Strategy
+)
+
+// Candidate-generation strategies.
+const (
+	// TkDI is plain top-k shortest paths.
+	TkDI = dataset.TkDI
+	// DTkDI is diversified top-k shortest paths.
+	DTkDI = dataset.DTkDI
+)
+
+// GenerateDataset labels candidate sets for every trip.
+func GenerateDataset(g *Graph, trips []Trip, cfg DataConfig) ([]Query, error) {
+	return dataset.Generate(g, trips, cfg)
+}
+
+// SplitDataset partitions queries into train and test sets.
+func SplitDataset(queries []Query, testFrac float64, seed int64) (train, test []Query) {
+	return dataset.Split(queries, testFrac, seed)
+}
+
+// Model and training.
+type (
+	// Model is the PathRank scorer (embedding + GRU + regression head).
+	Model = pathrank.Model
+	// ModelConfig parameterizes a Model.
+	ModelConfig = pathrank.Config
+	// TrainConfig parameterizes the training loop.
+	TrainConfig = pathrank.TrainConfig
+	// Variant selects frozen (PR-A1) or fine-tuned (PR-A2) embeddings.
+	Variant = pathrank.Variant
+	// Body selects the sequence model (GRU is the paper's).
+	Body = pathrank.Body
+	// Ranked pairs a path with its model score.
+	Ranked = pathrank.Ranked
+	// Ranker answers origin-destination ranking queries.
+	Ranker = pathrank.Ranker
+	// Pipeline bundles the artifacts of an end-to-end build.
+	Pipeline = pathrank.Pipeline
+	// PipelineConfig configures an end-to-end build.
+	PipelineConfig = pathrank.PipelineConfig
+	// Report aggregates MAE, MARE, Kendall tau and Spearman rho.
+	Report = metrics.Report
+	// Embeddings holds node2vec vertex vectors.
+	Embeddings = node2vec.Embeddings
+)
+
+// Model variants and bodies.
+const (
+	// PRA1 freezes node2vec embeddings.
+	PRA1 = pathrank.PRA1
+	// PRA2 fine-tunes embeddings end to end.
+	PRA2 = pathrank.PRA2
+	// GRUBody is the paper's recurrent body.
+	GRUBody = pathrank.GRUBody
+	// BiGRUBody is a bidirectional variant.
+	BiGRUBody = pathrank.BiGRUBody
+	// LSTMBody is an ablation body.
+	LSTMBody = pathrank.LSTMBody
+	// MeanPoolBody is a non-recurrent ablation body.
+	MeanPoolBody = pathrank.MeanPoolBody
+)
+
+// NewModel builds an untrained PathRank model.
+func NewModel(numVertices int, cfg ModelConfig) (*Model, error) {
+	return pathrank.New(numVertices, cfg)
+}
+
+// BuildPipeline runs the full construction: node2vec, candidate generation,
+// labeling, split, and training.
+func BuildPipeline(g *Graph, trips []Trip, cfg PipelineConfig) (*Pipeline, error) {
+	return pathrank.BuildPipeline(g, trips, cfg)
+}
+
+// DefaultPipelineConfig returns a complete configuration with embedding
+// size m.
+func DefaultPipelineConfig(m int) PipelineConfig { return pathrank.DefaultPipelineConfig(m) }
+
+// NewRanker wraps a trained model for query-time use.
+func NewRanker(g *Graph, m *Model) *Ranker { return pathrank.NewRanker(g, m) }
+
+// EmbedNetwork trains node2vec embeddings for g.
+func EmbedNetwork(g *Graph, wc node2vec.WalkConfig, tc node2vec.TrainConfig) *Embeddings {
+	return node2vec.Embed(g, wc, tc)
+}
