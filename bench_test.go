@@ -294,12 +294,13 @@ func BenchmarkGRUForwardBackward(b *testing.B) {
 			xs[t][i] = rng.NormFloat64() * 0.1
 		}
 	}
+	dhs := make([]nn.Vec, len(xs))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		hs, cache := gru.Forward(xs)
-		dhs := make([]nn.Vec, len(hs))
 		dhs[len(hs)-1] = hs[len(hs)-1]
 		gru.Backward(cache, dhs)
+		cache.Release()
 		for _, p := range gru.Params() {
 			p.ZeroGrad()
 		}

@@ -1,0 +1,3 @@
+module pathrank
+
+go 1.24.0

@@ -79,10 +79,19 @@ type World struct {
 	TrainTrips []traj.Trip
 	TestTrips  []traj.Trip
 
-	mu      sync.Mutex
-	embs    map[int]*node2vec.Embeddings
-	queries map[string][]dataset.Query
-	test    []dataset.Query
+	// Cached artifacts are built at most once even when experiment rows
+	// run concurrently: each cache key owns a sync.Once, so a second row
+	// needing the same embeddings or candidate sets waits for the first
+	// instead of duplicating the work.
+	mu       sync.Mutex
+	embs     map[int]*node2vec.Embeddings
+	embOnce  map[int]*sync.Once
+	queries  map[string][]dataset.Query
+	qErr     map[string]error
+	qOnce    map[string]*sync.Once
+	test     []dataset.Query
+	testErr  error
+	testOnce sync.Once
 }
 
 // NewWorld builds the road network and trip log.
@@ -106,7 +115,10 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	w := &World{
 		Cfg: cfg, G: g, Trips: trips,
 		embs:    make(map[int]*node2vec.Embeddings),
+		embOnce: make(map[int]*sync.Once),
 		queries: make(map[string][]dataset.Query),
+		qErr:    make(map[string]error),
+		qOnce:   make(map[string]*sync.Once),
 	}
 	// Deterministic trip-level split.
 	rng := rand.New(rand.NewSource(cfg.Seed + 8))
@@ -129,36 +141,34 @@ func evalConfig() dataset.Config {
 
 // TestQueries returns the (cached) common evaluation set.
 func (w *World) TestQueries() ([]dataset.Query, error) {
-	w.mu.Lock()
-	if w.test != nil {
-		w.mu.Unlock()
-		return w.test, nil
-	}
-	w.mu.Unlock()
-	q, err := dataset.Generate(w.G, w.TestTrips, evalConfig())
-	if err != nil {
-		return nil, err
-	}
-	w.mu.Lock()
-	w.test = q
-	w.mu.Unlock()
-	return q, nil
+	w.testOnce.Do(func() {
+		w.test, w.testErr = dataset.Generate(w.G, w.TestTrips, evalConfig())
+	})
+	return w.test, w.testErr
 }
 
 // Embeddings returns (cached) node2vec embeddings of dimension m.
 func (w *World) Embeddings(m int) *node2vec.Embeddings {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	if e, ok := w.embs[m]; ok {
-		return e
+	once, ok := w.embOnce[m]
+	if !ok {
+		once = new(sync.Once)
+		w.embOnce[m] = once
 	}
-	wc := node2vec.DefaultWalkConfig()
-	wc.Seed = w.Cfg.Seed + 3
-	tc := node2vec.DefaultTrainConfig(m)
-	tc.Seed = w.Cfg.Seed + 4
-	e := node2vec.Embed(w.G, wc, tc)
-	w.embs[m] = e
-	return e
+	w.mu.Unlock()
+	once.Do(func() {
+		wc := node2vec.DefaultWalkConfig()
+		wc.Seed = w.Cfg.Seed + 3
+		tc := node2vec.DefaultTrainConfig(m)
+		tc.Seed = w.Cfg.Seed + 4
+		e := node2vec.Embed(w.G, wc, tc)
+		w.mu.Lock()
+		w.embs[m] = e
+		w.mu.Unlock()
+	})
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.embs[m]
 }
 
 // Queries returns (cached) labeled training candidate sets for cfg,
@@ -166,19 +176,22 @@ func (w *World) Embeddings(m int) *node2vec.Embeddings {
 func (w *World) Queries(cfg dataset.Config) ([]dataset.Query, error) {
 	key := fmt.Sprintf("%d/%d/%.3f/%d/%v", cfg.Strategy, cfg.K, cfg.Threshold, cfg.MaxProbe, cfg.IncludeTruth)
 	w.mu.Lock()
-	if q, ok := w.queries[key]; ok {
+	once, ok := w.qOnce[key]
+	if !ok {
+		once = new(sync.Once)
+		w.qOnce[key] = once
+	}
+	w.mu.Unlock()
+	once.Do(func() {
+		q, err := dataset.Generate(w.G, w.TrainTrips, cfg)
+		w.mu.Lock()
+		w.queries[key] = q
+		w.qErr[key] = err
 		w.mu.Unlock()
-		return q, nil
-	}
-	w.mu.Unlock()
-	q, err := dataset.Generate(w.G, w.TrainTrips, cfg)
-	if err != nil {
-		return nil, err
-	}
+	})
 	w.mu.Lock()
-	w.queries[key] = q
-	w.mu.Unlock()
-	return q, nil
+	defer w.mu.Unlock()
+	return w.queries[key], w.qErr[key]
 }
 
 // Row is one line of a result table.
@@ -273,20 +286,27 @@ func strategyTable(w *World, ms []int, v pathrank.Variant) ([]Row, error) {
 	if len(ms) == 0 {
 		ms = []int{64, 128}
 	}
-	var rows []Row
+	type cell struct {
+		strat dataset.Config
+		m     int
+	}
+	var cells []cell
 	for _, strat := range []dataset.Config{dataTkDI(5), dataDTkDI(5, 0.8)} {
 		for _, m := range ms {
-			rep, err := w.RunModel(ModelSpec{Data: strat, M: m, Variant: v, Body: pathrank.GRUBody})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Row{
-				Label:  fmt.Sprintf("%s %s M=%d", strat.Strategy, v, m),
-				Report: rep,
-			})
+			cells = append(cells, cell{strat: strat, m: m})
 		}
 	}
-	return rows, nil
+	return runRows(len(cells), func(i int) (Row, error) {
+		c := cells[i]
+		rep, err := w.RunModel(ModelSpec{Data: c.strat, M: c.m, Variant: v, Body: pathrank.GRUBody})
+		if err != nil {
+			return Row{}, err
+		}
+		return Row{
+			Label:  fmt.Sprintf("%s %s M=%d", c.strat.Strategy, v, c.m),
+			Report: rep,
+		}, nil
+	})
 }
 
 // SweepK varies the candidate-set size k (Figure-style experiment F1).
@@ -294,15 +314,14 @@ func SweepK(w *World, ks []int, m int) ([]Row, error) {
 	if len(ks) == 0 {
 		ks = []int{3, 5, 8, 10}
 	}
-	var rows []Row
-	for _, k := range ks {
+	return runRows(len(ks), func(i int) (Row, error) {
+		k := ks[i]
 		rep, err := w.RunModel(ModelSpec{Data: dataDTkDI(k, 0.8), M: m, Variant: pathrank.PRA2, Body: pathrank.GRUBody})
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
-		rows = append(rows, Row{Label: fmt.Sprintf("D-TkDI k=%d M=%d", k, m), Report: rep})
-	}
-	return rows, nil
+		return Row{Label: fmt.Sprintf("D-TkDI k=%d M=%d", k, m), Report: rep}, nil
+	})
 }
 
 // SweepDiversity varies the D-TkDI similarity threshold (F2).
@@ -310,15 +329,14 @@ func SweepDiversity(w *World, thresholds []float64, m int) ([]Row, error) {
 	if len(thresholds) == 0 {
 		thresholds = []float64{0.5, 0.6, 0.7, 0.8, 0.9}
 	}
-	var rows []Row
-	for _, th := range thresholds {
+	return runRows(len(thresholds), func(i int) (Row, error) {
+		th := thresholds[i]
 		rep, err := w.RunModel(ModelSpec{Data: dataDTkDI(5, th), M: m, Variant: pathrank.PRA2, Body: pathrank.GRUBody})
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
-		rows = append(rows, Row{Label: fmt.Sprintf("D-TkDI theta=%.1f M=%d", th, m), Report: rep})
-	}
-	return rows, nil
+		return Row{Label: fmt.Sprintf("D-TkDI theta=%.1f M=%d", th, m), Report: rep}, nil
+	})
 }
 
 // SweepM varies the embedding dimensionality (F3), extending the tables'
@@ -327,15 +345,14 @@ func SweepM(w *World, ms []int) ([]Row, error) {
 	if len(ms) == 0 {
 		ms = []int{16, 32, 64, 128}
 	}
-	var rows []Row
-	for _, m := range ms {
+	return runRows(len(ms), func(i int) (Row, error) {
+		m := ms[i]
 		rep, err := w.RunModel(ModelSpec{Data: dataDTkDI(5, 0.8), M: m, Variant: pathrank.PRA2, Body: pathrank.GRUBody})
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
-		rows = append(rows, Row{Label: fmt.Sprintf("D-TkDI PR-A2 M=%d", m), Report: rep})
-	}
-	return rows, nil
+		return Row{Label: fmt.Sprintf("D-TkDI PR-A2 M=%d", m), Report: rep}, nil
+	})
 }
 
 // SweepTrainSize varies the training-set fraction (F4).
@@ -343,18 +360,17 @@ func SweepTrainSize(w *World, fracs []float64, m int) ([]Row, error) {
 	if len(fracs) == 0 {
 		fracs = []float64{0.25, 0.5, 0.75, 1.0}
 	}
-	var rows []Row
-	for _, f := range fracs {
+	return runRows(len(fracs), func(i int) (Row, error) {
+		f := fracs[i]
 		rep, err := w.RunModel(ModelSpec{
 			Data: dataDTkDI(5, 0.8), M: m, Variant: pathrank.PRA2,
 			Body: pathrank.GRUBody, TrainFrac: f,
 		})
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
-		rows = append(rows, Row{Label: fmt.Sprintf("train=%3.0f%% M=%d", f*100, m), Report: rep})
-	}
-	return rows, nil
+		return Row{Label: fmt.Sprintf("train=%3.0f%% M=%d", f*100, m), Report: rep}, nil
+	})
 }
 
 // Baselines compares PathRank against the non-learned and shallow-learned
@@ -393,15 +409,15 @@ func Baselines(w *World, m int) ([]Row, error) {
 
 // AblationBody swaps the sequence model (A1 in DESIGN.md).
 func AblationBody(w *World, m int) ([]Row, error) {
-	var rows []Row
-	for _, body := range []pathrank.Body{pathrank.GRUBody, pathrank.BiGRUBody, pathrank.LSTMBody, pathrank.MeanPoolBody, pathrank.AttnGRUBody} {
+	bodies := []pathrank.Body{pathrank.GRUBody, pathrank.BiGRUBody, pathrank.LSTMBody, pathrank.MeanPoolBody, pathrank.AttnGRUBody}
+	return runRows(len(bodies), func(i int) (Row, error) {
+		body := bodies[i]
 		rep, err := w.RunModel(ModelSpec{Data: dataDTkDI(5, 0.8), M: m, Variant: pathrank.PRA2, Body: body})
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
-		rows = append(rows, Row{Label: fmt.Sprintf("body=%s M=%d", body, m), Report: rep})
-	}
-	return rows, nil
+		return Row{Label: fmt.Sprintf("body=%s M=%d", body, m), Report: rep}, nil
+	})
 }
 
 // AblationMultiTask varies the auxiliary-loss weight λ (A2 in DESIGN.md).
@@ -409,16 +425,15 @@ func AblationMultiTask(w *World, lambdas []float64, m int) ([]Row, error) {
 	if len(lambdas) == 0 {
 		lambdas = []float64{0, 0.25, 0.5, 1.0}
 	}
-	var rows []Row
-	for _, l := range lambdas {
+	return runRows(len(lambdas), func(i int) (Row, error) {
+		l := lambdas[i]
 		rep, err := w.RunModel(ModelSpec{
 			Data: dataDTkDI(5, 0.8), M: m, Variant: pathrank.PRA2,
 			Body: pathrank.GRUBody, Lambda: l,
 		})
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
-		rows = append(rows, Row{Label: fmt.Sprintf("lambda=%.2f M=%d", l, m), Report: rep})
-	}
-	return rows, nil
+		return Row{Label: fmt.Sprintf("lambda=%.2f M=%d", l, m), Report: rep}, nil
+	})
 }

@@ -1,0 +1,52 @@
+package nn
+
+import "testing"
+
+// Kernel micro-benchmarks documenting the unrolling decision in mat.go:
+// axpy-style element-wise kernels win from 4-wide unrolling, dot products
+// do not (serial FP dependency chain; see the comment above dotRows).
+
+func naiveAxpy(a float64, src, dst Vec) {
+	for c := range dst {
+		dst[c] += a * src[c]
+	}
+}
+
+func BenchmarkAxpyUnrolled(b *testing.B) {
+	src := make(Vec, 128)
+	dst := make(Vec, 128)
+	for i := range src {
+		src[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		axpyUnrolled(0.5, src, dst)
+	}
+}
+
+func BenchmarkAxpyNaive(b *testing.B) {
+	src := make(Vec, 128)
+	dst := make(Vec, 128)
+	for i := range src {
+		src[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		naiveAxpy(0.5, src, dst)
+	}
+}
+
+func BenchmarkDotRows(b *testing.B) {
+	x := make(Vec, 128)
+	row := make(Vec, 128)
+	for i := range x {
+		x[i] = float64(i)
+		row[i] = 1.0 / float64(i+1)
+	}
+	var s float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s += dotRows(row, x)
+	}
+	_ = s
+}

@@ -1,6 +1,9 @@
 package nn
 
-import "math/rand"
+import (
+	"math/rand"
+	"sync"
+)
 
 // GRU is a gated recurrent unit processing a sequence of input vectors into
 // a sequence of hidden states:
@@ -18,6 +21,11 @@ type GRU struct {
 
 	Wz, Uz, Wr, Ur, Wh, Uh *Param
 	Bz, Br, Bh             *Param
+
+	// scratch pools per-pass workspaces so per-timestep gate vectors and
+	// caches are reused across samples. sync.Pool keeps concurrent
+	// forward passes (parallel Evaluate/Rank) isolated.
+	scratch sync.Pool
 }
 
 // NewGRU returns a GRU with Xavier-initialized weights.
@@ -40,7 +48,18 @@ func NewGRU(name string, in, hidden int, rng *rand.Rand) *GRU {
 	return g
 }
 
+// gruScratch is the reusable workspace of one forward(+backward) pass.
+type gruScratch struct {
+	ar                        arena
+	hs, zs, rs, hhats, rhPrev []Vec
+	dxs                       []Vec
+}
+
 // GRUCache stores per-step activations for backpropagation through time.
+// Caches returned by Forward borrow memory from the GRU's scratch pool;
+// call Release when the cache (and any slices obtained from it or from
+// Backward) is no longer needed, so the memory is reused by the next pass.
+// Releasing is optional — an unreleased cache is simply collected by the GC.
 type GRUCache struct {
 	xs     []Vec // inputs
 	hs     []Vec // hidden states, hs[t] = h_t (hs has len T; h_{-1} is zero)
@@ -48,6 +67,9 @@ type GRUCache struct {
 	rs     []Vec
 	hhats  []Vec
 	rhPrev []Vec // r_t ⊙ h_{t-1}
+
+	owner *GRU
+	ws    *gruScratch
 }
 
 // Len returns the sequence length of the cached forward pass.
@@ -56,20 +78,41 @@ func (c *GRUCache) Len() int { return len(c.xs) }
 // Hidden returns the hidden state at step t.
 func (c *GRUCache) Hidden(t int) Vec { return c.hs[t] }
 
+// Release returns the cache's scratch memory to the GRU's pool. The cache,
+// the hidden states returned by Forward and the gradients returned by
+// Backward must not be used afterwards.
+func (c *GRUCache) Release() {
+	if c.ws == nil {
+		return
+	}
+	c.owner.scratch.Put(c.ws)
+	c.ws = nil
+}
+
 // Forward runs the GRU over xs and returns the hidden-state sequence and a
 // cache for Backward. The initial hidden state is zero.
 func (g *GRU) Forward(xs []Vec) ([]Vec, *GRUCache) {
-	T := len(xs)
-	c := &GRUCache{
-		xs: xs, hs: make([]Vec, T), zs: make([]Vec, T),
-		rs: make([]Vec, T), hhats: make([]Vec, T), rhPrev: make([]Vec, T),
+	ws, _ := g.scratch.Get().(*gruScratch)
+	if ws == nil {
+		ws = new(gruScratch)
 	}
+	ws.ar.reset()
+	T := len(xs)
 	H := g.Hidden
-	hPrev := NewVec(H)
+	ws.hs = growVecSlice(ws.hs, T)
+	ws.zs = growVecSlice(ws.zs, T)
+	ws.rs = growVecSlice(ws.rs, T)
+	ws.hhats = growVecSlice(ws.hhats, T)
+	ws.rhPrev = growVecSlice(ws.rhPrev, T)
+	c := &GRUCache{
+		xs: xs, hs: ws.hs, zs: ws.zs, rs: ws.rs, hhats: ws.hhats,
+		rhPrev: ws.rhPrev, owner: g, ws: ws,
+	}
+	hPrev := ws.ar.vec(H)
 	for t := 0; t < T; t++ {
-		z := NewVec(H)
-		r := NewVec(H)
-		hh := NewVec(H)
+		z := ws.ar.vec(H)
+		r := ws.ar.vec(H)
+		hh := ws.ar.vec(H)
 		g.Wz.MatVec(xs[t], z)
 		g.Uz.MatVecAdd(hPrev, z)
 		AddTo(z, g.Bz.W)
@@ -80,14 +123,14 @@ func (g *GRU) Forward(xs []Vec) ([]Vec, *GRUCache) {
 		AddTo(r, g.Br.W)
 		SigmoidVec(r, r)
 
-		rh := NewVec(H)
+		rh := ws.ar.vec(H)
 		Hadamard(rh, r, hPrev)
 		g.Wh.MatVec(xs[t], hh)
 		g.Uh.MatVecAdd(rh, hh)
 		AddTo(hh, g.Bh.W)
 		TanhVec(hh, hh)
 
-		h := NewVec(H)
+		h := ws.ar.vec(H)
 		for i := 0; i < H; i++ {
 			h[i] = (1-z[i])*hPrev[i] + z[i]*hh[i]
 		}
@@ -103,26 +146,38 @@ func (g *GRU) Forward(xs []Vec) ([]Vec, *GRUCache) {
 func (g *GRU) Backward(c *GRUCache, dhs []Vec) []Vec {
 	T := c.Len()
 	H := g.Hidden
-	dxs := make([]Vec, T)
-	dhNext := NewVec(H) // gradient flowing back from step t+1 into h_t
+	ws := c.ws
+	if ws == nil { // released cache: fall back to a private workspace
+		ws = new(gruScratch)
+	}
+	ws.dxs = growVecSlice(ws.dxs, T)
+	dxs := ws.dxs
+	ar := &ws.ar
+	// Per-step temporaries, reused across all T steps.
+	dh := ar.vec(H)
+	dhNext := ar.vec(H) // gradient flowing back from step t+1 into h_t
+	dhPrev := ar.vec(H)
+	dz := ar.vec(H)
+	dhh := ar.vec(H)
+	dhhPre := ar.vec(H)
+	dRH := ar.vec(H)
+	dr := ar.vec(H)
+	drPre := ar.vec(H)
+	dzPre := ar.vec(H)
+	hZero := ar.vec(H)
 
 	for t := T - 1; t >= 0; t-- {
-		dh := Copy(dhNext)
+		copy(dh, dhNext)
 		if t < len(dhs) && dhs[t] != nil {
 			AddTo(dh, dhs[t])
 		}
-		var hPrev Vec
-		if t == 0 {
-			hPrev = NewVec(H)
-		} else {
+		hPrev := hZero
+		if t > 0 {
 			hPrev = c.hs[t-1]
 		}
 		z, r, hh := c.zs[t], c.rs[t], c.hhats[t]
 
 		// h_t = (1-z)*hPrev + z*hh
-		dz := NewVec(H)
-		dhh := NewVec(H)
-		dhPrev := NewVec(H)
 		for i := 0; i < H; i++ {
 			dz[i] = dh[i] * (hh[i] - hPrev[i])
 			dhh[i] = dh[i] * z[i]
@@ -130,25 +185,22 @@ func (g *GRU) Backward(c *GRUCache, dhs []Vec) []Vec {
 		}
 
 		// ĥ = tanh(Wh x + Uh (r⊙hPrev) + bh)
-		dhhPre := NewVec(H)
 		for i := 0; i < H; i++ {
 			dhhPre[i] = dhh[i] * (1 - hh[i]*hh[i])
+			dRH[i] = 0
 		}
 		g.Wh.AccumOuter(dhhPre, c.xs[t])
 		g.Uh.AccumOuter(dhhPre, c.rhPrev[t])
 		AddTo(g.Bh.G, dhhPre)
-		dx := NewVec(g.In)
+		dx := ar.vec(g.In)
 		g.Wh.MatTVecAdd(dhhPre, dx)
-		dRH := NewVec(H)
 		g.Uh.MatTVecAdd(dhhPre, dRH)
-		dr := NewVec(H)
 		for i := 0; i < H; i++ {
 			dr[i] = dRH[i] * hPrev[i]
 			dhPrev[i] += dRH[i] * r[i]
 		}
 
 		// r = σ(Wr x + Ur hPrev + br)
-		drPre := NewVec(H)
 		for i := 0; i < H; i++ {
 			drPre[i] = dr[i] * r[i] * (1 - r[i])
 		}
@@ -159,7 +211,6 @@ func (g *GRU) Backward(c *GRUCache, dhs []Vec) []Vec {
 		g.Ur.MatTVecAdd(drPre, dhPrev)
 
 		// z = σ(Wz x + Uz hPrev + bz)
-		dzPre := NewVec(H)
 		for i := 0; i < H; i++ {
 			dzPre[i] = dz[i] * z[i] * (1 - z[i])
 		}
@@ -170,7 +221,7 @@ func (g *GRU) Backward(c *GRUCache, dhs []Vec) []Vec {
 		g.Uz.MatTVecAdd(dzPre, dhPrev)
 
 		dxs[t] = dx
-		dhNext = dhPrev
+		dhNext, dhPrev = dhPrev, dhNext
 	}
 	return dxs
 }
@@ -202,6 +253,12 @@ func (b *BiGRU) OutDim() int { return b.Fwd.Hidden + b.Bwd.Hidden }
 type BiGRUCache struct {
 	fc, bc *GRUCache
 	T      int
+}
+
+// Release returns both directions' scratch memory to their pools.
+func (c *BiGRUCache) Release() {
+	c.fc.Release()
+	c.bc.Release()
 }
 
 // Forward returns per-step concatenated hidden states [h_fwd_t ; h_bwd_t].

@@ -77,10 +77,11 @@ func NewDense(name string, in, out int, act Activation, rng *rand.Rand) *Dense {
 	return d
 }
 
-// DenseCache stores forward activations needed by Backward.
+// DenseCache stores forward activations needed by Backward. The input is
+// aliased, not copied: callers must keep x unchanged until Backward.
 type DenseCache struct {
-	x   Vec // input
-	pre Vec // pre-activation
+	x   Vec // input (aliased)
+	pre Vec // pre-activation (only kept for ReLU, whose derivative needs it)
 	out Vec // post-activation
 }
 
@@ -89,20 +90,21 @@ func (d *Dense) Forward(x Vec) (Vec, *DenseCache) {
 	out := NewVec(d.W.Rows)
 	d.W.MatVec(x, out)
 	AddTo(out, d.B.W)
-	pre := Copy(out)
+	var pre Vec
 	switch d.Act {
 	case Tanh:
 		TanhVec(out, out)
 	case SigmoidAct:
 		SigmoidVec(out, out)
 	case ReLU:
+		pre = Copy(out)
 		for i := range out {
 			if out[i] < 0 {
 				out[i] = 0
 			}
 		}
 	}
-	return out, &DenseCache{x: Copy(x), pre: pre, out: out}
+	return out, &DenseCache{x: x, pre: pre, out: out}
 }
 
 // Backward propagates dOut, accumulating parameter gradients, and returns

@@ -1,6 +1,9 @@
 package nn
 
-import "math/rand"
+import (
+	"math/rand"
+	"sync"
+)
 
 // LSTM is a long short-term memory cell, provided as an ablation alternative
 // to the GRU body of PathRank:
@@ -16,6 +19,9 @@ type LSTM struct {
 
 	Wi, Ui, Wf, Uf, Wo, Uo, Wg, Ug *Param
 	Bi, Bf, Bo, Bg                 *Param
+
+	// scratch pools per-pass workspaces, mirroring GRU.
+	scratch sync.Pool
 }
 
 // NewLSTM returns an LSTM with Xavier-initialized weights and forget-gate
@@ -39,34 +45,68 @@ func NewLSTM(name string, in, hidden int, rng *rand.Rand) *LSTM {
 	return l
 }
 
-// LSTMCache stores per-step activations for BPTT.
+// lstmScratch is the reusable workspace of one forward(+backward) pass.
+type lstmScratch struct {
+	ar                            arena
+	hs, cs, is, fs, os, gs, tanhC []Vec
+	dxs                           []Vec
+}
+
+// LSTMCache stores per-step activations for BPTT. Like GRUCache it borrows
+// pooled scratch memory; call Release when done (optional).
 type LSTMCache struct {
 	xs             []Vec
 	hs, cs         []Vec
 	is, fs, os, gs []Vec
 	tanhC          []Vec
+
+	owner *LSTM
+	ws    *lstmScratch
 }
 
 // Len returns the cached sequence length.
 func (c *LSTMCache) Len() int { return len(c.xs) }
 
+// Release returns the cache's scratch memory to the LSTM's pool. The cache
+// and any slices obtained from it or Backward must not be used afterwards.
+func (c *LSTMCache) Release() {
+	if c.ws == nil {
+		return
+	}
+	c.owner.scratch.Put(c.ws)
+	c.ws = nil
+}
+
 // Forward runs the LSTM over xs from zero initial state.
 func (l *LSTM) Forward(xs []Vec) ([]Vec, *LSTMCache) {
+	ws, _ := l.scratch.Get().(*lstmScratch)
+	if ws == nil {
+		ws = new(lstmScratch)
+	}
+	ws.ar.reset()
 	T := len(xs)
 	H := l.Hidden
+	ws.hs = growVecSlice(ws.hs, T)
+	ws.cs = growVecSlice(ws.cs, T)
+	ws.is = growVecSlice(ws.is, T)
+	ws.fs = growVecSlice(ws.fs, T)
+	ws.os = growVecSlice(ws.os, T)
+	ws.gs = growVecSlice(ws.gs, T)
+	ws.tanhC = growVecSlice(ws.tanhC, T)
 	c := &LSTMCache{
 		xs: xs,
-		hs: make([]Vec, T), cs: make([]Vec, T),
-		is: make([]Vec, T), fs: make([]Vec, T),
-		os: make([]Vec, T), gs: make([]Vec, T),
-		tanhC: make([]Vec, T),
+		hs: ws.hs, cs: ws.cs,
+		is: ws.is, fs: ws.fs,
+		os: ws.os, gs: ws.gs,
+		tanhC: ws.tanhC,
+		owner: l, ws: ws,
 	}
-	hPrev, cPrev := NewVec(H), NewVec(H)
+	hPrev, cPrev := ws.ar.vec(H), ws.ar.vec(H)
 	for t := 0; t < T; t++ {
-		i := NewVec(H)
-		f := NewVec(H)
-		o := NewVec(H)
-		gg := NewVec(H)
+		i := ws.ar.vec(H)
+		f := ws.ar.vec(H)
+		o := ws.ar.vec(H)
+		gg := ws.ar.vec(H)
 		l.Wi.MatVec(xs[t], i)
 		l.Ui.MatVecAdd(hPrev, i)
 		AddTo(i, l.Bi.W)
@@ -84,9 +124,9 @@ func (l *LSTM) Forward(xs []Vec) ([]Vec, *LSTMCache) {
 		AddTo(gg, l.Bg.W)
 		TanhVec(gg, gg)
 
-		ct := NewVec(H)
-		ht := NewVec(H)
-		tc := NewVec(H)
+		ct := ws.ar.vec(H)
+		ht := ws.ar.vec(H)
+		tc := ws.ar.vec(H)
 		for k := 0; k < H; k++ {
 			ct[k] = f[k]*cPrev[k] + i[k]*gg[k]
 		}
@@ -106,34 +146,47 @@ func (l *LSTM) Forward(xs []Vec) ([]Vec, *LSTMCache) {
 func (l *LSTM) Backward(c *LSTMCache, dhs []Vec) []Vec {
 	T := c.Len()
 	H := l.Hidden
-	dxs := make([]Vec, T)
-	dhNext := NewVec(H)
-	dcNext := NewVec(H)
+	ws := c.ws
+	if ws == nil { // released cache: fall back to a private workspace
+		ws = new(lstmScratch)
+	}
+	ws.dxs = growVecSlice(ws.dxs, T)
+	dxs := ws.dxs
+	ar := &ws.ar
+	// Per-step temporaries, reused across all T steps.
+	dh := ar.vec(H)
+	dhNext := ar.vec(H)
+	dhPrev := ar.vec(H)
+	dc := ar.vec(H)
+	dcNext := ar.vec(H)
+	dcPrev := ar.vec(H)
+	di := ar.vec(H)
+	df := ar.vec(H)
+	do := ar.vec(H)
+	dg := ar.vec(H)
+	diPre := ar.vec(H)
+	dfPre := ar.vec(H)
+	doPre := ar.vec(H)
+	dgPre := ar.vec(H)
+	zero := ar.vec(H)
 
 	for t := T - 1; t >= 0; t-- {
-		dh := Copy(dhNext)
+		copy(dh, dhNext)
 		if t < len(dhs) && dhs[t] != nil {
 			AddTo(dh, dhs[t])
 		}
-		var hPrev, cPrev Vec
-		if t == 0 {
-			hPrev, cPrev = NewVec(H), NewVec(H)
-		} else {
+		hPrev, cPrev := zero, zero
+		if t > 0 {
 			hPrev, cPrev = c.hs[t-1], c.cs[t-1]
 		}
 		i, f, o, g := c.is[t], c.fs[t], c.os[t], c.gs[t]
 		tc := c.tanhC[t]
 
-		do := NewVec(H)
-		dc := Copy(dcNext)
+		copy(dc, dcNext)
 		for k := 0; k < H; k++ {
 			do[k] = dh[k] * tc[k]
 			dc[k] += dh[k] * o[k] * (1 - tc[k]*tc[k])
 		}
-		di := NewVec(H)
-		df := NewVec(H)
-		dg := NewVec(H)
-		dcPrev := NewVec(H)
 		for k := 0; k < H; k++ {
 			di[k] = dc[k] * g[k]
 			df[k] = dc[k] * cPrev[k]
@@ -141,10 +194,6 @@ func (l *LSTM) Backward(c *LSTMCache, dhs []Vec) []Vec {
 			dcPrev[k] = dc[k] * f[k]
 		}
 
-		diPre := NewVec(H)
-		dfPre := NewVec(H)
-		doPre := NewVec(H)
-		dgPre := NewVec(H)
 		for k := 0; k < H; k++ {
 			diPre[k] = di[k] * i[k] * (1 - i[k])
 			dfPre[k] = df[k] * f[k] * (1 - f[k])
@@ -152,8 +201,10 @@ func (l *LSTM) Backward(c *LSTMCache, dhs []Vec) []Vec {
 			dgPre[k] = dg[k] * (1 - g[k]*g[k])
 		}
 
-		dx := NewVec(l.In)
-		dhPrev := NewVec(H)
+		dx := ar.vec(l.In)
+		for k := 0; k < H; k++ {
+			dhPrev[k] = 0
+		}
 		step := func(W, U, B *Param, dPre Vec) {
 			W.AccumOuter(dPre, c.xs[t])
 			U.AccumOuter(dPre, hPrev)
@@ -167,8 +218,8 @@ func (l *LSTM) Backward(c *LSTMCache, dhs []Vec) []Vec {
 		step(l.Wg, l.Ug, l.Bg, dgPre)
 
 		dxs[t] = dx
-		dhNext = dhPrev
-		dcNext = dcPrev
+		dhNext, dhPrev = dhPrev, dhNext
+		dcNext, dcPrev = dcPrev, dcNext
 	}
 	return dxs
 }

@@ -1,0 +1,43 @@
+package nn
+
+// arena is a bump allocator for scratch vectors. One forward/backward pass
+// over a sample allocates all of its per-timestep gate vectors and gradient
+// temporaries from an arena; releasing the pass resets the offset so the
+// next sample reuses the same slab instead of producing garbage. Vectors
+// handed out before a slab grows keep referencing the old slab, so growth
+// mid-pass is safe.
+type arena struct {
+	buf []float64
+	off int
+}
+
+func (a *arena) reset() { a.off = 0 }
+
+// vec returns a zeroed length-n vector carved from the arena.
+func (a *arena) vec(n int) Vec {
+	if a.off+n > len(a.buf) {
+		size := 2 * len(a.buf)
+		if size < a.off+n {
+			size = a.off + n
+		}
+		if size < 1024 {
+			size = 1024
+		}
+		a.buf = make([]float64, size)
+		a.off = 0
+	}
+	v := a.buf[a.off : a.off+n : a.off+n]
+	a.off += n
+	for i := range v {
+		v[i] = 0
+	}
+	return v
+}
+
+// growVecSlice returns s resized to length n, reusing capacity.
+func growVecSlice(s []Vec, n int) []Vec {
+	if cap(s) < n {
+		return make([]Vec, n)
+	}
+	return s[:n]
+}

@@ -2,7 +2,9 @@ package node2vec
 
 import (
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"pathrank/internal/roadnet"
 )
@@ -14,6 +16,14 @@ type WalkConfig struct {
 	P              float64 // return parameter: high P discourages revisiting
 	Q              float64 // in-out parameter: low Q encourages exploration (DFS-like)
 	Seed           int64
+
+	// Workers > 1 generates walks in parallel, sharded by start vertex.
+	// Each walk draws from its own splitmix-derived RNG stream, so the
+	// corpus is deterministic for a given Seed regardless of the worker
+	// count — but it differs from the single-stream corpus produced by
+	// Workers <= 1, which remains the default so recorded experiment
+	// tables stay reproducible.
+	Workers int
 }
 
 // DefaultWalkConfig mirrors common node2vec settings scaled for road
@@ -28,6 +38,7 @@ type walker struct {
 	g         *roadnet.Graph
 	neighbors [][]roadnet.VertexID // sorted out-neighbors per vertex
 	cfg       WalkConfig
+	maxDeg    int
 }
 
 func newWalker(g *roadnet.Graph, cfg WalkConfig) *walker {
@@ -40,6 +51,9 @@ func newWalker(g *roadnet.Graph, cfg WalkConfig) *walker {
 		}
 		sort.Slice(ns, func(a, b int) bool { return ns[a] < ns[b] })
 		w.neighbors[v] = ns
+		if len(ns) > w.maxDeg {
+			w.maxDeg = len(ns)
+		}
 	}
 	return w
 }
@@ -51,8 +65,10 @@ func (w *walker) adjacent(u, v roadnet.VertexID) bool {
 }
 
 // step samples the next vertex after cur, where prev is the vertex visited
-// before cur (or -1 at the start of the walk).
-func (w *walker) step(rng *rand.Rand, prev, cur roadnet.VertexID) (roadnet.VertexID, bool) {
+// before cur (or -1 at the start of the walk). buf is caller-owned scratch
+// with capacity at least the walker's maximum out-degree, so the hot loop
+// performs no allocation.
+func (w *walker) step(rng *rand.Rand, prev, cur roadnet.VertexID, buf []float64) (roadnet.VertexID, bool) {
 	ns := w.neighbors[cur]
 	if len(ns) == 0 {
 		return 0, false
@@ -60,7 +76,7 @@ func (w *walker) step(rng *rand.Rand, prev, cur roadnet.VertexID) (roadnet.Verte
 	if prev < 0 {
 		return ns[rng.Intn(len(ns))], true
 	}
-	weights := make([]float64, len(ns))
+	weights := buf[:len(ns)]
 	for i, x := range ns {
 		switch {
 		case x == prev:
@@ -90,27 +106,87 @@ func (w *walker) step(rng *rand.Rand, prev, cur roadnet.VertexID) (roadnet.Verte
 // GenerateWalks produces cfg.WalksPerVertex walks of length cfg.WalkLength
 // from every vertex of g, in a deterministic order given cfg.Seed.
 func GenerateWalks(g *roadnet.Graph, cfg WalkConfig) [][]roadnet.VertexID {
+	if cfg.Workers > 1 {
+		return generateWalksParallel(g, cfg)
+	}
 	w := newWalker(g, cfg)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := g.NumVertices()
 	walks := make([][]roadnet.VertexID, 0, n*cfg.WalksPerVertex)
 	order := rng.Perm(n)
+	buf := make([]float64, w.maxDeg)
 	for rep := 0; rep < cfg.WalksPerVertex; rep++ {
 		for _, vi := range order {
-			walk := make([]roadnet.VertexID, 1, cfg.WalkLength)
-			walk[0] = roadnet.VertexID(vi)
-			prev := roadnet.VertexID(-1)
-			cur := roadnet.VertexID(vi)
-			for len(walk) < cfg.WalkLength {
-				next, ok := w.step(rng, prev, cur)
-				if !ok {
-					break
-				}
-				walk = append(walk, next)
-				prev, cur = cur, next
-			}
-			walks = append(walks, walk)
+			walks = append(walks, w.walkFrom(rng, roadnet.VertexID(vi), cfg.WalkLength, buf))
 		}
 	}
+	return walks
+}
+
+// walkFrom runs one biased walk of up to length steps starting at start.
+func (w *walker) walkFrom(rng *rand.Rand, start roadnet.VertexID, length int, buf []float64) []roadnet.VertexID {
+	walk := make([]roadnet.VertexID, 1, length)
+	walk[0] = start
+	prev := roadnet.VertexID(-1)
+	cur := start
+	for len(walk) < length {
+		next, ok := w.step(rng, prev, cur, buf)
+		if !ok {
+			break
+		}
+		walk = append(walk, next)
+		prev, cur = cur, next
+	}
+	return walk
+}
+
+// splitmix64 is the SplitMix64 finalizer, used to derive independent
+// per-walk RNG seeds from (seed, walk index).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// generateWalksParallel shards walk generation across cfg.Workers
+// goroutines. Walk slot (rep, orderIdx) is written by exactly one worker
+// and seeded from (Seed, slot), so the output is identical for any worker
+// count.
+func generateWalksParallel(g *roadnet.Graph, cfg WalkConfig) [][]roadnet.VertexID {
+	w := newWalker(g, cfg)
+	n := g.NumVertices()
+	order := rand.New(rand.NewSource(cfg.Seed)).Perm(n)
+	total := n * cfg.WalksPerVertex
+	walks := make([][]roadnet.VertexID, total)
+
+	workers := cfg.Workers
+	if max := runtime.GOMAXPROCS(0) * 4; workers > max {
+		workers = max
+	}
+	var wg sync.WaitGroup
+	chunk := (total + workers - 1) / workers
+	for wk := 0; wk < workers; wk++ {
+		lo := wk * chunk
+		hi := lo + chunk
+		if hi > total {
+			hi = total
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			buf := make([]float64, w.maxDeg)
+			rng := rand.New(rand.NewSource(0))
+			for slot := lo; slot < hi; slot++ {
+				start := roadnet.VertexID(order[slot%n])
+				rng.Seed(int64(splitmix64(uint64(cfg.Seed)<<32 ^ uint64(slot))))
+				walks[slot] = w.walkFrom(rng, start, cfg.WalkLength, buf)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 	return walks
 }

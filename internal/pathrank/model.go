@@ -231,6 +231,21 @@ type forwardState struct {
 	auxTimeCache *nn.DenseCache
 }
 
+// release returns pooled scratch memory held by the state's caches. The
+// state and any activations or gradients derived from it must not be used
+// afterwards.
+func (st *forwardState) release() {
+	if st.gruCache != nil {
+		st.gruCache.Release()
+	}
+	if st.biCache != nil {
+		st.biCache.Release()
+	}
+	if st.lstmCache != nil {
+		st.lstmCache.Release()
+	}
+}
+
 // forward runs the network over the path's vertex sequence.
 func (m *Model) forward(p spath.Path) *forwardState {
 	st := &forwardState{}
@@ -238,7 +253,10 @@ func (m *Model) forward(p spath.Path) *forwardState {
 	st.xs = make([]nn.Vec, len(p.Vertices))
 	for i, v := range p.Vertices {
 		st.ids[i] = int(v)
-		st.xs[i] = nn.Copy(m.emb.Lookup(int(v)))
+		// Alias the embedding rows: weights do not change between one
+		// sample's forward and backward passes (optimizer steps happen
+		// after), so the defensive copy would only produce garbage.
+		st.xs[i] = m.emb.Lookup(int(v))
 	}
 	switch m.cfg.Body {
 	case GRUBody:
@@ -317,12 +335,16 @@ func (m *Model) backward(st *forwardState, dScore, dLen, dTime float64) {
 	}
 }
 
-// Score returns the model's estimated ranking score for p in [0,1].
+// Score returns the model's estimated ranking score for p in [0,1]. It is
+// safe for concurrent use on a model that is not being trained.
 func (m *Model) Score(p spath.Path) float64 {
 	if len(p.Vertices) == 0 {
 		return 0
 	}
-	return m.forward(p).headOut[0]
+	st := m.forward(p)
+	score := st.headOut[0]
+	st.release()
+	return score
 }
 
 // Save writes the model weights.

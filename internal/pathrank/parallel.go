@@ -1,0 +1,57 @@
+package pathrank
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// EvalWorkers bounds the number of goroutines used by the data-parallel
+// Evaluate and Rank scoring paths. Zero (the default) means GOMAXPROCS.
+// Scoring is read-only on the model, and every worker writes to disjoint
+// result indices, so the output is bitwise identical for any worker count;
+// the knob exists for tests and for callers that want to co-schedule
+// several evaluations.
+var EvalWorkers int
+
+func evalWorkerCount(n int) int {
+	w := EvalWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelFor runs f(i) for i in [0, n), fanning out across a bounded
+// worker pool. With one worker it degenerates to a plain loop.
+func parallelFor(n int, f func(i int)) {
+	workers := evalWorkerCount(n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -85,6 +85,7 @@ func (m *Model) Train(queries []dataset.Query, cfg TrainConfig) ([]float64, erro
 				dTime = lambda * gTime
 			}
 			m.backward(st, dScore, dLen, dTime)
+			st.release()
 			if cfg.ClipNorm > 0 {
 				nn.ClipGrad(m.params, cfg.ClipNorm)
 			}
@@ -122,18 +123,22 @@ func (m *Model) Train(queries []dataset.Query, cfg TrainConfig) ([]float64, erro
 }
 
 // Evaluate scores every candidate of every query and aggregates the paper's
-// four metrics (MAE, MARE, Kendall τ, Spearman ρ).
+// four metrics (MAE, MARE, Kendall τ, Spearman ρ). Queries are scored in
+// parallel across a bounded worker pool (see EvalWorkers); every worker
+// writes disjoint indices, so the report is bitwise identical to a serial
+// evaluation.
 func (m *Model) Evaluate(queries []dataset.Query) metrics.Report {
 	preds := make([][]float64, len(queries))
 	targets := make([][]float64, len(queries))
-	for qi, q := range queries {
+	parallelFor(len(queries), func(qi int) {
+		q := queries[qi]
 		preds[qi] = make([]float64, len(q.Candidates))
 		targets[qi] = make([]float64, len(q.Candidates))
 		for ci, c := range q.Candidates {
 			preds[qi][ci] = m.Score(c.Path)
 			targets[qi][ci] = c.Label
 		}
-	}
+	})
 	return metrics.Evaluate(preds, targets)
 }
 
@@ -143,12 +148,13 @@ type Ranked struct {
 	Score float64
 }
 
-// Rank scores the candidates and returns them in descending score order.
+// Rank scores the candidates in parallel and returns them in descending
+// score order. The stable sort keeps the result deterministic under ties.
 func (m *Model) Rank(cands []spath.Path) []Ranked {
 	out := make([]Ranked, len(cands))
-	for i, c := range cands {
-		out[i] = Ranked{Path: c, Score: m.Score(c)}
-	}
+	parallelFor(len(cands), func(i int) {
+		out[i] = Ranked{Path: cands[i], Score: m.Score(cands[i])}
+	})
 	sort.SliceStable(out, func(a, b int) bool { return out[a].Score > out[b].Score })
 	return out
 }

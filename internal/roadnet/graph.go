@@ -93,11 +93,15 @@ type Graph struct {
 	edges    []Edge
 
 	// CSR out-adjacency: outEdges[outStart[v]:outStart[v+1]] are edge IDs
-	// leaving v. Same layout for in-adjacency.
+	// leaving v. Same layout for in-adjacency. outTo/inFrom mirror the
+	// opposite endpoint of each adjacency slot so shortest-path inner loops
+	// can relax neighbors without loading whole Edge structs.
 	outStart []int32
 	outEdges []EdgeID
+	outTo    []VertexID
 	inStart  []int32
 	inEdges  []EdgeID
+	inFrom   []VertexID
 }
 
 // NumVertices returns the vertex count.
@@ -122,6 +126,20 @@ func (g *Graph) OutEdges(v VertexID) []EdgeID {
 // internal storage and must not be modified.
 func (g *Graph) InEdges(v VertexID) []EdgeID {
 	return g.inEdges[g.inStart[v]:g.inStart[v+1]]
+}
+
+// OutNeighbors returns, aligned slot for slot with OutEdges(v), the head
+// vertex of each edge leaving v. The returned slice aliases internal
+// storage and must not be modified.
+func (g *Graph) OutNeighbors(v VertexID) []VertexID {
+	return g.outTo[g.outStart[v]:g.outStart[v+1]]
+}
+
+// InNeighbors returns, aligned slot for slot with InEdges(v), the tail
+// vertex of each edge entering v. The returned slice aliases internal
+// storage and must not be modified.
+func (g *Graph) InNeighbors(v VertexID) []VertexID {
+	return g.inFrom[g.inStart[v]:g.inStart[v+1]]
 }
 
 // OutDegree returns the number of edges leaving v.
@@ -317,15 +335,19 @@ func (b *Builder) Build() *Graph {
 		g.inStart[i+1] += g.inStart[i]
 	}
 	g.outEdges = make([]EdgeID, len(b.edges))
+	g.outTo = make([]VertexID, len(b.edges))
 	g.inEdges = make([]EdgeID, len(b.edges))
+	g.inFrom = make([]VertexID, len(b.edges))
 	outPos := make([]int32, n)
 	inPos := make([]int32, n)
 	copy(outPos, g.outStart[:n])
 	copy(inPos, g.inStart[:n])
 	for _, e := range b.edges {
 		g.outEdges[outPos[e.From]] = e.ID
+		g.outTo[outPos[e.From]] = e.To
 		outPos[e.From]++
 		g.inEdges[inPos[e.To]] = e.ID
+		g.inFrom[inPos[e.To]] = e.From
 		inPos[e.To]++
 	}
 	return g

@@ -1,85 +1,27 @@
 package spath
 
 import (
-	"math"
-
-	"pathrank/internal/geo"
 	"pathrank/internal/roadnet"
 )
 
 // Dijkstra returns a minimum-cost path from src to dst under w, or ErrNoPath
-// if dst is unreachable.
+// if dst is unreachable. Search state comes from a pooled Workspace, so
+// repeated queries do not reallocate O(n) arrays; callers issuing many
+// queries in a row can hold their own Workspace and call its methods
+// directly to also skip the pool round-trip.
 func Dijkstra(g *roadnet.Graph, src, dst roadnet.VertexID, w Weight) (Path, error) {
-	if src == dst {
-		return Path{Vertices: []roadnet.VertexID{src}}, nil
-	}
-	n := g.NumVertices()
-	dist := make([]float64, n)
-	for i := range dist {
-		dist[i] = unreached
-	}
-	parentEdge := make([]roadnet.EdgeID, n)
-	done := make([]bool, n)
-
-	dist[src] = 0
-	h := &minHeap{}
-	h.push(item{v: src})
-	for !h.empty() {
-		it := h.pop()
-		if done[it.v] {
-			continue
-		}
-		done[it.v] = true
-		if it.v == dst {
-			return reconstruct(g, parentEdge, src, dst, dist[dst]), nil
-		}
-		for _, eid := range g.OutEdges(it.v) {
-			e := g.Edge(eid)
-			nd := it.dist + w(e)
-			if nd < dist[e.To] {
-				dist[e.To] = nd
-				parentEdge[e.To] = eid
-				h.push(item{v: e.To, dist: nd})
-			}
-		}
-	}
-	return Path{}, ErrNoPath
+	ws := GetWorkspace(g)
+	defer ws.Release()
+	return ws.Dijkstra(g, src, dst, w)
 }
 
 // DijkstraAll computes minimum costs from src to every vertex. Unreachable
 // vertices have cost math.Inf(1). It is used as a test oracle and for
 // landmark-style heuristics.
 func DijkstraAll(g *roadnet.Graph, src roadnet.VertexID, w Weight) []float64 {
-	n := g.NumVertices()
-	dist := make([]float64, n)
-	for i := range dist {
-		dist[i] = unreached
-	}
-	done := make([]bool, n)
-	dist[src] = 0
-	h := &minHeap{}
-	h.push(item{v: src})
-	for !h.empty() {
-		it := h.pop()
-		if done[it.v] {
-			continue
-		}
-		done[it.v] = true
-		for _, eid := range g.OutEdges(it.v) {
-			e := g.Edge(eid)
-			nd := it.dist + w(e)
-			if nd < dist[e.To] {
-				dist[e.To] = nd
-				h.push(item{v: e.To, dist: nd})
-			}
-		}
-	}
-	for i := range dist {
-		if dist[i] == unreached {
-			dist[i] = math.Inf(1)
-		}
-	}
-	return dist
+	ws := GetWorkspace(g)
+	defer ws.Release()
+	return ws.DijkstraAll(g, src, w)
 }
 
 // AStar returns a minimum-cost path using a consistent geographic heuristic.
@@ -87,58 +29,9 @@ func DijkstraAll(g *roadnet.Graph, src roadnet.VertexID, w Weight) []float64 {
 // is straight-line distance divided by the network's maximum speed, which
 // remains admissible. The result is optimal and equal in cost to Dijkstra.
 func AStar(g *roadnet.Graph, src, dst roadnet.VertexID, w Weight) (Path, error) {
-	if src == dst {
-		return Path{Vertices: []roadnet.VertexID{src}}, nil
-	}
-	dstPt := g.Vertex(dst).Point
-
-	// Scale the straight-line heuristic so it never overestimates: find the
-	// best cost-per-meter across edges (e.g. 1.0 for ByLength, 1/maxSpeed
-	// for ByTime).
-	scale := math.Inf(1)
-	for i := 0; i < g.NumEdges(); i++ {
-		e := g.Edge(roadnet.EdgeID(i))
-		if r := w(e) / e.Length; r < scale {
-			scale = r
-		}
-	}
-	if math.IsInf(scale, 1) {
-		scale = 0
-	}
-	heur := func(v roadnet.VertexID) float64 {
-		return geo.Distance(g.Vertex(v).Point, dstPt) * scale
-	}
-
-	n := g.NumVertices()
-	dist := make([]float64, n)
-	for i := range dist {
-		dist[i] = unreached
-	}
-	parentEdge := make([]roadnet.EdgeID, n)
-	done := make([]bool, n)
-	dist[src] = 0
-	h := &minHeap{}
-	h.push(item{v: src, dist: heur(src)})
-	for !h.empty() {
-		it := h.pop()
-		if done[it.v] {
-			continue
-		}
-		done[it.v] = true
-		if it.v == dst {
-			return reconstruct(g, parentEdge, src, dst, dist[dst]), nil
-		}
-		for _, eid := range g.OutEdges(it.v) {
-			e := g.Edge(eid)
-			nd := dist[it.v] + w(e)
-			if nd < dist[e.To] {
-				dist[e.To] = nd
-				parentEdge[e.To] = eid
-				h.push(item{v: e.To, dist: nd + heur(e.To)})
-			}
-		}
-	}
-	return Path{}, ErrNoPath
+	ws := GetWorkspace(g)
+	defer ws.Release()
+	return ws.AStar(g, src, dst, w)
 }
 
 // BidirectionalDijkstra searches simultaneously from src forward and dst
@@ -146,113 +39,7 @@ func AStar(g *roadnet.Graph, src, dst roadnet.VertexID, w Weight) (Path, error) 
 // cost as Dijkstra while settling roughly half as many vertices on large
 // graphs.
 func BidirectionalDijkstra(g *roadnet.Graph, src, dst roadnet.VertexID, w Weight) (Path, error) {
-	if src == dst {
-		return Path{Vertices: []roadnet.VertexID{src}}, nil
-	}
-	n := g.NumVertices()
-	distF := make([]float64, n)
-	distB := make([]float64, n)
-	for i := range distF {
-		distF[i] = unreached
-		distB[i] = unreached
-	}
-	parentF := make([]roadnet.EdgeID, n)
-	parentB := make([]roadnet.EdgeID, n)
-	doneF := make([]bool, n)
-	doneB := make([]bool, n)
-	distF[src] = 0
-	distB[dst] = 0
-	hf, hb := &minHeap{}, &minHeap{}
-	hf.push(item{v: src})
-	hb.push(item{v: dst})
-
-	best := math.Inf(1)
-	var meet roadnet.VertexID = -1
-
-	relaxF := func(v roadnet.VertexID, d float64) {
-		for _, eid := range g.OutEdges(v) {
-			e := g.Edge(eid)
-			nd := d + w(e)
-			if nd < distF[e.To] {
-				distF[e.To] = nd
-				parentF[e.To] = eid
-				hf.push(item{v: e.To, dist: nd})
-			}
-			if distB[e.To] != unreached && nd+distB[e.To] < best {
-				best = nd + distB[e.To]
-				meet = e.To
-			}
-		}
-	}
-	relaxB := func(v roadnet.VertexID, d float64) {
-		for _, eid := range g.InEdges(v) {
-			e := g.Edge(eid)
-			nd := d + w(e)
-			if nd < distB[e.From] {
-				distB[e.From] = nd
-				parentB[e.From] = eid
-				hb.push(item{v: e.From, dist: nd})
-			}
-			if distF[e.From] != unreached && nd+distF[e.From] < best {
-				best = nd + distF[e.From]
-				meet = e.From
-			}
-		}
-	}
-
-	for !hf.empty() || !hb.empty() {
-		var topF, topB float64 = math.Inf(1), math.Inf(1)
-		if !hf.empty() {
-			topF = hf.a[0].dist
-		}
-		if !hb.empty() {
-			topB = hb.a[0].dist
-		}
-		if topF+topB >= best {
-			break
-		}
-		if topF <= topB {
-			it := hf.pop()
-			if doneF[it.v] {
-				continue
-			}
-			doneF[it.v] = true
-			if distB[it.v] != unreached && it.dist+distB[it.v] < best {
-				best = it.dist + distB[it.v]
-				meet = it.v
-			}
-			relaxF(it.v, it.dist)
-		} else {
-			it := hb.pop()
-			if doneB[it.v] {
-				continue
-			}
-			doneB[it.v] = true
-			if distF[it.v] != unreached && it.dist+distF[it.v] < best {
-				best = it.dist + distF[it.v]
-				meet = it.v
-			}
-			relaxB(it.v, it.dist)
-		}
-	}
-	if meet < 0 {
-		return Path{}, ErrNoPath
-	}
-
-	forward := reconstruct(g, parentF, src, meet, distF[meet])
-	// Walk backward parents from meet to dst.
-	var backEdges []roadnet.EdgeID
-	v := meet
-	for v != dst {
-		eid := parentB[v]
-		backEdges = append(backEdges, eid)
-		v = g.Edge(eid).To
-	}
-	edges := append(forward.Edges, backEdges...)
-	vertices := make([]roadnet.VertexID, 0, len(edges)+1)
-	vertices = append(vertices, src)
-	for _, eid := range edges {
-		vertices = append(vertices, g.Edge(eid).To)
-	}
-	return Path{Vertices: vertices, Edges: edges, Cost: best}, nil
+	ws := GetWorkspace(g)
+	defer ws.Release()
+	return ws.BidirectionalDijkstra(g, src, dst, w)
 }

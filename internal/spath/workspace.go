@@ -1,0 +1,580 @@
+package spath
+
+import (
+	"math"
+	"sync"
+
+	"pathrank/internal/geo"
+	"pathrank/internal/roadnet"
+)
+
+// Workspace holds the per-query state of a shortest-path search — distance
+// and parent arrays, settled marks and the priority queue — so that repeated
+// queries on the same graph reuse memory instead of allocating O(n) fresh
+// state each time. Visited marks are generation-stamped: starting a new
+// query bumps a counter instead of clearing the arrays, so query setup is
+// O(1) regardless of graph size.
+//
+// A Workspace is not safe for concurrent use; acquire one per goroutine with
+// GetWorkspace. Yen's TopK issues hundreds of Dijkstra calls per candidate
+// set through a single Workspace, which is where the reuse pays off most.
+type Workspace struct {
+	// Forward search state, indexed by vertex.
+	dist   []float64
+	parent []roadnet.EdgeID
+	reach  []uint32 // dist/parent valid iff reach[v] == gen
+
+	// Backward search state for bidirectional queries.
+	distB   []float64
+	parentB []roadnet.EdgeID
+	reachB  []uint32
+
+	gen uint32
+
+	heap  heap4
+	heapB heap4
+
+	// wts caches the weight of every edge for the current query's Weight
+	// function, so the relaxation loop pays one array load instead of an
+	// indirect call with an Edge-struct argument. Yen's TopK fills it once
+	// and shares it across all spur queries.
+	wts []float64
+
+	// Ban stamps for constrained (Yen spur) queries.
+	banV   []uint32
+	banE   []uint32
+	banGen uint32
+
+	// Goal-heuristic cache for constrained A* spur queries: all spur
+	// queries of one TopK call share the same destination, so the scaled
+	// straight-line lower bound is memoized per vertex.
+	heurV     []float64
+	heurStamp []uint32
+	heurGen   uint32
+	heurPt    geo.Point
+	heurScale float64
+}
+
+// NewWorkspace returns an empty workspace; its arrays are sized lazily to
+// whichever graph is queried first. Use it when one goroutine owns a
+// long-lived workspace; otherwise prefer GetWorkspace/Release.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// wsPool recycles workspaces across package-level query functions.
+var wsPool = sync.Pool{New: func() any { return &Workspace{} }}
+
+// GetWorkspace returns a pooled Workspace sized for g. Call Release when
+// done to return it to the pool.
+func GetWorkspace(g *roadnet.Graph) *Workspace {
+	ws := wsPool.Get().(*Workspace)
+	ws.ensure(g)
+	return ws
+}
+
+// Release returns the workspace to the shared pool. The workspace must not
+// be used after Release.
+func (ws *Workspace) Release() { wsPool.Put(ws) }
+
+// ensure grows the vertex-indexed arrays to cover g.
+func (ws *Workspace) ensure(g *roadnet.Graph) {
+	n := g.NumVertices()
+	if len(ws.dist) < n {
+		ws.dist = make([]float64, n)
+		ws.parent = make([]roadnet.EdgeID, n)
+		ws.reach = make([]uint32, n)
+		ws.distB = make([]float64, n)
+		ws.parentB = make([]roadnet.EdgeID, n)
+		ws.reachB = make([]uint32, n)
+		ws.banV = make([]uint32, n)
+		ws.gen = 0
+		// banV and banE share banGen: resetting it invalidates stamps in
+		// the fresh banV, so the retained banE must be cleared too or its
+		// stale stamps would read as banned once the counter climbs back.
+		clearU32(ws.banE)
+		ws.banGen = 0
+	}
+	ws.heap.ensure(n)
+	ws.heapB.ensure(n)
+}
+
+// begin starts a new query generation: O(1) instead of clearing the arrays.
+func (ws *Workspace) begin() {
+	ws.gen++
+	if ws.gen == 0 { // stamp wrap: clear once every 2^32 queries
+		clearU32(ws.reach)
+		clearU32(ws.reachB)
+		ws.gen = 1
+	}
+	ws.heap.reset()
+}
+
+func (ws *Workspace) beginBidirectional() {
+	ws.begin()
+	ws.heapB.reset()
+}
+
+func clearU32(s []uint32) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// fillWeights evaluates w once per edge into the workspace's weight cache
+// and records the best cost-per-meter ratio, which makes the straight-line
+// distance an admissible, consistent lower bound under w (the same
+// construction the package-level AStar uses).
+func (ws *Workspace) fillWeights(g *roadnet.Graph, w Weight) {
+	m := g.NumEdges()
+	if cap(ws.wts) < m {
+		ws.wts = make([]float64, m)
+	}
+	ws.wts = ws.wts[:m]
+	scale := math.Inf(1)
+	for i := 0; i < m; i++ {
+		e := g.Edge(roadnet.EdgeID(i))
+		wt := w(e)
+		ws.wts[i] = wt
+		if r := wt / e.Length; r < scale {
+			scale = r
+		}
+	}
+	if math.IsInf(scale, 1) {
+		scale = 0
+	}
+	ws.heurScale = scale
+}
+
+// setGoal points the heuristic cache at dst, invalidating memoized bounds.
+func (ws *Workspace) setGoal(g *roadnet.Graph, dst roadnet.VertexID) {
+	n := g.NumVertices()
+	if len(ws.heurV) < n {
+		ws.heurV = make([]float64, n)
+		ws.heurStamp = make([]uint32, n)
+		ws.heurGen = 0
+	}
+	ws.heurGen++
+	if ws.heurGen == 0 {
+		clearU32(ws.heurStamp)
+		ws.heurGen = 1
+	}
+	ws.heurPt = g.Vertex(dst).Point
+}
+
+// heurTo returns the memoized admissible lower bound from v to the goal.
+func (ws *Workspace) heurTo(g *roadnet.Graph, v roadnet.VertexID) float64 {
+	if ws.heurStamp[v] != ws.heurGen {
+		ws.heurStamp[v] = ws.heurGen
+		ws.heurV[v] = geo.Distance(g.Vertex(v).Point, ws.heurPt) * ws.heurScale
+	}
+	return ws.heurV[v]
+}
+
+// --- Ban stamps (Yen spur queries) ---
+
+// resetBans starts a fresh banned set; the edge-stamp array is grown lazily
+// because it is indexed by edge, not vertex.
+func (ws *Workspace) resetBans(g *roadnet.Graph) {
+	if len(ws.banE) < g.NumEdges() {
+		ws.banE = make([]uint32, g.NumEdges())
+		// Same invariant as ensure: a banGen reset must invalidate the
+		// stamps in the retained banV as well.
+		clearU32(ws.banV)
+		ws.banGen = 0
+	}
+	ws.banGen++
+	if ws.banGen == 0 {
+		clearU32(ws.banV)
+		clearU32(ws.banE)
+		ws.banGen = 1
+	}
+}
+
+func (ws *Workspace) banVertex(v roadnet.VertexID) { ws.banV[v] = ws.banGen }
+func (ws *Workspace) banEdge(e roadnet.EdgeID)     { ws.banE[e] = ws.banGen }
+
+func (ws *Workspace) vertexBanned(v roadnet.VertexID) bool { return ws.banV[v] == ws.banGen }
+func (ws *Workspace) edgeBanned(e roadnet.EdgeID) bool     { return ws.banE[e] == ws.banGen }
+
+// --- Searches ---
+
+// Dijkstra is the workspace-backed equivalent of the package-level Dijkstra.
+// Weights are evaluated inline: a single early-terminating query touches
+// each edge at most once, so the O(E) weight cache would cost more than it
+// saves (TopK and DijkstraAll do use the cache, where it is reused).
+func (ws *Workspace) Dijkstra(g *roadnet.Graph, src, dst roadnet.VertexID, w Weight) (Path, error) {
+	if src == dst {
+		return Path{Vertices: []roadnet.VertexID{src}}, nil
+	}
+	ws.ensure(g)
+	ws.begin()
+	gen := ws.gen
+	ws.dist[src] = 0
+	ws.reach[src] = gen
+	ws.heap.push(src, 0)
+	for !ws.heap.empty() {
+		v, d := ws.heap.pop()
+		if v == dst {
+			return reconstruct(g, ws.parent, src, dst, d), nil
+		}
+		outs := g.OutEdges(v)
+		tos := g.OutNeighbors(v)
+		for i, eid := range outs {
+			to := tos[i]
+			nd := d + w(g.Edge(eid))
+			if ws.reach[to] != gen || nd < ws.dist[to] {
+				ws.dist[to] = nd
+				ws.reach[to] = gen
+				ws.parent[to] = eid
+				ws.heap.update(to, nd)
+			}
+		}
+	}
+	return Path{}, ErrNoPath
+}
+
+// dijkstraCore runs the relaxation loop using the cached edge weights,
+// stopping when dst is settled (pass dst < 0 to settle the whole graph).
+// It reports whether dst was reached; distances and parents are left in the
+// workspace arrays under the current generation.
+func (ws *Workspace) dijkstraCore(g *roadnet.Graph, src, dst roadnet.VertexID) bool {
+	ws.begin()
+	ws.dist[src] = 0
+	ws.reach[src] = ws.gen
+	ws.heap.push(src, 0)
+	gen := ws.gen
+	for !ws.heap.empty() {
+		v, d := ws.heap.pop()
+		if v == dst {
+			return true
+		}
+		outs := g.OutEdges(v)
+		tos := g.OutNeighbors(v)
+		for i, eid := range outs {
+			to := tos[i]
+			nd := d + ws.wts[eid]
+			if ws.reach[to] != gen || nd < ws.dist[to] {
+				ws.dist[to] = nd
+				ws.reach[to] = gen
+				ws.parent[to] = eid
+				ws.heap.update(to, nd)
+			}
+		}
+	}
+	return false
+}
+
+// DijkstraAll computes minimum costs from src to every vertex, writing into
+// a freshly allocated result slice (the API contract of the package-level
+// DijkstraAll); intermediate search state is reused.
+func (ws *Workspace) DijkstraAll(g *roadnet.Graph, src roadnet.VertexID, w Weight) []float64 {
+	ws.ensure(g)
+	ws.fillWeights(g, w)
+	ws.dijkstraCore(g, src, -1)
+	n := g.NumVertices()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if ws.reach[i] == ws.gen {
+			out[i] = ws.dist[i]
+		} else {
+			out[i] = math.Inf(1)
+		}
+	}
+	return out
+}
+
+// AStar is the workspace-backed equivalent of the package-level AStar. It
+// shares the weight cache, admissible scale, and memoized goal heuristic
+// with Yen's spur searches.
+func (ws *Workspace) AStar(g *roadnet.Graph, src, dst roadnet.VertexID, w Weight) (Path, error) {
+	if src == dst {
+		return Path{Vertices: []roadnet.VertexID{src}}, nil
+	}
+	ws.ensure(g)
+	ws.fillWeights(g, w)
+	ws.setGoal(g, dst)
+	ws.begin()
+	gen := ws.gen
+	ws.dist[src] = 0
+	ws.reach[src] = gen
+	ws.heap.push(src, ws.heurTo(g, src))
+	for !ws.heap.empty() {
+		v, _ := ws.heap.pop()
+		if v == dst {
+			return reconstruct(g, ws.parent, src, dst, ws.dist[dst]), nil
+		}
+		dv := ws.dist[v]
+		outs := g.OutEdges(v)
+		tos := g.OutNeighbors(v)
+		for i, eid := range outs {
+			to := tos[i]
+			nd := dv + ws.wts[eid]
+			if ws.reach[to] != gen || nd < ws.dist[to] {
+				ws.dist[to] = nd
+				ws.reach[to] = gen
+				ws.parent[to] = eid
+				ws.heap.update(to, nd+ws.heurTo(g, to))
+			}
+		}
+	}
+	return Path{}, ErrNoPath
+}
+
+// BidirectionalDijkstra is the workspace-backed equivalent of the
+// package-level BidirectionalDijkstra.
+func (ws *Workspace) BidirectionalDijkstra(g *roadnet.Graph, src, dst roadnet.VertexID, w Weight) (Path, error) {
+	if src == dst {
+		return Path{Vertices: []roadnet.VertexID{src}}, nil
+	}
+	ws.ensure(g)
+	ws.beginBidirectional()
+	gen := ws.gen
+	ws.dist[src] = 0
+	ws.reach[src] = gen
+	ws.distB[dst] = 0
+	ws.reachB[dst] = gen
+	ws.heap.push(src, 0)
+	ws.heapB.push(dst, 0)
+
+	best := math.Inf(1)
+	var meet roadnet.VertexID = -1
+
+	for !ws.heap.empty() || !ws.heapB.empty() {
+		topF, topB := math.Inf(1), math.Inf(1)
+		if !ws.heap.empty() {
+			topF = ws.heap.topKey()
+		}
+		if !ws.heapB.empty() {
+			topB = ws.heapB.topKey()
+		}
+		if topF+topB >= best {
+			break
+		}
+		if topF <= topB {
+			v, d := ws.heap.pop()
+			if ws.reachB[v] == gen && d+ws.distB[v] < best {
+				best = d + ws.distB[v]
+				meet = v
+			}
+			outs := g.OutEdges(v)
+			tos := g.OutNeighbors(v)
+			for i, eid := range outs {
+				to := tos[i]
+				nd := d + w(g.Edge(eid))
+				if ws.reach[to] != gen || nd < ws.dist[to] {
+					ws.dist[to] = nd
+					ws.reach[to] = gen
+					ws.parent[to] = eid
+					ws.heap.update(to, nd)
+				}
+				if ws.reachB[to] == gen && nd+ws.distB[to] < best {
+					best = nd + ws.distB[to]
+					meet = to
+				}
+			}
+		} else {
+			v, d := ws.heapB.pop()
+			if ws.reach[v] == gen && d+ws.dist[v] < best {
+				best = d + ws.dist[v]
+				meet = v
+			}
+			ins := g.InEdges(v)
+			froms := g.InNeighbors(v)
+			for i, eid := range ins {
+				from := froms[i]
+				nd := d + w(g.Edge(eid))
+				if ws.reachB[from] != gen || nd < ws.distB[from] {
+					ws.distB[from] = nd
+					ws.reachB[from] = gen
+					ws.parentB[from] = eid
+					ws.heapB.update(from, nd)
+				}
+				if ws.reach[from] == gen && nd+ws.dist[from] < best {
+					best = nd + ws.dist[from]
+					meet = from
+				}
+			}
+		}
+	}
+	if meet < 0 {
+		return Path{}, ErrNoPath
+	}
+
+	forward := reconstruct(g, ws.parent, src, meet, ws.dist[meet])
+	var backEdges []roadnet.EdgeID
+	v := meet
+	for v != dst {
+		eid := ws.parentB[v]
+		backEdges = append(backEdges, eid)
+		v = g.Edge(eid).To
+	}
+	edges := append(forward.Edges, backEdges...)
+	vertices := make([]roadnet.VertexID, 0, len(edges)+1)
+	vertices = append(vertices, src)
+	for _, eid := range edges {
+		vertices = append(vertices, g.Edge(eid).To)
+	}
+	return Path{Vertices: vertices, Edges: edges, Cost: best}, nil
+}
+
+// dijkstraConstrained finds a minimum-cost path avoiding the workspace's
+// current banned vertex/edge set. It is the spur-path primitive of Yen's
+// algorithm and relies on the weight cache and goal heuristic filled by the
+// enclosing query: the search is goal-directed A* toward the memoized goal,
+// which settles far fewer vertices than a full Dijkstra while returning the
+// same optimal cost.
+func (ws *Workspace) dijkstraConstrained(g *roadnet.Graph, src, dst roadnet.VertexID) (Path, bool) {
+	if ws.vertexBanned(src) || ws.vertexBanned(dst) {
+		return Path{}, false
+	}
+	if src == dst {
+		return Path{Vertices: []roadnet.VertexID{src}}, true
+	}
+	ws.begin()
+	gen := ws.gen
+	ws.dist[src] = 0
+	ws.reach[src] = gen
+	ws.heap.push(src, 0)
+	for !ws.heap.empty() {
+		v, _ := ws.heap.pop()
+		if v == dst {
+			return reconstruct(g, ws.parent, src, dst, ws.dist[dst]), true
+		}
+		d := ws.dist[v]
+		outs := g.OutEdges(v)
+		tos := g.OutNeighbors(v)
+		for i, eid := range outs {
+			if ws.edgeBanned(eid) {
+				continue
+			}
+			to := tos[i]
+			if ws.vertexBanned(to) {
+				continue
+			}
+			nd := d + ws.wts[eid]
+			if ws.reach[to] != gen || nd < ws.dist[to] {
+				ws.dist[to] = nd
+				ws.reach[to] = gen
+				ws.parent[to] = eid
+				ws.heap.update(to, nd+ws.heurTo(g, to))
+			}
+		}
+	}
+	return Path{}, false
+}
+
+// --- Indexed 4-ary min-heap with decrease-key ---
+
+type pqItem struct {
+	key float64
+	v   roadnet.VertexID
+}
+
+// heap4 is an indexed 4-ary min-heap keyed by float64. The position index
+// enables decrease-key, so each vertex appears at most once and the lazy
+// "done" re-check of a binary heap with duplicate entries disappears. 4-ary
+// layout halves the tree depth and keeps sift-down children in one or two
+// cache lines.
+type heap4 struct {
+	it   []pqItem
+	pos  []int32
+	pgen []uint32 // pos valid iff pgen[v] == gen
+	gen  uint32
+}
+
+func (h *heap4) ensure(n int) {
+	if len(h.pos) < n {
+		h.pos = make([]int32, n)
+		h.pgen = make([]uint32, n)
+		h.gen = 0
+	}
+}
+
+func (h *heap4) reset() {
+	h.it = h.it[:0]
+	h.gen++
+	if h.gen == 0 {
+		clearU32(h.pgen)
+		h.gen = 1
+	}
+}
+
+func (h *heap4) empty() bool     { return len(h.it) == 0 }
+func (h *heap4) topKey() float64 { return h.it[0].key }
+
+// push inserts v, assuming it is not present.
+func (h *heap4) push(v roadnet.VertexID, key float64) {
+	h.it = append(h.it, pqItem{key: key, v: v})
+	h.pgen[v] = h.gen
+	h.up(len(h.it) - 1)
+}
+
+// update inserts v or decreases its key; larger keys are ignored.
+func (h *heap4) update(v roadnet.VertexID, key float64) {
+	if h.pgen[v] == h.gen {
+		i := int(h.pos[v])
+		if key >= h.it[i].key {
+			return
+		}
+		h.it[i].key = key
+		h.up(i)
+		return
+	}
+	h.push(v, key)
+}
+
+func (h *heap4) pop() (roadnet.VertexID, float64) {
+	top := h.it[0]
+	last := len(h.it) - 1
+	h.it[0] = h.it[last]
+	h.it = h.it[:last]
+	if last > 0 {
+		h.pos[h.it[0].v] = 0
+		h.down(0)
+	}
+	h.pgen[top.v] = h.gen - 1 // mark absent (any stamp != gen)
+	return top.v, top.key
+}
+
+func (h *heap4) up(i int) {
+	it := h.it[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if h.it[p].key <= it.key {
+			break
+		}
+		h.it[i] = h.it[p]
+		h.pos[h.it[i].v] = int32(i)
+		i = p
+	}
+	h.it[i] = it
+	h.pos[it.v] = int32(i)
+}
+
+func (h *heap4) down(i int) {
+	n := len(h.it)
+	it := h.it[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if h.it[j].key < h.it[best].key {
+				best = j
+			}
+		}
+		if h.it[best].key >= it.key {
+			break
+		}
+		h.it[i] = h.it[best]
+		h.pos[h.it[i].v] = int32(i)
+		i = best
+	}
+	h.it[i] = it
+	h.pos[it.v] = int32(i)
+}

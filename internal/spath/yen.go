@@ -6,67 +6,29 @@ import (
 	"pathrank/internal/roadnet"
 )
 
-// dijkstraConstrained runs Dijkstra avoiding banned vertices and edges. It
-// is the spur-path primitive of Yen's algorithm.
-func dijkstraConstrained(g *roadnet.Graph, src, dst roadnet.VertexID, w Weight,
-	bannedVertex map[roadnet.VertexID]bool, bannedEdge map[roadnet.EdgeID]bool) (Path, bool) {
-
-	if bannedVertex[src] || bannedVertex[dst] {
-		return Path{}, false
-	}
-	if src == dst {
-		return Path{Vertices: []roadnet.VertexID{src}}, true
-	}
-	n := g.NumVertices()
-	dist := make([]float64, n)
-	for i := range dist {
-		dist[i] = unreached
-	}
-	parentEdge := make([]roadnet.EdgeID, n)
-	done := make([]bool, n)
-	dist[src] = 0
-	h := &minHeap{}
-	h.push(item{v: src})
-	for !h.empty() {
-		it := h.pop()
-		if done[it.v] {
-			continue
-		}
-		done[it.v] = true
-		if it.v == dst {
-			return reconstruct(g, parentEdge, src, dst, dist[dst]), true
-		}
-		for _, eid := range g.OutEdges(it.v) {
-			if bannedEdge[eid] {
-				continue
-			}
-			e := g.Edge(eid)
-			if bannedVertex[e.To] {
-				continue
-			}
-			nd := it.dist + w(e)
-			if nd < dist[e.To] {
-				dist[e.To] = nd
-				parentEdge[e.To] = eid
-				h.push(item{v: e.To, dist: nd})
-			}
-		}
-	}
-	return Path{}, false
-}
-
 // TopK returns up to k loopless shortest paths from src to dst in increasing
 // cost order, using Yen's algorithm. This implements the paper's TkDI
 // candidate-generation strategy ("top-k shortest paths w.r.t. distance").
 // It returns ErrNoPath if even the shortest path does not exist.
+//
+// All spur queries share one pooled Workspace: the banned vertex/edge sets
+// are generation-stamped arrays rather than per-iteration maps, so a k=5
+// enumeration on a large network performs no per-query O(n) allocation.
 func TopK(g *roadnet.Graph, src, dst roadnet.VertexID, k int, w Weight) ([]Path, error) {
 	if k <= 0 {
 		return nil, nil
 	}
-	first, err := Dijkstra(g, src, dst, w)
+	ws := GetWorkspace(g)
+	defer ws.Release()
+
+	first, err := ws.Dijkstra(g, src, dst, w)
 	if err != nil {
 		return nil, err
 	}
+	// One weight evaluation per edge and one goal-heuristic cache, shared
+	// by every spur query below.
+	ws.fillWeights(g, w)
+	ws.setGoal(g, dst)
 	paths := []Path{first}
 	type candidate struct {
 		p Path
@@ -83,20 +45,19 @@ func TopK(g *roadnet.Graph, src, dst roadnet.VertexID, k int, w Weight) ([]Path,
 			rootVertices := prev.Vertices[:i+1]
 			rootEdges := prev.Edges[:i]
 
-			bannedEdge := make(map[roadnet.EdgeID]bool)
+			ws.resetBans(g)
 			// Ban the next edge of every accepted path sharing this root.
 			for _, p := range paths {
 				if sharesRoot(p, rootVertices) && len(p.Edges) > i {
-					bannedEdge[p.Edges[i]] = true
+					ws.banEdge(p.Edges[i])
 				}
 			}
 			// Ban root vertices (except the spur) to keep paths loopless.
-			bannedVertex := make(map[roadnet.VertexID]bool, i)
 			for _, v := range rootVertices[:i] {
-				bannedVertex[v] = true
+				ws.banVertex(v)
 			}
 
-			spurPath, ok := dijkstraConstrained(g, spur, dst, w, bannedVertex, bannedEdge)
+			spurPath, ok := ws.dijkstraConstrained(g, spur, dst)
 			if !ok {
 				continue
 			}

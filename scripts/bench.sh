@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# bench.sh — run the full benchmark suite on the quick world and record
+# machine-readable results, seeding the repository's perf trajectory.
+#
+# Usage: scripts/bench.sh [output.json] [bench-regex]
+#
+#   output.json  destination file (default: BENCH_1.json in the repo root)
+#   bench-regex  go test -bench pattern (default: . — everything)
+#
+# PATHRANK_BENCH_QUICK=1 selects the scaled-down experiment world so the
+# macro benchmarks (full paper tables) finish in seconds; unset it in the
+# environment-variable override below for paper-scale numbers.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_1.json}"
+PATTERN="${2:-.}"
+QUICK="${PATHRANK_BENCH_QUICK:-1}"
+# One iteration keeps the macro table benchmarks cheap; override with e.g.
+# BENCHTIME=1s for stable micro-benchmark numbers.
+BENCHTIME="${BENCHTIME:-1x}"
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+PATHRANK_BENCH_QUICK="$QUICK" go test -run '^$' -bench "$PATTERN" -benchmem -benchtime="$BENCHTIME" ./... | tee "$RAW"
+
+awk -v quick="$QUICK" '
+BEGIN {
+    n = 0
+}
+/^Benchmark/ {
+    name = $1
+    iters = $2
+    line = "    {\"name\": \"" name "\", \"iterations\": " iters
+    for (i = 3; i + 1 <= NF; i += 2) {
+        val = $i
+        unit = $(i + 1)
+        key = unit
+        if (unit == "ns/op") key = "ns_per_op"
+        else if (unit == "B/op") key = "bytes_per_op"
+        else if (unit == "allocs/op") key = "allocs_per_op"
+        else if (unit == "MB/s") key = "mb_per_s"
+        gsub(/[^A-Za-z0-9_]/, "_", key)
+        line = line ", \"" key "\": " val
+    }
+    line = line "}"
+    rows[n++] = line
+}
+END {
+    print "{"
+    print "  \"quick\": " (quick != "" ? "true" : "false") ","
+    print "  \"benchmarks\": ["
+    for (i = 0; i < n; i++) {
+        printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
+    }
+    print "  ]"
+    print "}"
+}
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"
