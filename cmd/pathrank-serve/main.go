@@ -1,0 +1,75 @@
+// Command pathrank-serve exposes a trained PathRank artifact as an online
+// ranking service over HTTP.
+//
+// It loads an artifact bundle (written by pathrank-train -artifact or
+// pathrank.SaveArtifactFile) at startup and answers ranking queries until
+// terminated, draining in-flight requests on SIGINT/SIGTERM:
+//
+//	pathrank-serve -artifact model.prart -addr :8080
+//
+// API:
+//
+//	POST /v1/rank    {"src": 12, "dst": 431, "k": 5}  -> ranked paths, best first
+//	GET  /healthz    liveness and artifact shape
+//	GET  /metrics    expvar counters (requests, cache, singleflight, batching)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pathrank/internal/pathrank"
+	"pathrank/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pathrank-serve: ")
+
+	artifactPath := flag.String("artifact", "model.prart", "trained artifact bundle")
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	cacheSize := flag.Int("cache", 4096, "LRU result-cache entries (negative disables)")
+	batchWindow := flag.Duration("batch-window", 0, "micro-batch gather window (0 disables batching)")
+	batchMax := flag.Int("batch-max-paths", 256, "max paths per micro-batched scoring sweep")
+	maxK := flag.Int("max-k", 32, "largest per-request candidate-set override")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+	flag.Parse()
+
+	start := time.Now()
+	art, err := pathrank.LoadArtifactFile(*artifactPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %s in %v: %d vertices, %d edges, %d params, strategy %s k=%d",
+		*artifactPath, time.Since(start).Round(time.Millisecond),
+		art.Graph.NumVertices(), art.Graph.NumEdges(), art.Model.NumParams(),
+		art.Candidates.Strategy, art.Candidates.K)
+
+	srv, err := serve.New(art, serve.Config{
+		Addr:            *addr,
+		CacheSize:       *cacheSize,
+		BatchWindow:     *batchWindow,
+		BatchMaxPaths:   *batchMax,
+		MaxK:            *maxK,
+		ShutdownTimeout: *drain,
+		OnListen: func(a net.Addr) {
+			log.Printf("listening on %s", a)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Run(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("shut down cleanly")
+}

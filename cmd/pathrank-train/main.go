@@ -48,6 +48,7 @@ func main() {
 	testFrac := flag.Float64("test-frac", 0.25, "held-out query fraction")
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("out", "model.gob", "output path for the trained model")
+	artifactOut := flag.String("artifact", "", "also write a complete serving artifact (network + embeddings + model) to this path")
 	flag.Parse()
 
 	g, err := roadnet.LoadFile(*netPath)
@@ -119,6 +120,19 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("model -> %s\n", *out)
+
+	if *artifactOut != "" {
+		art := &pathrank.Artifact{
+			Graph:      g,
+			Embeddings: pipe.Embeddings,
+			Model:      pipe.Model,
+			Candidates: dcfg,
+		}
+		if err := pathrank.SaveArtifactFile(*artifactOut, art); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("artifact -> %s (serve with: pathrank-serve -artifact %s)\n", *artifactOut, *artifactOut)
+	}
 }
 
 func loadTrips(path string) ([]traj.Trip, error) {

@@ -1,6 +1,8 @@
 package nn
 
 import (
+	"bytes"
+	"crypto/sha256"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -48,4 +50,33 @@ func LoadParams(r io.Reader, params []*Param) error {
 		p.Frozen = pw.Frozen
 	}
 	return nil
+}
+
+// MarshalParams returns the SaveParams encoding of params as a byte slice,
+// for callers that embed model weights inside a larger container (the
+// pathrank artifact bundle).
+func MarshalParams(params []*Param) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, params); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalParams loads weights produced by MarshalParams into params,
+// matching by position and verifying name and shape.
+func UnmarshalParams(data []byte, params []*Param) error {
+	return LoadParams(bytes.NewReader(data), params)
+}
+
+// ParamsFingerprint returns a SHA-256 digest over the names, shapes, frozen
+// flags, and exact weight encodings of params. Two models have the same
+// fingerprint iff their trainable state is bit-identical, which is how the
+// artifact round-trip tests prove a reloaded model ranks identically.
+func ParamsFingerprint(params []*Param) ([sha256.Size]byte, error) {
+	data, err := MarshalParams(params)
+	if err != nil {
+		return [sha256.Size]byte{}, err
+	}
+	return sha256.Sum256(data), nil
 }

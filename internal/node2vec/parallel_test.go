@@ -73,6 +73,12 @@ func TestSerialWalksUnchangedByScratchBuffer(t *testing.T) {
 // finite, useful embeddings: neighboring vertices should be more similar
 // than distant ones on average, same as the serial trainer.
 func TestHogwildTrainingConverges(t *testing.T) {
+	if raceEnabled {
+		// Hogwild's lock-free weight updates are a documented, intentional
+		// data race (see TrainConfig.Workers); under -race they would be
+		// reported as a failure.
+		t.Skip("hogwild SGNS races by design; skipping under -race")
+	}
 	g := parallelTestGraph(t)
 	walks := GenerateWalks(g, WalkConfig{WalksPerVertex: 6, WalkLength: 20, P: 1, Q: 0.5, Seed: 6, Workers: 4})
 	cfg := TrainConfig{Dim: 16, Window: 4, Negatives: 4, Epochs: 2, LR: 0.05, Seed: 7, Workers: 4}

@@ -1,0 +1,10 @@
+//go:build race
+
+package node2vec
+
+// raceEnabled reports whether this binary was built with the race
+// detector. Hogwild SGNS (TrainConfig.Workers > 1) updates the shared
+// embedding matrices without locks on purpose — the standard word2vec
+// trade — so its tests skip themselves under -race instead of reporting
+// the intentional races as failures.
+const raceEnabled = true

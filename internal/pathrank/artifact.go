@@ -1,0 +1,223 @@
+package pathrank
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"pathrank/internal/dataset"
+	"pathrank/internal/nn"
+	"pathrank/internal/node2vec"
+	"pathrank/internal/roadnet"
+)
+
+// Artifact is a complete trained PathRank deployment: the road network the
+// model was trained on, the node2vec embeddings (optional — the trained
+// model already contains them in its embedding matrix), the model itself,
+// and the candidate-generation configuration used at query time. It is the
+// unit of persistence between training (pathrank-train) and serving
+// (pathrank-serve).
+type Artifact struct {
+	Graph      *roadnet.Graph
+	Embeddings *node2vec.Embeddings // may be nil
+	Model      *Model
+	Candidates dataset.Config
+}
+
+// NewRanker wraps the artifact's model and graph for query-time use, with
+// the artifact's candidate configuration.
+func (a *Artifact) NewRanker() *Ranker {
+	r := NewRanker(a.Graph, a.Model)
+	if a.Candidates.K > 0 {
+		r.Candidates = a.Candidates
+	}
+	return r
+}
+
+// Fingerprint returns a SHA-256 digest of the model's trainable state.
+// Bit-identical weights produce identical fingerprints.
+func (m *Model) Fingerprint() ([sha256.Size]byte, error) {
+	return nn.ParamsFingerprint(m.params)
+}
+
+// Artifact file format (all integers big-endian):
+//
+//	offset  size  field
+//	     0     8  magic "PRARTFCT"
+//	     8     4  format version (uint32)
+//	    12    32  SHA-256 of the payload
+//	    44     8  payload length in bytes (uint64)
+//	    52     n  payload: gob(artifactWire)
+//
+// The checksum covers every payload byte, so any torn write or bit flip is
+// detected before gob decoding is attempted.
+const artifactVersion = 1
+
+var artifactMagic = [8]byte{'P', 'R', 'A', 'R', 'T', 'F', 'C', 'T'}
+
+// maxArtifactPayload bounds the payload Load will accept; together with
+// the streamed read below it guarantees a corrupt header cannot make the
+// server allocate more than the actual file size at startup.
+const maxArtifactPayload = 1 << 32
+
+// Artifact error sentinels, matchable with errors.Is.
+var (
+	// ErrArtifactFormat reports a file that is not a pathrank artifact.
+	ErrArtifactFormat = errors.New("pathrank: not an artifact file")
+	// ErrArtifactVersion reports an artifact written by an incompatible
+	// format version.
+	ErrArtifactVersion = errors.New("pathrank: unsupported artifact version")
+	// ErrArtifactCorrupt reports a checksum mismatch or truncated payload.
+	ErrArtifactCorrupt = errors.New("pathrank: artifact corrupt")
+)
+
+// artifactWire is the gob payload of an artifact bundle. The graph,
+// embeddings, and weights reuse their packages' own serializers as nested
+// byte sections, so each layer's format can evolve independently.
+type artifactWire struct {
+	ModelConfig Config
+	Candidates  dataset.Config
+	Graph       []byte
+	Embeddings  []byte // empty when the artifact carries no embeddings
+	Params      []byte
+}
+
+// SaveArtifact writes a versioned, checksummed bundle of the artifact to w.
+func SaveArtifact(w io.Writer, a *Artifact) error {
+	if a == nil || a.Graph == nil || a.Model == nil {
+		return fmt.Errorf("pathrank: artifact needs a graph and a model")
+	}
+	var wire artifactWire
+	wire.ModelConfig = a.Model.Config()
+	wire.Candidates = a.Candidates
+
+	var gbuf bytes.Buffer
+	if err := a.Graph.Save(&gbuf); err != nil {
+		return fmt.Errorf("pathrank: artifact graph: %w", err)
+	}
+	wire.Graph = gbuf.Bytes()
+
+	if a.Embeddings != nil {
+		var ebuf bytes.Buffer
+		if err := a.Embeddings.Save(&ebuf); err != nil {
+			return fmt.Errorf("pathrank: artifact embeddings: %w", err)
+		}
+		wire.Embeddings = ebuf.Bytes()
+	}
+
+	params, err := nn.MarshalParams(a.Model.params)
+	if err != nil {
+		return fmt.Errorf("pathrank: artifact weights: %w", err)
+	}
+	wire.Params = params
+
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(wire); err != nil {
+		return fmt.Errorf("pathrank: encode artifact: %w", err)
+	}
+
+	var header [52]byte
+	copy(header[0:8], artifactMagic[:])
+	binary.BigEndian.PutUint32(header[8:12], artifactVersion)
+	sum := sha256.Sum256(payload.Bytes())
+	copy(header[12:44], sum[:])
+	binary.BigEndian.PutUint64(header[44:52], uint64(payload.Len()))
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("pathrank: write artifact header: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("pathrank: write artifact payload: %w", err)
+	}
+	return nil
+}
+
+// LoadArtifact reads a bundle written by SaveArtifact, verifying the magic,
+// format version, and payload checksum before reconstructing the graph and
+// model. The returned model's weights are bit-identical to the saved ones.
+func LoadArtifact(r io.Reader) (*Artifact, error) {
+	var header [52]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrArtifactFormat, err)
+	}
+	if !bytes.Equal(header[0:8], artifactMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrArtifactFormat, header[0:8])
+	}
+	if v := binary.BigEndian.Uint32(header[8:12]); v != artifactVersion {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads version %d",
+			ErrArtifactVersion, v, artifactVersion)
+	}
+	n := binary.BigEndian.Uint64(header[44:52])
+	if n > maxArtifactPayload {
+		return nil, fmt.Errorf("%w: payload length %d exceeds limit", ErrArtifactCorrupt, n)
+	}
+	// Stream the payload instead of make([]byte, n): the buffer grows only
+	// as data actually arrives, so a corrupt length field in a small file
+	// fails fast at EOF instead of attempting a huge allocation up front.
+	var payload bytes.Buffer
+	if _, err := io.CopyN(&payload, r, int64(n)); err != nil {
+		return nil, fmt.Errorf("%w: truncated payload: %v", ErrArtifactCorrupt, err)
+	}
+	if sum := sha256.Sum256(payload.Bytes()); !bytes.Equal(sum[:], header[12:44]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrArtifactCorrupt)
+	}
+
+	var wire artifactWire
+	if err := gob.NewDecoder(&payload).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("%w: decode payload: %v", ErrArtifactCorrupt, err)
+	}
+
+	g, err := roadnet.Load(bytes.NewReader(wire.Graph))
+	if err != nil {
+		return nil, fmt.Errorf("pathrank: artifact graph: %w", err)
+	}
+	model, err := New(g.NumVertices(), wire.ModelConfig)
+	if err != nil {
+		return nil, fmt.Errorf("pathrank: artifact model config: %w", err)
+	}
+	if err := nn.UnmarshalParams(wire.Params, model.params); err != nil {
+		return nil, fmt.Errorf("pathrank: artifact weights: %w", err)
+	}
+	a := &Artifact{Graph: g, Model: model, Candidates: wire.Candidates}
+	if len(wire.Embeddings) > 0 {
+		emb, err := node2vec.LoadEmbeddings(bytes.NewReader(wire.Embeddings))
+		if err != nil {
+			return nil, fmt.Errorf("pathrank: artifact embeddings: %w", err)
+		}
+		a.Embeddings = emb
+	}
+	return a, nil
+}
+
+// SaveArtifactFile writes the artifact to the named file.
+func SaveArtifactFile(path string, a *Artifact) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("pathrank: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	if err := SaveArtifact(bw, a); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("pathrank: flush %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// LoadArtifactFile reads an artifact from the named file.
+func LoadArtifactFile(path string) (*Artifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pathrank: %w", err)
+	}
+	defer f.Close()
+	return LoadArtifact(bufio.NewReader(f))
+}

@@ -1,0 +1,207 @@
+package pathrank
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pathrank/internal/dataset"
+	"pathrank/internal/node2vec"
+	"pathrank/internal/roadnet"
+)
+
+// trainedArtifact builds a small trained pipeline and wraps it in an
+// Artifact, shared by the round-trip tests.
+func trainedArtifact(t testing.TB) *Artifact {
+	t.Helper()
+	w := newTestWorld(t, 6, 2)
+	cfg := smallConfig()
+	m, err := New(w.g.NumVertices(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb := node2vec.Embed(w.g, node2vec.DefaultWalkConfig(), node2vec.DefaultTrainConfig(cfg.EmbeddingDim))
+	if err := m.InitEmbeddings(emb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(w.queries, TrainConfig{Epochs: 2, LR: 0.005, ClipNorm: 5, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return &Artifact{
+		Graph:      w.g,
+		Embeddings: emb,
+		Model:      m,
+		Candidates: dataset.Config{Strategy: dataset.DTkDI, K: 4, Threshold: 0.8},
+	}
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	art := trainedArtifact(t)
+	var buf bytes.Buffer
+	if err := SaveArtifact(&buf, art); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, err := LoadArtifact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+
+	if got.Graph.NumVertices() != art.Graph.NumVertices() || got.Graph.NumEdges() != art.Graph.NumEdges() {
+		t.Fatalf("graph shape changed: %d/%d -> %d/%d",
+			art.Graph.NumVertices(), art.Graph.NumEdges(),
+			got.Graph.NumVertices(), got.Graph.NumEdges())
+	}
+	if got.Candidates != art.Candidates {
+		t.Fatalf("candidate config changed: %+v -> %+v", art.Candidates, got.Candidates)
+	}
+	if got.Model.Config() != art.Model.Config() {
+		t.Fatalf("model config changed: %+v -> %+v", art.Model.Config(), got.Model.Config())
+	}
+	if got.Embeddings == nil || got.Embeddings.Dim != art.Embeddings.Dim {
+		t.Fatal("embeddings not round-tripped")
+	}
+
+	// Weights must be bit-identical.
+	fa, err := art.Model.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := got.Model.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa != fb {
+		t.Fatal("reloaded model weights are not bit-identical")
+	}
+
+	// And therefore rankings must be bit-identical too.
+	ra := art.NewRanker()
+	rb := got.NewRanker()
+	src := roadnet.VertexID(0)
+	dst := roadnet.VertexID(art.Graph.NumVertices() - 1)
+	wantRanked, err := ra.Query(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRanked, err := rb.Query(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantRanked) != len(gotRanked) {
+		t.Fatalf("ranked %d paths, want %d", len(gotRanked), len(wantRanked))
+	}
+	for i := range wantRanked {
+		if wantRanked[i].Score != gotRanked[i].Score {
+			t.Fatalf("rank %d score %v != %v", i, gotRanked[i].Score, wantRanked[i].Score)
+		}
+	}
+}
+
+func TestArtifactFileRoundTrip(t *testing.T) {
+	art := trainedArtifact(t)
+	path := filepath.Join(t.TempDir(), "model.prart")
+	if err := SaveArtifactFile(path, art); err != nil {
+		t.Fatalf("save file: %v", err)
+	}
+	got, err := LoadArtifactFile(path)
+	if err != nil {
+		t.Fatalf("load file: %v", err)
+	}
+	fa, _ := art.Model.Fingerprint()
+	fb, _ := got.Model.Fingerprint()
+	if fa != fb {
+		t.Fatal("file round-trip changed model weights")
+	}
+}
+
+// artifactWithoutEmbeddings proves the embeddings section is optional.
+func TestArtifactWithoutEmbeddings(t *testing.T) {
+	art := trainedArtifact(t)
+	art.Embeddings = nil
+	var buf bytes.Buffer
+	if err := SaveArtifact(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadArtifact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Embeddings != nil {
+		t.Fatal("expected nil embeddings after reload")
+	}
+}
+
+func TestArtifactRejectsGarbage(t *testing.T) {
+	_, err := LoadArtifact(bytes.NewReader([]byte("this is not an artifact at all")))
+	if !errors.Is(err, ErrArtifactFormat) {
+		t.Fatalf("want ErrArtifactFormat, got %v", err)
+	}
+	_, err = LoadArtifact(bytes.NewReader(nil))
+	if !errors.Is(err, ErrArtifactFormat) {
+		t.Fatalf("want ErrArtifactFormat for empty input, got %v", err)
+	}
+}
+
+func TestArtifactRejectsVersionMismatch(t *testing.T) {
+	art := trainedArtifact(t)
+	var buf bytes.Buffer
+	if err := SaveArtifact(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	binary.BigEndian.PutUint32(data[8:12], artifactVersion+41)
+	_, err := LoadArtifact(bytes.NewReader(data))
+	if !errors.Is(err, ErrArtifactVersion) {
+		t.Fatalf("want ErrArtifactVersion, got %v", err)
+	}
+}
+
+func TestArtifactRejectsCorruption(t *testing.T) {
+	art := trainedArtifact(t)
+	var buf bytes.Buffer
+	if err := SaveArtifact(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte: checksum must catch it.
+	data := append([]byte(nil), buf.Bytes()...)
+	data[len(data)-1] ^= 0x40
+	if _, err := LoadArtifact(bytes.NewReader(data)); !errors.Is(err, ErrArtifactCorrupt) {
+		t.Fatalf("want ErrArtifactCorrupt for flipped byte, got %v", err)
+	}
+
+	// Truncate the payload: must be reported as corrupt, not EOF panic.
+	data = buf.Bytes()[:len(buf.Bytes())/2]
+	if _, err := LoadArtifact(bytes.NewReader(data)); !errors.Is(err, ErrArtifactCorrupt) {
+		t.Fatalf("want ErrArtifactCorrupt for truncation, got %v", err)
+	}
+
+	// An absurd length field must not cause a huge allocation attempt.
+	data = append([]byte(nil), buf.Bytes()...)
+	binary.BigEndian.PutUint64(data[44:52], 1<<62)
+	if _, err := LoadArtifact(bytes.NewReader(data)); !errors.Is(err, ErrArtifactCorrupt) {
+		t.Fatalf("want ErrArtifactCorrupt for oversized length, got %v", err)
+	}
+}
+
+func TestArtifactCorruptFileOnDisk(t *testing.T) {
+	art := trainedArtifact(t)
+	path := filepath.Join(t.TempDir(), "model.prart")
+	if err := SaveArtifactFile(path, art); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[60] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadArtifactFile(path); !errors.Is(err, ErrArtifactCorrupt) {
+		t.Fatalf("want ErrArtifactCorrupt, got %v", err)
+	}
+}

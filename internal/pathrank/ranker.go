@@ -28,9 +28,11 @@ func NewRanker(g *roadnet.Graph, m *Model) *Ranker {
 	return &Ranker{Graph: g, Model: m, Candidates: dataset.DefaultConfig()}
 }
 
-// Query generates candidates between src and dst and returns them with
-// model scores, best first.
-func (r *Ranker) Query(src, dst roadnet.VertexID) ([]Ranked, error) {
+// CandidatePaths generates the unranked candidate set between src and dst
+// with the ranker's configured strategy. It is the candidate-generation half
+// of Query, exposed so callers that score through a different path (the
+// serving layer's micro-batcher) produce the same candidates.
+func (r *Ranker) CandidatePaths(src, dst roadnet.VertexID) ([]spath.Path, error) {
 	cfg := r.Candidates
 	if cfg.K <= 0 {
 		cfg = dataset.DefaultConfig()
@@ -52,6 +54,16 @@ func (r *Ranker) Query(src, dst roadnet.VertexID) ([]Ranked, error) {
 	}
 	if err != nil {
 		return nil, fmt.Errorf("pathrank: candidate generation %d->%d: %w", src, dst, err)
+	}
+	return cands, nil
+}
+
+// Query generates candidates between src and dst and returns them with
+// model scores, best first.
+func (r *Ranker) Query(src, dst roadnet.VertexID) ([]Ranked, error) {
+	cands, err := r.CandidatePaths(src, dst)
+	if err != nil {
+		return nil, err
 	}
 	return r.Model.Rank(cands), nil
 }

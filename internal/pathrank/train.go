@@ -148,13 +148,32 @@ type Ranked struct {
 	Score float64
 }
 
-// Rank scores the candidates in parallel and returns them in descending
-// score order. The stable sort keeps the result deterministic under ties.
-func (m *Model) Rank(cands []spath.Path) []Ranked {
-	out := make([]Ranked, len(cands))
+// ScoreBatch scores each candidate in parallel and returns the raw scores
+// in input order. Each worker writes a disjoint index, so the result is
+// bitwise identical for any worker count.
+func (m *Model) ScoreBatch(cands []spath.Path) []float64 {
+	out := make([]float64, len(cands))
 	parallelFor(len(cands), func(i int) {
-		out[i] = Ranked{Path: cands[i], Score: m.Score(cands[i])}
+		out[i] = m.Score(cands[i])
 	})
+	return out
+}
+
+// RankScored pairs candidates with externally computed scores and sorts
+// them in descending score order. The stable sort keeps the result
+// deterministic under ties. It is the ordering half of Rank, shared with
+// callers that score through a batching layer.
+func RankScored(cands []spath.Path, scores []float64) []Ranked {
+	out := make([]Ranked, len(cands))
+	for i := range cands {
+		out[i] = Ranked{Path: cands[i], Score: scores[i]}
+	}
 	sort.SliceStable(out, func(a, b int) bool { return out[a].Score > out[b].Score })
 	return out
+}
+
+// Rank scores the candidates in parallel and returns them in descending
+// score order.
+func (m *Model) Rank(cands []spath.Path) []Ranked {
+	return RankScored(cands, m.ScoreBatch(cands))
 }

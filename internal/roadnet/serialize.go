@@ -30,6 +30,17 @@ func Load(r io.Reader) (*Graph, error) {
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
 		return nil, fmt.Errorf("roadnet: decode graph: %w", err)
 	}
+	// Bounds-check edge endpoints before Build: adjacency construction
+	// indexes by endpoint and would panic on a corrupt stream that gob
+	// happened to decode. Validate re-checks this along with the rest of
+	// the invariants once the graph is assembled.
+	n := VertexID(len(wire.Vertices))
+	for i, e := range wire.Edges {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			return nil, fmt.Errorf("roadnet: loaded graph invalid: edge %d endpoints (%d,%d) out of range [0,%d)",
+				i, e.From, e.To, n)
+		}
+	}
 	b := &Builder{vertices: wire.Vertices, edges: wire.Edges}
 	g := b.Build()
 	if err := g.Validate(); err != nil {

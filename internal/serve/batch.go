@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"pathrank/internal/pathrank"
+	"pathrank/internal/spath"
+)
+
+// batcher coalesces NN scoring work from concurrent requests into larger
+// batches. Model.ScoreBatch fans out across a worker pool whose spin-up
+// cost is amortized poorly by a k=5 candidate set; gathering the candidate
+// sets of requests that arrive within a short window scores them in one
+// parallel sweep. Scores are per-path deterministic, so batched and
+// unbatched serving return bit-identical rankings.
+type batcher struct {
+	model    *pathrank.Model
+	window   time.Duration
+	maxPaths int
+
+	reqs    chan *scoreReq
+	quit    chan struct{}
+	done    chan struct{}
+	flushes sync.WaitGroup
+
+	// onFlush, when non-nil, observes (batched requests, total paths) per
+	// flush; the server wires it to the metrics counters.
+	onFlush func(reqs, paths int)
+}
+
+type scoreReq struct {
+	paths  []spath.Path
+	scores []float64
+	done   chan struct{}
+}
+
+func newBatcher(model *pathrank.Model, window time.Duration, maxPaths int) *batcher {
+	if maxPaths <= 0 {
+		maxPaths = 256
+	}
+	b := &batcher{
+		model:    model,
+		window:   window,
+		maxPaths: maxPaths,
+		reqs:     make(chan *scoreReq),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// score blocks until the batcher has scored paths, falling back to direct
+// scoring when the batcher is stopped.
+func (b *batcher) score(paths []spath.Path) []float64 {
+	if len(paths) == 0 {
+		return nil
+	}
+	req := &scoreReq{paths: paths, done: make(chan struct{})}
+	select {
+	case b.reqs <- req:
+		<-req.done
+		return req.scores
+	case <-b.quit:
+		return b.model.ScoreBatch(paths)
+	}
+}
+
+// stop drains the dispatcher and waits for in-flight scoring sweeps;
+// pending requests are still answered.
+func (b *batcher) stop() {
+	close(b.quit)
+	<-b.done
+	b.flushes.Wait()
+}
+
+func (b *batcher) loop() {
+	defer close(b.done)
+	for {
+		select {
+		case first := <-b.reqs:
+			batch := []*scoreReq{first}
+			total := len(first.paths)
+			timer := time.NewTimer(b.window)
+		gather:
+			for total < b.maxPaths {
+				select {
+				case r := <-b.reqs:
+					batch = append(batch, r)
+					total += len(r.paths)
+				case <-timer.C:
+					break gather
+				case <-b.quit:
+					break gather
+				}
+			}
+			timer.Stop()
+			// Score in a separate goroutine so the next batch can gather
+			// while this one runs: flush touches only its own requests and
+			// the read-only model, so sweeps are safe concurrently, and a
+			// synchronous flush here would serialize all scoring behind
+			// the dispatcher.
+			b.flushes.Add(1)
+			go func() {
+				defer b.flushes.Done()
+				b.flush(batch, total)
+			}()
+		case <-b.quit:
+			return
+		}
+	}
+}
+
+// flush scores the union of the batch in one parallel sweep and hands each
+// request its slice of the results.
+func (b *batcher) flush(batch []*scoreReq, total int) {
+	all := make([]spath.Path, 0, total)
+	for _, r := range batch {
+		all = append(all, r.paths...)
+	}
+	scores := b.model.ScoreBatch(all)
+	off := 0
+	for _, r := range batch {
+		r.scores = scores[off : off+len(r.paths) : off+len(r.paths)]
+		off += len(r.paths)
+		close(r.done)
+	}
+	if b.onFlush != nil {
+		b.onFlush(len(batch), total)
+	}
+}

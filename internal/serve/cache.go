@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"pathrank/internal/pathrank"
+	"pathrank/internal/roadnet"
+)
+
+// queryKey identifies one rank query for caching and in-flight collapsing.
+// The candidate-set size is part of the key because a request may override
+// the artifact's default k.
+type queryKey struct {
+	src, dst roadnet.VertexID
+	k        int
+}
+
+// lruCache is a mutex-guarded LRU map from query to ranked result. Cached
+// values are treated as immutable by all readers.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[queryKey]*list.Element
+}
+
+type lruEntry struct {
+	key queryKey
+	val []pathrank.Ranked
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &lruCache{cap: capacity, ll: list.New(), items: make(map[queryKey]*list.Element, capacity)}
+}
+
+func (c *lruCache) get(key queryKey) ([]pathrank.Ranked, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (c *lruCache) add(key queryKey, val []pathrank.Ranked) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

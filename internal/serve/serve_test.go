@@ -1,0 +1,585 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pathrank/internal/dataset"
+	"pathrank/internal/geo"
+	"pathrank/internal/node2vec"
+	"pathrank/internal/pathrank"
+	"pathrank/internal/roadnet"
+	"pathrank/internal/traj"
+)
+
+var (
+	artOnce sync.Once
+	artErr  error
+	testArt *pathrank.Artifact
+)
+
+// loadedTestArtifact trains a small pipeline once, saves it as a bundle,
+// and returns the re-loaded artifact — so every serve test runs against an
+// artifact that actually went through the persistence layer, as production
+// serving does.
+func loadedTestArtifact(t testing.TB) *pathrank.Artifact {
+	t.Helper()
+	artOnce.Do(func() {
+		g, err := roadnet.Generate(roadnet.GenConfig{
+			Rows: 9, Cols: 9, SpacingM: 250, JitterFrac: 0.2,
+			RemoveFrac: 0.08, ArterialEvery: 4, Motorway: false,
+			Origin: geo.Point{Lon: 10, Lat: 57}, Seed: 11,
+		})
+		if err != nil {
+			artErr = err
+			return
+		}
+		drivers := traj.NewPopulation(traj.PopulationConfig{NumDrivers: 5, Seed: 12})
+		trips, err := traj.GenerateTrips(g, drivers, traj.TripConfig{TripsPerDriver: 2, MinHops: 4, Seed: 13})
+		if err != nil {
+			artErr = err
+			return
+		}
+		queries, err := dataset.Generate(g, trips, dataset.Config{
+			Strategy: dataset.DTkDI, K: 4, Threshold: 0.8, IncludeTruth: true,
+		})
+		if err != nil {
+			artErr = err
+			return
+		}
+		mcfg := pathrank.Config{EmbeddingDim: 12, Hidden: 10, Variant: pathrank.PRA2, Body: pathrank.GRUBody, Seed: 7}
+		model, err := pathrank.New(g.NumVertices(), mcfg)
+		if err != nil {
+			artErr = err
+			return
+		}
+		emb := node2vec.Embed(g, node2vec.DefaultWalkConfig(), node2vec.DefaultTrainConfig(mcfg.EmbeddingDim))
+		if err := model.InitEmbeddings(emb); err != nil {
+			artErr = err
+			return
+		}
+		if _, err := model.Train(queries, pathrank.TrainConfig{Epochs: 2, LR: 0.005, ClipNorm: 5, Seed: 1}); err != nil {
+			artErr = err
+			return
+		}
+		art := &pathrank.Artifact{
+			Graph: g, Embeddings: emb, Model: model,
+			Candidates: dataset.Config{Strategy: dataset.DTkDI, K: 4, Threshold: 0.8},
+		}
+		var buf bytes.Buffer
+		if err := pathrank.SaveArtifact(&buf, art); err != nil {
+			artErr = err
+			return
+		}
+		testArt, artErr = pathrank.LoadArtifact(bytes.NewReader(buf.Bytes()))
+	})
+	if artErr != nil {
+		t.Fatalf("build test artifact: %v", artErr)
+	}
+	return testArt
+}
+
+func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(loadedTestArtifact(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postRank(t testing.TB, url string, req RankRequest) (*http.Response, RankResponse) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/rank", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rr RankResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return resp, rr
+}
+
+// TestServeRankMatchesInProcess is the acceptance test: rankings served
+// over HTTP from a loaded artifact are bit-identical to in-process
+// Ranker.Query results (encoding/json float64 round-trips exactly).
+func TestServeRankMatchesInProcess(t *testing.T) {
+	art := loadedTestArtifact(t)
+	_, ts := newTestServer(t, Config{})
+	ranker := art.NewRanker()
+
+	n := art.Graph.NumVertices()
+	pairs := [][2]int64{{0, int64(n - 1)}, {3, int64(n / 2)}, {int64(n - 1), 5}}
+	for _, pair := range pairs {
+		src, dst := pair[0], pair[1]
+		want, err := ranker.Query(roadnet.VertexID(src), roadnet.VertexID(dst))
+		if err != nil {
+			t.Fatalf("in-process query %d->%d: %v", src, dst, err)
+		}
+		resp, rr := postRank(t, ts.URL, RankRequest{Src: src, Dst: dst})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d->%d: status %d", src, dst, resp.StatusCode)
+		}
+		if len(rr.Paths) != len(want) {
+			t.Fatalf("query %d->%d: %d paths, want %d", src, dst, len(rr.Paths), len(want))
+		}
+		for i, p := range rr.Paths {
+			if p.Score != want[i].Score {
+				t.Fatalf("query %d->%d rank %d: score %v != in-process %v",
+					src, dst, i+1, p.Score, want[i].Score)
+			}
+			if len(p.Vertices) != len(want[i].Path.Vertices) {
+				t.Fatalf("query %d->%d rank %d: vertex count mismatch", src, dst, i+1)
+			}
+			for j, v := range p.Vertices {
+				if roadnet.VertexID(v) != want[i].Path.Vertices[j] {
+					t.Fatalf("query %d->%d rank %d: vertex %d mismatch", src, dst, i+1, j)
+				}
+			}
+			if p.Rank != i+1 {
+				t.Fatalf("rank field %d, want %d", p.Rank, i+1)
+			}
+		}
+	}
+}
+
+// TestServeRankBatchedMatchesInProcess proves micro-batching changes
+// nothing about the results, even under concurrency.
+func TestServeRankBatchedMatchesInProcess(t *testing.T) {
+	art := loadedTestArtifact(t)
+	_, ts := newTestServer(t, Config{
+		BatchWindow:   2 * time.Millisecond,
+		BatchMaxPaths: 64,
+		CacheSize:     -1, // force every request through scoring
+	})
+	ranker := art.NewRanker()
+	n := art.Graph.NumVertices()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := int64(w % n)
+			dst := int64(n - 1 - w%n)
+			if src == dst {
+				dst = (dst + 1) % int64(n)
+			}
+			want, err := ranker.Query(roadnet.VertexID(src), roadnet.VertexID(dst))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp, rr := postRank(t, ts.URL, RankRequest{Src: src, Dst: dst})
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			for i, p := range rr.Paths {
+				if p.Score != want[i].Score {
+					errs <- fmt.Errorf("batched query %d->%d rank %d: %v != %v",
+						src, dst, i+1, p.Score, want[i].Score)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestServeCacheHit(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := RankRequest{Src: 1, Dst: int64(s.art.Graph.NumVertices() - 2)}
+
+	_, first := postRank(t, ts.URL, req)
+	if first.Cached {
+		t.Fatal("first request should not be cached")
+	}
+	_, second := postRank(t, ts.URL, req)
+	if !second.Cached {
+		t.Fatal("second identical request should be served from cache")
+	}
+	if len(first.Paths) != len(second.Paths) {
+		t.Fatal("cached response differs")
+	}
+	for i := range first.Paths {
+		if first.Paths[i].Score != second.Paths[i].Score {
+			t.Fatal("cached score differs")
+		}
+	}
+	if s.cacheHits.Value() == 0 {
+		t.Fatal("cache_hits metric not incremented")
+	}
+}
+
+func TestServeRankValidation(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	n := int64(s.art.Graph.NumVertices())
+
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"not json", "{", http.StatusBadRequest},
+		{"unknown field", `{"src":0,"dst":1,"nope":3}`, http.StatusBadRequest},
+		{"src out of range", fmt.Sprintf(`{"src":%d,"dst":1}`, n), http.StatusBadRequest},
+		{"negative dst", `{"src":0,"dst":-4}`, http.StatusBadRequest},
+		{"k too large", `{"src":0,"dst":1,"k":1000}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/rank", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/v1/rank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/rank: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestServeNoPath serves a disconnected two-island graph and expects 404.
+func TestServeNoPath(t *testing.T) {
+	b := roadnet.NewBuilder(4, 4)
+	v0 := b.AddVertex(geo.Point{Lon: 10, Lat: 57})
+	v1 := b.AddVertex(geo.Point{Lon: 10.01, Lat: 57})
+	v2 := b.AddVertex(geo.Point{Lon: 10.02, Lat: 57})
+	v3 := b.AddVertex(geo.Point{Lon: 10.03, Lat: 57})
+	b.AddBidirectional(v0, v1, roadnet.Residential)
+	b.AddBidirectional(v2, v3, roadnet.Residential)
+	g := b.Build()
+
+	model, err := pathrank.New(g.NumVertices(), pathrank.Config{
+		EmbeddingDim: 4, Hidden: 4, Variant: pathrank.PRA2, Body: pathrank.GRUBody, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(&pathrank.Artifact{Graph: g, Model: model}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, _ := postRank(t, ts.URL, RankRequest{Src: int64(v0), Dst: int64(v2)})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disconnected query: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServeHealthzAndMetrics(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["status"] != "ok" {
+		t.Fatalf("healthz status = %v", health["status"])
+	}
+	if int(health["vertices"].(float64)) != s.art.Graph.NumVertices() {
+		t.Fatal("healthz vertex count mismatch")
+	}
+
+	postRank(t, ts.URL, RankRequest{Src: 0, Dst: 8})
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics struct {
+		Serve    map[string]json.Number `json:"serve"`
+		Memstats map[string]any         `json:"memstats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatalf("metrics not valid JSON: %v", err)
+	}
+	resp.Body.Close()
+	if v, _ := metrics.Serve["requests_total"].Int64(); v < 2 {
+		t.Fatalf("requests_total = %v, want >= 2", v)
+	}
+	if _, ok := metrics.Serve["cache_misses"]; !ok {
+		t.Fatal("metrics missing cache_misses")
+	}
+	if len(metrics.Memstats) == 0 {
+		t.Fatal("metrics missing memstats")
+	}
+}
+
+// TestSingleflightCollapses drives the flight group directly: concurrent
+// callers with one key must share a single computation.
+func TestSingleflightCollapses(t *testing.T) {
+	g := newFlightGroup()
+	key := queryKey{src: 1, dst: 2, k: 3}
+
+	var calls int
+	gate := make(chan struct{})
+	started := make(chan struct{})
+
+	const waiters = 4
+	var wg sync.WaitGroup
+	sharedCount := make(chan bool, waiters+1)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, shared := g.do(key, func() ([]pathrank.Ranked, error) {
+			calls++
+			close(started)
+			<-gate
+			return []pathrank.Ranked{{Score: 0.5}}, nil
+		})
+		sharedCount <- shared
+	}()
+	<-started
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			val, err, shared := g.do(key, func() ([]pathrank.Ranked, error) {
+				t.Error("duplicate in-flight computation")
+				return nil, nil
+			})
+			if err != nil || len(val) != 1 || val[0].Score != 0.5 {
+				t.Errorf("shared result corrupted: %v %v", val, err)
+			}
+			sharedCount <- shared
+		}()
+	}
+	// Give the waiters a moment to park on the in-flight call, then open
+	// the gate.
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	close(sharedCount)
+
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+	nShared := 0
+	for s := range sharedCount {
+		if s {
+			nShared++
+		}
+	}
+	if nShared != waiters {
+		t.Fatalf("%d callers shared, want %d", nShared, waiters)
+	}
+}
+
+// TestSingleflightSurvivesPanic: a panicking computation must release its
+// waiters with an error and unregister the key — not poison it forever.
+func TestSingleflightSurvivesPanic(t *testing.T) {
+	g := newFlightGroup()
+	key := queryKey{src: 1, dst: 2}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	waiterDone := make(chan error, 1)
+
+	go func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("leader panic was swallowed")
+			}
+		}()
+		_, _, _ = g.do(key, func() ([]pathrank.Ranked, error) {
+			close(started)
+			<-release
+			panic("query invariant broken")
+		})
+	}()
+	<-started
+	go func() {
+		_, err, _ := g.do(key, func() ([]pathrank.Ranked, error) {
+			return nil, nil
+		})
+		waiterDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter park on the call
+	close(release)
+
+	select {
+	case err := <-waiterDone:
+		if err == nil {
+			t.Fatal("waiter of a panicked call should see an error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter still blocked: key poisoned by panic")
+	}
+
+	// The key must be usable again.
+	val, err, _ := g.do(key, func() ([]pathrank.Ranked, error) {
+		return []pathrank.Ranked{{Score: 0.9}}, nil
+	})
+	if err != nil || len(val) != 1 {
+		t.Fatalf("key not released after panic: %v %v", val, err)
+	}
+}
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache(2)
+	k1 := queryKey{src: 1, dst: 2}
+	k2 := queryKey{src: 3, dst: 4}
+	k3 := queryKey{src: 5, dst: 6}
+
+	c.add(k1, []pathrank.Ranked{{Score: 1}})
+	c.add(k2, []pathrank.Ranked{{Score: 2}})
+	if _, ok := c.get(k1); !ok {
+		t.Fatal("k1 should be cached")
+	}
+	// k1 is now most recent; adding k3 must evict k2.
+	c.add(k3, []pathrank.Ranked{{Score: 3}})
+	if _, ok := c.get(k2); ok {
+		t.Fatal("k2 should have been evicted")
+	}
+	if _, ok := c.get(k1); !ok {
+		t.Fatal("k1 should survive eviction")
+	}
+	if _, ok := c.get(k3); !ok {
+		t.Fatal("k3 should be cached")
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache len %d, want 2", c.len())
+	}
+
+	// Disabled cache is inert.
+	var nc *lruCache
+	nc.add(k1, nil)
+	if _, ok := nc.get(k1); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+}
+
+// TestBatcherScoresMatchDirect checks the micro-batcher returns exactly
+// Model.ScoreBatch results under concurrent submission.
+func TestBatcherScoresMatchDirect(t *testing.T) {
+	art := loadedTestArtifact(t)
+	ranker := art.NewRanker()
+	n := art.Graph.NumVertices()
+
+	b := newBatcher(art.Model, time.Millisecond, 128)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := roadnet.VertexID((w * 7) % n)
+			dst := roadnet.VertexID(n - 1 - (w*5)%n)
+			if src == dst {
+				dst = (dst + 1) % roadnet.VertexID(n)
+			}
+			cands, err := ranker.CandidatePaths(src, dst)
+			if err != nil {
+				t.Errorf("candidates %d->%d: %v", src, dst, err)
+				return
+			}
+			got := b.score(cands)
+			want := art.Model.ScoreBatch(cands)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("batched score %d differs: %v != %v", i, got[i], want[i])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// After stop, score falls back to direct scoring instead of hanging.
+	b.stop()
+	cands, err := ranker.CandidatePaths(0, roadnet.VertexID(n-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.score(cands)
+	want := art.Model.ScoreBatch(cands)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-stop score %d differs", i)
+		}
+	}
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	s, err := New(loadedTestArtifact(t), Config{
+		Addr:        "127.0.0.1:0",
+		BatchWindow: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan net.Addr, 1)
+	s.cfg.OnListen = func(a net.Addr) { addrCh <- a }
+
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- s.Run(ctx) }()
+
+	addr := <-addrCh
+	resp, err := http.Get("http://" + addr.String() + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz against Run server: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down within 5s")
+	}
+
+	// The listener must actually be closed.
+	if _, err := net.DialTimeout("tcp", addr.String(), 100*time.Millisecond); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}

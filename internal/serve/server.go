@@ -1,0 +1,355 @@
+// Package serve exposes a trained PathRank artifact as an online ranking
+// service over HTTP.
+//
+// The server loads an Artifact once at startup and answers concurrent
+// POST /v1/rank queries with the exact rankings an in-process Ranker.Query
+// would produce: candidate generation runs on pooled spath workspaces, an
+// LRU cache short-circuits repeated (src, dst, k) queries, a singleflight
+// group collapses duplicate in-flight queries so a thundering herd costs
+// one computation, and an optional micro-batcher coalesces the NN scoring
+// of requests that arrive within a short window into one parallel sweep.
+//
+// GET /healthz reports liveness and artifact shape; GET /metrics exports
+// the server's expvar counters together with the Go runtime's memstats.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"pathrank/internal/pathrank"
+	"pathrank/internal/roadnet"
+	"pathrank/internal/spath"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Addr is the listen address for Run (e.g. ":8080").
+	Addr string
+	// CacheSize bounds the LRU result cache in entries; 0 uses the default
+	// (4096) and negative disables caching.
+	CacheSize int
+	// BatchWindow > 0 enables micro-batching: a request's NN scoring waits
+	// up to this long to be coalesced with concurrently arriving requests.
+	BatchWindow time.Duration
+	// BatchMaxPaths caps the paths per coalesced scoring sweep (default 256).
+	BatchMaxPaths int
+	// MaxK caps the per-request candidate-set override (default 32).
+	MaxK int
+	// ShutdownTimeout bounds graceful drain on Run cancellation (default 5s).
+	ShutdownTimeout time.Duration
+	// OnListen, when non-nil, is invoked with the bound address once the
+	// listener is open (used by tests and for port-0 deployments).
+	OnListen func(net.Addr)
+}
+
+// Server answers ranking queries against one loaded artifact. Create it
+// with New; all methods are safe for concurrent use.
+type Server struct {
+	cfg    Config
+	art    *pathrank.Artifact
+	ranker *pathrank.Ranker
+	cache  *lruCache
+	flight *flightGroup
+	batch  *batcher
+	start  time.Time
+
+	vars          *expvar.Map
+	reqTotal      expvar.Int
+	rankOK        expvar.Int
+	rankErrors    expvar.Int
+	cacheHits     expvar.Int
+	cacheMisses   expvar.Int
+	flightShared  expvar.Int
+	batchFlushes  expvar.Int
+	batchPaths    expvar.Int
+	latencyNanos  expvar.Int
+	inFlightGauge expvar.Int
+}
+
+// New builds a Server around a loaded artifact.
+func New(art *pathrank.Artifact, cfg Config) (*Server, error) {
+	if art == nil || art.Graph == nil || art.Model == nil {
+		return nil, fmt.Errorf("serve: artifact needs a graph and a model")
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 4096
+	}
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = 32
+	}
+	if cfg.ShutdownTimeout <= 0 {
+		cfg.ShutdownTimeout = 5 * time.Second
+	}
+	s := &Server{
+		cfg:    cfg,
+		art:    art,
+		ranker: art.NewRanker(),
+		cache:  newLRUCache(cfg.CacheSize),
+		flight: newFlightGroup(),
+		start:  time.Now(),
+	}
+	if cfg.BatchWindow > 0 {
+		s.batch = newBatcher(art.Model, cfg.BatchWindow, cfg.BatchMaxPaths)
+		s.batch.onFlush = func(reqs, paths int) {
+			s.batchFlushes.Add(1)
+			s.batchPaths.Add(int64(paths))
+		}
+	}
+	// The map is intentionally not expvar.Published: tests run many servers
+	// in one process and Publish panics on duplicate names. The /metrics
+	// handler serves it directly instead.
+	s.vars = new(expvar.Map).Init()
+	s.vars.Set("requests_total", &s.reqTotal)
+	s.vars.Set("rank_ok", &s.rankOK)
+	s.vars.Set("rank_errors", &s.rankErrors)
+	s.vars.Set("cache_hits", &s.cacheHits)
+	s.vars.Set("cache_misses", &s.cacheMisses)
+	s.vars.Set("singleflight_shared", &s.flightShared)
+	s.vars.Set("batch_flushes", &s.batchFlushes)
+	s.vars.Set("batch_paths", &s.batchPaths)
+	s.vars.Set("rank_latency_ns_total", &s.latencyNanos)
+	s.vars.Set("in_flight", &s.inFlightGauge)
+	return s, nil
+}
+
+// Close releases background resources (the micro-batch dispatcher). The
+// server must not serve requests afterwards; Run calls it on shutdown.
+func (s *Server) Close() {
+	if s.batch != nil {
+		s.batch.stop()
+	}
+}
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/rank", s.handleRank)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Run listens on cfg.Addr and serves until ctx is canceled, then drains
+// in-flight requests gracefully (bounded by cfg.ShutdownTimeout) and
+// releases the batcher.
+func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", s.cfg.Addr, err)
+	}
+	if s.cfg.OnListen != nil {
+		s.cfg.OnListen(ln.Addr())
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
+		defer cancel()
+		shutErr := hs.Shutdown(shutCtx)
+		<-errc // Serve has returned http.ErrServerClosed
+		s.Close()
+		return shutErr
+	case err := <-errc:
+		s.Close()
+		return err
+	}
+}
+
+// RankRequest is the body of POST /v1/rank.
+type RankRequest struct {
+	Src int64 `json:"src"`
+	Dst int64 `json:"dst"`
+	// K overrides the artifact's candidate-set size when positive.
+	K int `json:"k,omitempty"`
+}
+
+// RankedPath is one entry of a rank response, best first.
+type RankedPath struct {
+	Rank     int     `json:"rank"`
+	Score    float64 `json:"score"`
+	LengthM  float64 `json:"length_m"`
+	TimeS    float64 `json:"time_s"`
+	Hops     int     `json:"hops"`
+	Vertices []int64 `json:"vertices"`
+}
+
+// RankResponse is the body of a successful POST /v1/rank.
+type RankResponse struct {
+	Src    int64        `json:"src"`
+	Dst    int64        `json:"dst"`
+	K      int          `json:"k"`
+	Cached bool         `json:"cached"`
+	Shared bool         `json:"shared"`
+	Paths  []RankedPath `json:"paths"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal.Add(1)
+	s.inFlightGauge.Add(1)
+	defer s.inFlightGauge.Add(-1)
+	startReq := time.Now()
+
+	var req RankRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.rankErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	n := int64(s.art.Graph.NumVertices())
+	if req.Src < 0 || req.Src >= n || req.Dst < 0 || req.Dst >= n {
+		s.rankErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: fmt.Sprintf("src/dst must be in [0,%d)", n)})
+		return
+	}
+	if req.K < 0 || req.K > s.cfg.MaxK {
+		s.rankErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: fmt.Sprintf("k must be in [0,%d]", s.cfg.MaxK)})
+		return
+	}
+
+	// Normalize an explicit k equal to the artifact's configured K to the
+	// default (0): the queries are identical, so they must share one cache
+	// entry and one in-flight computation.
+	reqK := req.K
+	if reqK == s.ranker.Candidates.K {
+		reqK = 0
+	}
+	key := queryKey{src: roadnet.VertexID(req.Src), dst: roadnet.VertexID(req.Dst), k: reqK}
+	resp := RankResponse{Src: req.Src, Dst: req.Dst, K: req.K}
+
+	ranked, ok := s.cache.get(key)
+	if ok {
+		s.cacheHits.Add(1)
+		resp.Cached = true
+	} else {
+		s.cacheMisses.Add(1)
+		var err error
+		var shared bool
+		ranked, err, shared = s.flight.do(key, func() ([]pathrank.Ranked, error) {
+			return s.rank(key)
+		})
+		if shared {
+			s.flightShared.Add(1)
+			resp.Shared = true
+		}
+		if err != nil {
+			s.rankErrors.Add(1)
+			status := http.StatusInternalServerError
+			if errors.Is(err, spath.ErrNoPath) {
+				status = http.StatusNotFound
+			}
+			writeJSON(w, status, errorResponse{Error: err.Error()})
+			return
+		}
+		if !shared {
+			s.cache.add(key, ranked)
+		}
+	}
+
+	resp.Paths = make([]RankedPath, len(ranked))
+	for i, rk := range ranked {
+		verts := make([]int64, len(rk.Path.Vertices))
+		for j, v := range rk.Path.Vertices {
+			verts[j] = int64(v)
+		}
+		resp.Paths[i] = RankedPath{
+			Rank:     i + 1,
+			Score:    rk.Score,
+			LengthM:  rk.Path.Length(s.art.Graph),
+			TimeS:    rk.Path.Time(s.art.Graph),
+			Hops:     rk.Path.Len(),
+			Vertices: verts,
+		}
+	}
+	s.rankOK.Add(1)
+	s.latencyNanos.Add(time.Since(startReq).Nanoseconds())
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// rank computes one uncached query: candidate generation on the pooled
+// spath workspaces, NN scoring (micro-batched when enabled), and the same
+// stable ordering Ranker.Query uses — so results are bit-identical to an
+// in-process query.
+func (s *Server) rank(key queryKey) ([]pathrank.Ranked, error) {
+	rk := *s.ranker
+	// An explicit k equal to the configured K must not change anything —
+	// the query is semantically identical to the default-k one. A genuine
+	// override scales a configured D-TkDI probe bound proportionally so
+	// the probe-to-k ratio the artifact was built with is preserved.
+	if key.k > 0 && key.k != rk.Candidates.K {
+		if rk.Candidates.MaxProbe > 0 && rk.Candidates.K > 0 {
+			rk.Candidates.MaxProbe = rk.Candidates.MaxProbe * key.k / rk.Candidates.K
+		}
+		rk.Candidates.K = key.k
+	}
+	cands, err := rk.CandidatePaths(key.src, key.dst)
+	if err != nil {
+		return nil, err
+	}
+	var scores []float64
+	if s.batch != nil {
+		scores = s.batch.score(cands)
+	} else {
+		scores = s.art.Model.ScoreBatch(cands)
+	}
+	return pathrank.RankScored(cands, scores), nil
+}
+
+type healthResponse struct {
+	Status      string  `json:"status"`
+	UptimeS     float64 `json:"uptime_s"`
+	Vertices    int     `json:"vertices"`
+	Edges       int     `json:"edges"`
+	ModelParams int     `json:"model_params"`
+	CacheSize   int     `json:"cache_entries"`
+	Batching    bool    `json:"batching"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.reqTotal.Add(1)
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:      "ok",
+		UptimeS:     time.Since(s.start).Seconds(),
+		Vertices:    s.art.Graph.NumVertices(),
+		Edges:       s.art.Graph.NumEdges(),
+		ModelParams: s.art.Model.NumParams(),
+		CacheSize:   s.cache.len(),
+		Batching:    s.batch != nil,
+	})
+}
+
+// handleMetrics exports the server's expvar map alongside the runtime's
+// standard expvar variables (memstats).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.reqTotal.Add(1)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\"serve\": %s", s.vars.String())
+	if mem := expvar.Get("memstats"); mem != nil {
+		fmt.Fprintf(w, ", \"memstats\": %s", mem.String())
+	}
+	fmt.Fprint(w, "}\n")
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+
+	"pathrank/internal/pathrank"
+)
+
+// flightGroup collapses duplicate in-flight computations: while one
+// goroutine computes the result for a key, later callers with the same key
+// block and share its result instead of recomputing. This is the standard
+// singleflight pattern, specialized to rank queries so the module stays
+// dependency-free.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[queryKey]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val []pathrank.Ranked
+	err error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[queryKey]*flightCall)}
+}
+
+// do invokes fn once per concurrent set of callers with the same key.
+// shared reports whether the caller received another goroutine's result.
+// A panic in fn is re-raised in the leader after the call is unregistered
+// and waiters are released (they observe errFlightPanic), so one panicking
+// query cannot poison its key forever.
+func (g *flightGroup) do(key queryKey, fn func() ([]pathrank.Ranked, error)) (val []pathrank.Ranked, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := new(flightCall)
+	c.wg.Add(1)
+	c.err = errFlightPanic // overwritten on normal return
+	g.m[key] = c
+	g.mu.Unlock()
+
+	defer func() {
+		c.wg.Done()
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+	}()
+	c.val, c.err = fn()
+	return c.val, c.err, false
+}
+
+// errFlightPanic is what waiters of a panicked computation observe; the
+// leader's own goroutine re-raises the panic (net/http recovers it and
+// kills only that connection).
+var errFlightPanic = errors.New("serve: in-flight computation panicked")

@@ -13,11 +13,22 @@
 //	ranker   := pathrank.NewRanker(g, pipe.Model)
 //	ranked, _ := ranker.Query(src, dst)
 //
-// See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-// reproduction of the paper's tables.
+// A trained pipeline can be persisted as a single versioned artifact bundle
+// and served over HTTP:
+//
+//	art := &pathrank.Artifact{Graph: g, Embeddings: pipe.Embeddings, Model: pipe.Model}
+//	_ = pathrank.SaveArtifactFile("model.prart", art)   // training side
+//	art, _ = pathrank.LoadArtifactFile("model.prart")   // serving side (pathrank-serve)
+//
+// See README.md ("Architecture") for the full system inventory, README.md
+// ("Running the evaluation") for the reproduction of the paper's tables,
+// and README.md ("Serving") for the online ranking service and the artifact
+// format.
 package pathrank
 
 import (
+	"io"
+
 	"pathrank/internal/dataset"
 	"pathrank/internal/metrics"
 	"pathrank/internal/node2vec"
@@ -211,6 +222,37 @@ func DefaultPipelineConfig(m int) PipelineConfig { return pathrank.DefaultPipeli
 
 // NewRanker wraps a trained model for query-time use.
 func NewRanker(g *Graph, m *Model) *Ranker { return pathrank.NewRanker(g, m) }
+
+// Artifact persistence: a complete trained pipeline (network, embeddings,
+// model) as one versioned, checksummed bundle.
+type (
+	// Artifact bundles a trained pipeline for persistence and serving.
+	Artifact = pathrank.Artifact
+)
+
+// Artifact error sentinels, matchable with errors.Is.
+var (
+	// ErrArtifactFormat reports a file that is not a pathrank artifact.
+	ErrArtifactFormat = pathrank.ErrArtifactFormat
+	// ErrArtifactVersion reports an artifact written by an incompatible
+	// format version.
+	ErrArtifactVersion = pathrank.ErrArtifactVersion
+	// ErrArtifactCorrupt reports a checksum mismatch or truncated payload.
+	ErrArtifactCorrupt = pathrank.ErrArtifactCorrupt
+)
+
+// SaveArtifact writes a versioned, checksummed bundle of the artifact to w.
+func SaveArtifact(w io.Writer, a *Artifact) error { return pathrank.SaveArtifact(w, a) }
+
+// LoadArtifact reads a bundle written by SaveArtifact, verifying version
+// and checksum; the reloaded model ranks bit-identically to the saved one.
+func LoadArtifact(r io.Reader) (*Artifact, error) { return pathrank.LoadArtifact(r) }
+
+// SaveArtifactFile writes the artifact to the named file.
+func SaveArtifactFile(path string, a *Artifact) error { return pathrank.SaveArtifactFile(path, a) }
+
+// LoadArtifactFile reads an artifact from the named file.
+func LoadArtifactFile(path string) (*Artifact, error) { return pathrank.LoadArtifactFile(path) }
 
 // EmbedNetwork trains node2vec embeddings for g.
 func EmbedNetwork(g *Graph, wc node2vec.WalkConfig, tc node2vec.TrainConfig) *Embeddings {
