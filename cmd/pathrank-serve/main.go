@@ -1,5 +1,6 @@
 // Command pathrank-serve exposes a trained PathRank artifact as an online
-// ranking service over HTTP.
+// ranking service over HTTP, optionally running the live pipeline: GPS
+// trajectory ingestion, incremental retraining, and hot model swaps.
 //
 // It loads an artifact bundle (written by pathrank-train -artifact or
 // pathrank.SaveArtifactFile) at startup and answers ranking queries until
@@ -7,11 +8,20 @@
 //
 //	pathrank-serve -artifact model.prart -addr :8080
 //
+// With -retrain-interval the server becomes self-improving: ingested
+// trajectories are map-matched in the background, the model is fine-tuned
+// on the accumulated window, and each new generation is written back to
+// the artifact path and hot-swapped in with zero downtime:
+//
+//	pathrank-serve -artifact model.prart -retrain-interval 5m -retrain-min 32
+//
 // API:
 //
 //	POST /v1/rank    {"src": 12, "dst": 431, "k": 5}  -> ranked paths, best first
-//	GET  /healthz    liveness and artifact shape
-//	GET  /metrics    expvar counters (requests, cache, singleflight, batching)
+//	POST /v1/ingest  {"records": [{"lon": 9.91, "lat": 57.04, "t": 0}, ...]} -> 202
+//	POST /v1/reload  {"artifact": "other.prart"}  (empty body = configured path)
+//	GET  /healthz    liveness, artifact shape, fingerprint, lineage
+//	GET  /metrics    expvar counters (requests, cache, singleflight, batching, swaps, ingest)
 package main
 
 import (
@@ -26,6 +36,7 @@ import (
 
 	"pathrank/internal/pathrank"
 	"pathrank/internal/serve"
+	"pathrank/internal/stream"
 )
 
 func main() {
@@ -39,6 +50,16 @@ func main() {
 	batchMax := flag.Int("batch-max-paths", 256, "max paths per micro-batched scoring sweep")
 	maxK := flag.Int("max-k", 32, "largest per-request candidate-set override")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+	watch := flag.Duration("watch", 0, "artifact-file watch interval (0 disables the watcher)")
+	ingestQueue := flag.Int("ingest-queue", 256, "bounded ingest queue size in trajectories")
+	ingestWorkers := flag.Int("ingest-workers", 2, "map-matching workers")
+	ingestMaxRecords := flag.Int("ingest-max-records", 20000, "max GPS records per ingested trajectory")
+	retrainEvery := flag.Duration("retrain-interval", 0, "incremental retrain cadence (0 disables the live loop)")
+	retrainMin := flag.Int("retrain-min", 16, "new observations required before a periodic retrain")
+	retrainWindow := flag.Int("retrain-window", 1024, "observation window size in matched paths")
+	retrainEpochs := flag.Int("retrain-epochs", 3, "fine-tune epochs per retrain")
+	retrainLR := flag.Float64("retrain-lr", 0.001, "fine-tune learning rate")
+	retrainSeed := flag.Int64("retrain-seed", 1, "base seed for deterministic incremental training")
 	flag.Parse()
 
 	start := time.Now()
@@ -46,28 +67,71 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("loaded %s in %v: %d vertices, %d edges, %d params, strategy %s k=%d",
+	fpHex, err := art.Model.FingerprintHex()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %s in %v: %d vertices, %d edges, %d params, strategy %s k=%d, gen %d fingerprint %.12s",
 		*artifactPath, time.Since(start).Round(time.Millisecond),
 		art.Graph.NumVertices(), art.Graph.NumEdges(), art.Model.NumParams(),
-		art.Candidates.Strategy, art.Candidates.K)
+		art.Candidates.Strategy, art.Candidates.K, art.Lineage.Generation, fpHex)
 
-	srv, err := serve.New(art, serve.Config{
-		Addr:            *addr,
-		CacheSize:       *cacheSize,
-		BatchWindow:     *batchWindow,
-		BatchMaxPaths:   *batchMax,
-		MaxK:            *maxK,
-		ShutdownTimeout: *drain,
+	cfg := serve.Config{
+		Addr:             *addr,
+		CacheSize:        *cacheSize,
+		BatchWindow:      *batchWindow,
+		BatchMaxPaths:    *batchMax,
+		MaxK:             *maxK,
+		ShutdownTimeout:  *drain,
+		ArtifactPath:     *artifactPath,
+		WatchInterval:    *watch,
+		MaxIngestRecords: *ingestMaxRecords,
+		Logf:             log.Printf,
 		OnListen: func(a net.Addr) {
 			log.Printf("listening on %s", a)
 		},
-	})
-	if err != nil {
-		log.Fatal(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	var srv *serve.Server
+	var svc *stream.Service
+	if *retrainEvery > 0 {
+		svc, err = stream.New(art, stream.Config{
+			QueueSize:       *ingestQueue,
+			Workers:         *ingestWorkers,
+			Window:          *retrainWindow,
+			MinObservations: *retrainMin,
+			Interval:        *retrainEvery,
+			Train: pathrank.TrainConfig{
+				Epochs: *retrainEpochs, LR: *retrainLR, ClipNorm: 5, Seed: *retrainSeed,
+			},
+			ArtifactPath: *artifactPath,
+			Publish: func(a *pathrank.Artifact) error {
+				_, err := srv.Swap(a)
+				return err
+			},
+			Logf: log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Ingest = svc
+	}
+
+	srv, err = serve.New(art, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if svc != nil {
+		// Started only after srv exists: the publish hook swaps through it.
+		// The retrainer publishes swaps directly, so the file watcher is
+		// only needed for artifacts replaced by external tooling.
+		go func() {
+			_ = svc.Run(ctx)
+		}()
+	}
 	if err := srv.Run(ctx); err != nil {
 		log.Fatal(err)
 	}

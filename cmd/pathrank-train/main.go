@@ -49,7 +49,28 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("out", "model.gob", "output path for the trained model")
 	artifactOut := flag.String("artifact", "", "also write a complete serving artifact (network + embeddings + model) to this path")
+	resume := flag.String("resume", "", "warm-start from this artifact bundle instead of training from scratch (incremental fine-tune; ignores -net/-m/-hidden/-variant)")
 	flag.Parse()
+
+	if *resume != "" {
+		// -epochs/-lr default to the offline schedule, which is too hot for
+		// a warm start. Unless the user set them explicitly, pass zero so
+		// FineTune applies DefaultFineTuneConfig — the same settings the
+		// streaming retrainer uses, keeping -resume its offline twin.
+		ftEpochs, ftLR := 0, 0.0
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "epochs":
+				ftEpochs = *epochs
+			case "lr":
+				ftLR = *lr
+			}
+		})
+		if err := resumeTrain(*resume, *tripsPath, ftEpochs, ftLR, *seed, *out, *artifactOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	g, err := roadnet.LoadFile(*netPath)
 	if err != nil {
@@ -127,12 +148,90 @@ func main() {
 			Embeddings: pipe.Embeddings,
 			Model:      pipe.Model,
 			Candidates: dcfg,
+			Lineage:    pathrank.Lineage{TrainedOn: len(pipe.Train), TotalObserved: len(pipe.Train), Note: "offline"},
 		}
 		if err := pathrank.SaveArtifactFile(*artifactOut, art); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("artifact -> %s (serve with: pathrank-serve -artifact %s)\n", *artifactOut, *artifactOut)
 	}
+}
+
+// resumeTrain implements -resume: load an artifact, fine-tune its model on
+// a new trip log (warm start), bump the lineage, and write the results —
+// the offline twin of the streaming retrainer.
+func resumeTrain(artPath, tripsPath string, epochs int, lr float64, seed int64, out, artifactOut string) error {
+	art, err := pathrank.LoadArtifactFile(artPath)
+	if err != nil {
+		return err
+	}
+	trips, err := loadTrips(tripsPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resuming gen %d artifact: %d vertices, %d params, %d new trips\n",
+		art.Lineage.Generation, art.Graph.NumVertices(), art.Model.NumParams(), len(trips))
+
+	dcfg := art.Candidates
+	if dcfg.K <= 0 {
+		dcfg = dataset.DefaultConfig()
+	}
+	queries, err := dataset.Generate(art.Graph, trips, dcfg)
+	if err != nil {
+		return err
+	}
+	parent, err := art.Model.FingerprintHex()
+	if err != nil {
+		return err
+	}
+	model, err := art.Model.Clone()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	// Zero Epochs/LR fall back to DefaultFineTuneConfig inside FineTune.
+	tcfg := pathrank.TrainConfig{
+		Epochs: epochs, LR: lr, ClipNorm: 5, Seed: seed + int64(art.Lineage.Generation) + 1,
+		Logf: func(format string, args ...any) { fmt.Printf("  "+format+"\n", args...) },
+	}
+	if _, err := model.FineTune(queries, tcfg); err != nil {
+		return err
+	}
+	fmt.Printf("fine-tuned on %d queries in %v\n", len(queries), time.Since(start).Round(time.Second))
+	fmt.Println("window:", model.Evaluate(queries))
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := model.Save(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("model -> %s\n", out)
+
+	if artifactOut != "" {
+		next := &pathrank.Artifact{
+			Graph:      art.Graph,
+			Embeddings: art.Embeddings,
+			Model:      model,
+			Candidates: art.Candidates,
+			Lineage:    art.Lineage.Child(parent, len(queries), "resume"),
+		}
+		if err := pathrank.SaveArtifactFileAtomic(artifactOut, next); err != nil {
+			return err
+		}
+		fmt.Printf("artifact -> %s (gen %d, parent %.12s)\n", artifactOut, next.Lineage.Generation, parent)
+	}
+	return nil
 }
 
 func loadTrips(path string) ([]traj.Trip, error) {

@@ -1,10 +1,17 @@
 package metrics
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // RankOfBest returns the 1-based rank that pred assigns to the item with
 // the highest target (the "true" item). Ties in pred count against the
-// ranker (worst-case rank). It returns 0 for empty input.
+// ranker (worst-case rank), and a NaN prediction ranks below every real
+// score: a model that emits NaN for the true item has not ranked it at all,
+// so it receives the worst rank (n) rather than accidentally the best —
+// NaN comparisons are all false, so the naive loop would report rank 1.
+// It returns 0 for empty input.
 func RankOfBest(pred, target []float64) int {
 	if len(pred) == 0 {
 		return 0
@@ -18,9 +25,16 @@ func RankOfBest(pred, target []float64) int {
 			bestIdx = i
 		}
 	}
+	pb := pred[bestIdx]
 	rank := 1
 	for i := range pred {
-		if i != bestIdx && pred[i] >= pred[bestIdx] {
+		if i == bestIdx {
+			continue
+		}
+		// Worst-case tie handling: anything not strictly below pb outranks
+		// the true item. A NaN pb loses to everything (including other
+		// NaNs); a NaN competitor loses to a real pb.
+		if math.IsNaN(pb) || pred[i] >= pb {
 			rank++
 		}
 	}

@@ -46,6 +46,13 @@ func LoadParams(r io.Reader, params []*Param) error {
 			return fmt.Errorf("nn: param %d mismatch: stored %s(%dx%d), model %s(%dx%d)",
 				i, pw.Name, pw.Rows, pw.Cols, p.Name, p.Rows, p.Cols)
 		}
+		// The declared shape and the weight slice must agree: a corrupt
+		// stream whose W is short would otherwise load partially and leave
+		// the tail of the parameter at its random initialization.
+		if len(pw.W) != len(p.W) {
+			return fmt.Errorf("nn: param %d (%s) has %d weights, shape %dx%d needs %d",
+				i, pw.Name, len(pw.W), pw.Rows, pw.Cols, len(p.W))
+		}
 		copy(p.W, pw.W)
 		p.Frozen = pw.Frozen
 	}

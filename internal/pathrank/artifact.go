@@ -6,10 +6,12 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/gob"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"pathrank/internal/dataset"
 	"pathrank/internal/nn"
@@ -28,6 +30,42 @@ type Artifact struct {
 	Embeddings *node2vec.Embeddings // may be nil
 	Model      *Model
 	Candidates dataset.Config
+	// Lineage records where this artifact came from in an incremental
+	// training chain; the zero value denotes an unstamped (pre-lineage or
+	// externally assembled) artifact.
+	Lineage Lineage
+}
+
+// Lineage is the provenance of an artifact in an incremental-training
+// chain. Generation 0 is an offline (from-scratch) training run; each
+// incremental fine-tune bumps Generation and records the parent model's
+// fingerprint, so a chain of artifacts can be audited back to its root.
+type Lineage struct {
+	// Generation counts fine-tune steps since the offline root (0 = root).
+	Generation int
+	// Parent is the hex SHA-256 fingerprint of the model this one was
+	// warm-started from; empty for generation 0.
+	Parent string
+	// TrainedOn is the number of observations (trajectory paths) in the
+	// window this generation was fine-tuned on; for generation 0 it is the
+	// offline training-query count.
+	TrainedOn int
+	// TotalObserved accumulates TrainedOn across the whole chain.
+	TotalObserved int
+	// Note is a free-form provenance annotation ("offline", "stream", …).
+	Note string
+}
+
+// Child returns the lineage of an artifact fine-tuned from a model with
+// fingerprint parentFP on trainedOn new observations.
+func (l Lineage) Child(parentFP string, trainedOn int, note string) Lineage {
+	return Lineage{
+		Generation:    l.Generation + 1,
+		Parent:        parentFP,
+		TrainedOn:     trainedOn,
+		TotalObserved: l.TotalObserved + trainedOn,
+		Note:          note,
+	}
 }
 
 // NewRanker wraps the artifact's model and graph for query-time use, with
@@ -44,6 +82,16 @@ func (a *Artifact) NewRanker() *Ranker {
 // Bit-identical weights produce identical fingerprints.
 func (m *Model) Fingerprint() ([sha256.Size]byte, error) {
 	return nn.ParamsFingerprint(m.params)
+}
+
+// FingerprintHex returns the model fingerprint as a lowercase hex string,
+// the form used in lineage records and the serving API.
+func (m *Model) FingerprintHex() (string, error) {
+	fp, err := m.Fingerprint()
+	if err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(fp[:]), nil
 }
 
 // Artifact file format (all integers big-endian):
@@ -83,9 +131,12 @@ var (
 type artifactWire struct {
 	ModelConfig Config
 	Candidates  dataset.Config
-	Graph       []byte
-	Embeddings  []byte // empty when the artifact carries no embeddings
-	Params      []byte
+	// Lineage was added after version 1 shipped; gob decodes files written
+	// without it to the zero value, so the format version is unchanged.
+	Lineage    Lineage
+	Graph      []byte
+	Embeddings []byte // empty when the artifact carries no embeddings
+	Params     []byte
 }
 
 // SaveArtifact writes a versioned, checksummed bundle of the artifact to w.
@@ -96,6 +147,7 @@ func SaveArtifact(w io.Writer, a *Artifact) error {
 	var wire artifactWire
 	wire.ModelConfig = a.Model.Config()
 	wire.Candidates = a.Candidates
+	wire.Lineage = a.Lineage
 
 	var gbuf bytes.Buffer
 	if err := a.Graph.Save(&gbuf); err != nil {
@@ -176,6 +228,9 @@ func LoadArtifact(r io.Reader) (*Artifact, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pathrank: artifact graph: %w", err)
 	}
+	if err := checkModelShape(g.NumVertices(), wire.ModelConfig, len(wire.Params)); err != nil {
+		return nil, err
+	}
 	model, err := New(g.NumVertices(), wire.ModelConfig)
 	if err != nil {
 		return nil, fmt.Errorf("pathrank: artifact model config: %w", err)
@@ -183,7 +238,7 @@ func LoadArtifact(r io.Reader) (*Artifact, error) {
 	if err := nn.UnmarshalParams(wire.Params, model.params); err != nil {
 		return nil, fmt.Errorf("pathrank: artifact weights: %w", err)
 	}
-	a := &Artifact{Graph: g, Model: model, Candidates: wire.Candidates}
+	a := &Artifact{Graph: g, Model: model, Candidates: wire.Candidates, Lineage: wire.Lineage}
 	if len(wire.Embeddings) > 0 {
 		emb, err := node2vec.LoadEmbeddings(bytes.NewReader(wire.Embeddings))
 		if err != nil {
@@ -192,6 +247,35 @@ func LoadArtifact(r io.Reader) (*Artifact, error) {
 		a.Embeddings = emb
 	}
 	return a, nil
+}
+
+// checkModelShape rejects a decoded model configuration whose weight
+// tensors could not possibly be backed by the params payload, BEFORE any
+// allocation happens. gob encodes a float64 in at least one byte, so a
+// genuine artifact always satisfies paramsLen >= parameter count; a
+// corrupt or adversarial config (e.g. EmbeddingDim 1<<40 in a 100-byte
+// file) fails here instead of attempting a giant allocation in New.
+func checkModelShape(numVertices int, cfg Config, paramsLen int) error {
+	const maxDim = 1 << 24 // keeps the int64 products below overflow
+	if cfg.EmbeddingDim <= 0 || cfg.EmbeddingDim > maxDim ||
+		cfg.Hidden <= 0 || cfg.Hidden > maxDim {
+		return fmt.Errorf("%w: implausible model dims %dx%d", ErrArtifactCorrupt, cfg.EmbeddingDim, cfg.Hidden)
+	}
+	v, d, h := int64(numVertices), int64(cfg.EmbeddingDim), int64(cfg.Hidden)
+	// A lower bound on the parameter count: the embedding table plus, for
+	// recurrent bodies, one input and one recurrent weight matrix (real
+	// bodies have 3-4 gates, so this undercounts — which is the safe
+	// direction for a rejection threshold).
+	min := v * d
+	switch cfg.Body {
+	case GRUBody, BiGRUBody, LSTMBody, AttnGRUBody:
+		min += d*h + h*h
+	}
+	if min > int64(paramsLen) {
+		return fmt.Errorf("%w: config needs >=%d weights but payload carries %d bytes",
+			ErrArtifactCorrupt, min, paramsLen)
+	}
+	return nil
 }
 
 // SaveArtifactFile writes the artifact to the named file.
@@ -210,6 +294,39 @@ func SaveArtifactFile(path string, a *Artifact) error {
 		return fmt.Errorf("pathrank: flush %s: %w", path, err)
 	}
 	return f.Close()
+}
+
+// SaveArtifactFileAtomic writes the artifact to a temporary file in the
+// destination directory and renames it into place, so concurrent readers —
+// in particular the serve layer's artifact-file watcher — never observe a
+// partially written bundle.
+func SaveArtifactFileAtomic(path string, a *Artifact) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("pathrank: %w", err)
+	}
+	tmp := f.Name()
+	bw := bufio.NewWriter(f)
+	if err := SaveArtifact(bw, a); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("pathrank: flush %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("pathrank: close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("pathrank: %w", err)
+	}
+	return nil
 }
 
 // LoadArtifactFile reads an artifact from the named file.

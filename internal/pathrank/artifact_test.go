@@ -205,3 +205,84 @@ func TestArtifactCorruptFileOnDisk(t *testing.T) {
 		t.Fatalf("want ErrArtifactCorrupt, got %v", err)
 	}
 }
+
+// TestArtifactLineageRoundTrip proves lineage metadata survives the bundle
+// format and that Child chains generations correctly.
+func TestArtifactLineageRoundTrip(t *testing.T) {
+	art := trainedArtifact(t)
+	art.Lineage = Lineage{Generation: 0, TrainedOn: 12, TotalObserved: 12, Note: "offline"}
+	parent, err := art.Model.FingerprintHex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	art.Lineage = art.Lineage.Child(parent, 5, "stream")
+	if art.Lineage.Generation != 1 || art.Lineage.Parent != parent ||
+		art.Lineage.TrainedOn != 5 || art.Lineage.TotalObserved != 17 {
+		t.Fatalf("Child lineage wrong: %+v", art.Lineage)
+	}
+
+	var buf bytes.Buffer
+	if err := SaveArtifact(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadArtifact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lineage != art.Lineage {
+		t.Fatalf("lineage changed across round trip: %+v -> %+v", art.Lineage, got.Lineage)
+	}
+}
+
+// TestModelClone proves a clone is bit-identical but fully independent:
+// training the clone must not move the original's weights.
+func TestModelClone(t *testing.T) {
+	art := trainedArtifact(t)
+	orig, err := art.Model.FingerprintHex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := art.Model.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfp, err := clone.FingerprintHex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfp != orig {
+		t.Fatal("clone weights differ from original")
+	}
+	w := newTestWorld(t, 6, 2)
+	if _, err := clone.FineTune(w.queries, TrainConfig{Epochs: 1, LR: 0.01, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := art.Model.FingerprintHex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != orig {
+		t.Fatal("fine-tuning the clone mutated the original model")
+	}
+	cafter, err := clone.FingerprintHex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cafter == orig {
+		t.Fatal("fine-tune did not change the clone")
+	}
+}
+
+// TestArtifactRejectsImplausibleShape: a crafted config whose tensors could
+// not fit the params payload must be rejected before allocation.
+func TestArtifactRejectsImplausibleShape(t *testing.T) {
+	if err := checkModelShape(10, Config{EmbeddingDim: 1 << 30, Hidden: 4, Body: GRUBody}, 100); !errors.Is(err, ErrArtifactCorrupt) {
+		t.Fatalf("huge embedding dim: want ErrArtifactCorrupt, got %v", err)
+	}
+	if err := checkModelShape(10, Config{EmbeddingDim: 4, Hidden: 1 << 22, Body: LSTMBody}, 100); !errors.Is(err, ErrArtifactCorrupt) {
+		t.Fatalf("huge hidden dim: want ErrArtifactCorrupt, got %v", err)
+	}
+	if err := checkModelShape(4, Config{EmbeddingDim: 3, Hidden: 2, Body: GRUBody}, 4096); err != nil {
+		t.Fatalf("plausible shape rejected: %v", err)
+	}
+}

@@ -347,6 +347,25 @@ func (m *Model) Score(p spath.Path) float64 {
 	return score
 }
 
+// Clone returns a model with an identical configuration and bit-identical
+// weights that shares no mutable state with m. It is how the incremental
+// trainer fine-tunes a new generation while the original keeps serving
+// concurrent Score calls.
+func (m *Model) Clone() (*Model, error) {
+	c, err := New(m.emb.Vocab(), m.cfg)
+	if err != nil {
+		return nil, err
+	}
+	data, err := nn.MarshalParams(m.params)
+	if err != nil {
+		return nil, err
+	}
+	if err := nn.UnmarshalParams(data, c.params); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
 // Save writes the model weights.
 func (m *Model) Save(w io.Writer) error { return nn.SaveParams(w, m.params) }
 

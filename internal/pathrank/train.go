@@ -122,6 +122,35 @@ func (m *Model) Train(queries []dataset.Query, cfg TrainConfig) ([]float64, erro
 	return losses, nil
 }
 
+// DefaultFineTuneConfig returns the incremental-training settings: a short
+// warm-start schedule with a reduced learning rate, so a fine-tune nudges
+// the model toward the new observation window without forgetting the
+// offline training run it grew from.
+func DefaultFineTuneConfig() TrainConfig {
+	return TrainConfig{Epochs: 3, LR: 0.001, ClipNorm: 5, Seed: 1}
+}
+
+// FineTune continues training from the model's current weights on a new
+// batch of queries — the incremental entry point used by the streaming
+// retrainer. Zero-valued Epochs/LR/ClipNorm fall back to
+// DefaultFineTuneConfig; the optimizer state is fresh (Adam moments are not
+// carried across fine-tunes), and with a fixed cfg.Seed the result is a
+// deterministic function of (current weights, queries, cfg). It returns the
+// per-epoch mean training loss.
+func (m *Model) FineTune(queries []dataset.Query, cfg TrainConfig) ([]float64, error) {
+	def := DefaultFineTuneConfig()
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = def.Epochs
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = def.LR
+	}
+	if cfg.ClipNorm <= 0 {
+		cfg.ClipNorm = def.ClipNorm
+	}
+	return m.Train(queries, cfg)
+}
+
 // Evaluate scores every candidate of every query and aggregates the paper's
 // four metrics (MAE, MARE, Kendall τ, Spearman ρ). Queries are scored in
 // parallel across a bounded worker pool (see EvalWorkers); every worker

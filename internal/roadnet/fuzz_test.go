@@ -1,0 +1,61 @@
+package roadnet
+
+import (
+	"bytes"
+	"testing"
+
+	"pathrank/internal/geo"
+)
+
+// fuzzSeedGraph serializes a small valid graph so the fuzzer starts from
+// well-formed gob rather than random bytes.
+func fuzzSeedGraph(f *testing.F) []byte {
+	f.Helper()
+	b := NewBuilder(4, 8)
+	v0 := b.AddVertex(geo.Point{Lon: 10.00, Lat: 57.00})
+	v1 := b.AddVertex(geo.Point{Lon: 10.01, Lat: 57.00})
+	v2 := b.AddVertex(geo.Point{Lon: 10.01, Lat: 57.01})
+	v3 := b.AddVertex(geo.Point{Lon: 10.00, Lat: 57.01})
+	b.AddBidirectional(v0, v1, Residential)
+	b.AddBidirectional(v1, v2, Secondary)
+	b.AddBidirectional(v2, v3, Residential)
+	b.AddBidirectional(v3, v0, Primary)
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoad asserts the graph deserializer never panics: arbitrary bytes
+// either decode to a structurally valid graph or return an error. The
+// corpus seeds a valid encoding plus truncations and bit flips of it, so
+// the fuzzer explores the gob structure instead of bouncing off the first
+// byte.
+func FuzzLoad(f *testing.F) {
+	valid := fuzzSeedGraph(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	for _, off := range []int{1, len(valid) / 3, len(valid) - 2} {
+		mut := bytes.Clone(valid)
+		mut[off] ^= 0xFF
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successful load must uphold every structural invariant — the
+		// adjacency accessors index unchecked on the strength of them.
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("Load accepted a graph that fails Validate: %v", verr)
+		}
+		for v := VertexID(0); int(v) < g.NumVertices(); v++ {
+			_ = g.OutEdges(v)
+			_ = g.InEdges(v)
+		}
+	})
+}

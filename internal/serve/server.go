@@ -1,16 +1,27 @@
 // Package serve exposes a trained PathRank artifact as an online ranking
 // service over HTTP.
 //
-// The server loads an Artifact once at startup and answers concurrent
-// POST /v1/rank queries with the exact rankings an in-process Ranker.Query
-// would produce: candidate generation runs on pooled spath workspaces, an
-// LRU cache short-circuits repeated (src, dst, k) queries, a singleflight
-// group collapses duplicate in-flight queries so a thundering herd costs
-// one computation, and an optional micro-batcher coalesces the NN scoring
-// of requests that arrive within a short window into one parallel sweep.
+// The server answers concurrent POST /v1/rank queries with the exact
+// rankings an in-process Ranker.Query would produce: candidate generation
+// runs on pooled spath workspaces, an LRU cache short-circuits repeated
+// (src, dst, k) queries, a singleflight group collapses duplicate in-flight
+// queries so a thundering herd costs one computation, and an optional
+// micro-batcher coalesces the NN scoring of requests that arrive within a
+// short window into one parallel sweep.
 //
-// GET /healthz reports liveness and artifact shape; GET /metrics exports
-// the server's expvar counters together with the Go runtime's memstats.
+// The artifact is not fixed for the server's lifetime: the serving state
+// lives in an atomically swappable snapshot (see snapshot.go). POST
+// /v1/reload re-reads the artifact bundle from disk and hot-swaps it under
+// live traffic — in-flight requests finish against the snapshot they
+// started on, and the result cache survives a swap iff the model
+// fingerprint is unchanged. A background watcher (WatchArtifact) performs
+// the same swap automatically when the artifact file changes, which closes
+// the loop with the streaming retrainer in internal/stream. POST /v1/ingest
+// forwards raw GPS trajectories to a pluggable Ingestor.
+//
+// GET /healthz reports liveness, artifact shape, and lineage; GET /metrics
+// exports the server's expvar counters together with the Go runtime's
+// memstats.
 package serve
 
 import (
@@ -19,14 +30,35 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"pathrank/internal/geo"
 	"pathrank/internal/pathrank"
 	"pathrank/internal/roadnet"
 	"pathrank/internal/spath"
+	"pathrank/internal/traj"
 )
+
+// maxRankBody bounds a /v1/rank request body; maxIngestBody bounds a
+// /v1/ingest body (GPS streams are bulkier than rank queries).
+const (
+	maxRankBody   = 1 << 20
+	maxIngestBody = 8 << 20
+)
+
+// Ingestor accepts raw GPS trajectories for asynchronous processing. The
+// streaming pipeline in internal/stream implements it; any error is
+// reported to the client as 503 (the canonical cause is a full ingest
+// queue, which the client should retry later).
+type Ingestor interface {
+	IngestGPS(records []traj.GPSRecord) error
+}
 
 // Config parameterizes a Server.
 type Config struct {
@@ -44,40 +76,63 @@ type Config struct {
 	MaxK int
 	// ShutdownTimeout bounds graceful drain on Run cancellation (default 5s).
 	ShutdownTimeout time.Duration
+	// ArtifactPath is the bundle /v1/reload re-reads when the request names
+	// no path, and the file WatchArtifact monitors.
+	ArtifactPath string
+	// WatchInterval > 0 makes Run poll ArtifactPath for changes and
+	// hot-swap automatically (see WatchArtifact).
+	WatchInterval time.Duration
+	// Ingest, when non-nil, enables POST /v1/ingest.
+	Ingest Ingestor
+	// MaxIngestRecords caps the GPS records accepted per trajectory
+	// (default 20000, ~5.5 h at 1 Hz). Together with the bounded ingest
+	// queue this bounds the bytes a client can park behind 202 responses;
+	// without it, maximal bodies times the queue depth is gigabytes.
+	MaxIngestRecords int
+	// Logf, when non-nil, receives operational log lines (swaps, watcher
+	// errors).
+	Logf func(format string, args ...any)
 	// OnListen, when non-nil, is invoked with the bound address once the
 	// listener is open (used by tests and for port-0 deployments).
 	OnListen func(net.Addr)
 }
 
-// Server answers ranking queries against one loaded artifact. Create it
-// with New; all methods are safe for concurrent use.
+// Server answers ranking queries against a hot-swappable artifact snapshot.
+// Create it with New; all methods are safe for concurrent use.
 type Server struct {
-	cfg    Config
-	art    *pathrank.Artifact
-	ranker *pathrank.Ranker
-	cache  *lruCache
-	flight *flightGroup
-	batch  *batcher
-	start  time.Time
+	cfg   Config
+	start time.Time
 
-	vars          *expvar.Map
-	reqTotal      expvar.Int
-	rankOK        expvar.Int
-	rankErrors    expvar.Int
-	cacheHits     expvar.Int
-	cacheMisses   expvar.Int
-	flightShared  expvar.Int
-	batchFlushes  expvar.Int
-	batchPaths    expvar.Int
-	latencyNanos  expvar.Int
-	inFlightGauge expvar.Int
+	// snap is the current serving snapshot. snapMu orders request
+	// acquisition against retirement: a request bumps the snapshot's
+	// refcount under RLock, and Swap installs a new snapshot under Lock
+	// before retiring the old one — so the creation reference cannot be
+	// dropped between a request's Load and its Add.
+	snap   atomic.Pointer[snapshot]
+	snapMu sync.RWMutex
+	// reloadMu serializes Swap/Reload so concurrent /v1/reload requests
+	// cannot interleave snapshot construction and installation.
+	reloadMu sync.Mutex
+
+	vars           *expvar.Map
+	reqTotal       expvar.Int
+	rankOK         expvar.Int
+	rankErrors     expvar.Int
+	cacheHits      expvar.Int
+	cacheMisses    expvar.Int
+	flightShared   expvar.Int
+	batchFlushes   expvar.Int
+	batchPaths     expvar.Int
+	latencyNanos   expvar.Int
+	inFlightGauge  expvar.Int
+	swapsTotal     expvar.Int
+	reloadErrors   expvar.Int
+	ingestAccepted expvar.Int
+	ingestRejected expvar.Int
 }
 
 // New builds a Server around a loaded artifact.
 func New(art *pathrank.Artifact, cfg Config) (*Server, error) {
-	if art == nil || art.Graph == nil || art.Model == nil {
-		return nil, fmt.Errorf("serve: artifact needs a graph and a model")
-	}
 	if cfg.CacheSize == 0 {
 		cfg.CacheSize = 4096
 	}
@@ -87,21 +142,15 @@ func New(art *pathrank.Artifact, cfg Config) (*Server, error) {
 	if cfg.ShutdownTimeout <= 0 {
 		cfg.ShutdownTimeout = 5 * time.Second
 	}
-	s := &Server{
-		cfg:    cfg,
-		art:    art,
-		ranker: art.NewRanker(),
-		cache:  newLRUCache(cfg.CacheSize),
-		flight: newFlightGroup(),
-		start:  time.Now(),
+	if cfg.MaxIngestRecords <= 0 {
+		cfg.MaxIngestRecords = 20000
 	}
-	if cfg.BatchWindow > 0 {
-		s.batch = newBatcher(art.Model, cfg.BatchWindow, cfg.BatchMaxPaths)
-		s.batch.onFlush = func(reqs, paths int) {
-			s.batchFlushes.Add(1)
-			s.batchPaths.Add(int64(paths))
-		}
+	s := &Server{cfg: cfg, start: time.Now()}
+	snap, err := s.buildSnapshot(art, nil)
+	if err != nil {
+		return nil, err
 	}
+	s.snap.Store(snap)
 	// The map is intentionally not expvar.Published: tests run many servers
 	// in one process and Publish panics on duplicate names. The /metrics
 	// handler serves it directly instead.
@@ -116,14 +165,122 @@ func New(art *pathrank.Artifact, cfg Config) (*Server, error) {
 	s.vars.Set("batch_paths", &s.batchPaths)
 	s.vars.Set("rank_latency_ns_total", &s.latencyNanos)
 	s.vars.Set("in_flight", &s.inFlightGauge)
+	s.vars.Set("swaps_total", &s.swapsTotal)
+	s.vars.Set("reload_errors", &s.reloadErrors)
+	s.vars.Set("ingest_accepted", &s.ingestAccepted)
+	s.vars.Set("ingest_rejected", &s.ingestRejected)
 	return s, nil
 }
 
-// Close releases background resources (the micro-batch dispatcher). The
-// server must not serve requests afterwards; Run calls it on shutdown.
+// buildSnapshot constructs a snapshot and wires its batcher to the
+// server's counters.
+func (s *Server) buildSnapshot(art *pathrank.Artifact, prev *snapshot) (*snapshot, error) {
+	snap, err := newSnapshot(art, s.cfg, prev)
+	if err != nil {
+		return nil, err
+	}
+	if snap.batch != nil {
+		snap.batch.onFlush = func(reqs, paths int) {
+			s.batchFlushes.Add(1)
+			s.batchPaths.Add(int64(paths))
+		}
+	}
+	return snap, nil
+}
+
+// acquire returns the current snapshot with a reference held; the caller
+// must release() it when done.
+func (s *Server) acquire() *snapshot {
+	s.snapMu.RLock()
+	snap := s.snap.Load()
+	snap.refs.Add(1)
+	s.snapMu.RUnlock()
+	return snap
+}
+
+// SwapInfo describes the outcome of a hot swap.
+type SwapInfo struct {
+	// Fingerprint is the hex SHA-256 of the now-serving model.
+	Fingerprint string `json:"fingerprint"`
+	// Previous is the fingerprint of the replaced model.
+	Previous string `json:"previous_fingerprint"`
+	// Changed reports whether the model actually differs.
+	Changed bool `json:"changed"`
+	// CachePreserved reports whether the result cache survived the swap
+	// (it does iff the fingerprint and candidate config are identical).
+	CachePreserved bool `json:"cache_preserved"`
+	// Generation is the lineage generation of the new artifact.
+	Generation int `json:"generation"`
+}
+
+// Swap atomically replaces the serving artifact. In-flight requests finish
+// against the snapshot they started on; the old snapshot's batcher is
+// stopped only after the last of them releases it. The result cache is
+// preserved iff the new model's fingerprint and candidate configuration
+// match the old ones (cached rankings are then bit-identical by
+// construction); otherwise it is fully invalidated.
+func (s *Server) Swap(art *pathrank.Artifact) (SwapInfo, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	old := s.snap.Load()
+	next, err := s.buildSnapshot(art, old)
+	if err != nil {
+		return SwapInfo{}, err
+	}
+	s.snapMu.Lock()
+	s.snap.Store(next)
+	s.snapMu.Unlock()
+	old.retire()
+	s.swapsTotal.Add(1)
+	info := SwapInfo{
+		Fingerprint:    next.fpHex,
+		Previous:       old.fpHex,
+		Changed:        next.fp != old.fp,
+		CachePreserved: next.cache != nil && next.cache == old.cache,
+		Generation:     art.Lineage.Generation,
+	}
+	if s.cfg.Logf != nil {
+		s.cfg.Logf("swapped artifact: gen %d fingerprint %.12s (changed=%v cache_preserved=%v)",
+			info.Generation, info.Fingerprint, info.Changed, info.CachePreserved)
+	}
+	return info, nil
+}
+
+// Reload reads the artifact bundle at path (or cfg.ArtifactPath when path
+// is empty) and hot-swaps it in.
+func (s *Server) Reload(path string) (SwapInfo, error) {
+	if path == "" {
+		path = s.cfg.ArtifactPath
+	}
+	if path == "" {
+		return SwapInfo{}, fmt.Errorf("serve: no artifact path configured")
+	}
+	art, err := pathrank.LoadArtifactFile(path)
+	if err != nil {
+		s.reloadErrors.Add(1)
+		return SwapInfo{}, err
+	}
+	info, err := s.Swap(art)
+	if err != nil {
+		s.reloadErrors.Add(1)
+	}
+	return info, err
+}
+
+// Fingerprint returns the hex fingerprint of the currently served model.
+func (s *Server) Fingerprint() string {
+	snap := s.acquire()
+	defer snap.release()
+	return snap.fpHex
+}
+
+// Close releases background resources (the current snapshot's micro-batch
+// dispatcher). The server must not serve requests afterwards; Run calls it
+// on shutdown. Retired snapshots stop their own batchers as they drain.
 func (s *Server) Close() {
-	if s.batch != nil {
-		s.batch.stop()
+	snap := s.snap.Load()
+	if snap != nil && snap.batch != nil {
+		snap.batch.stop()
 	}
 }
 
@@ -131,6 +288,8 @@ func (s *Server) Close() {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/rank", s.handleRank)
+	mux.HandleFunc("POST /v1/reload", s.handleReload)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -138,7 +297,8 @@ func (s *Server) Handler() http.Handler {
 
 // Run listens on cfg.Addr and serves until ctx is canceled, then drains
 // in-flight requests gracefully (bounded by cfg.ShutdownTimeout) and
-// releases the batcher.
+// releases the batcher. When cfg.WatchInterval > 0 it also watches
+// cfg.ArtifactPath and hot-swaps on changes.
 func (s *Server) Run(ctx context.Context) error {
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
@@ -146,6 +306,11 @@ func (s *Server) Run(ctx context.Context) error {
 	}
 	if s.cfg.OnListen != nil {
 		s.cfg.OnListen(ln.Addr())
+	}
+	watchCtx, stopWatch := context.WithCancel(ctx)
+	defer stopWatch()
+	if s.cfg.WatchInterval > 0 && s.cfg.ArtifactPath != "" {
+		go s.WatchArtifact(watchCtx)
 	}
 	hs := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)
@@ -161,6 +326,43 @@ func (s *Server) Run(ctx context.Context) error {
 	case err := <-errc:
 		s.Close()
 		return err
+	}
+}
+
+// WatchArtifact polls cfg.ArtifactPath every cfg.WatchInterval and
+// hot-swaps the bundle in when its mtime or size changes, until ctx is
+// canceled. The streaming retrainer writes artifacts atomically
+// (rename-into-place), so a change observed here is always a complete
+// bundle; a torn manual copy is rejected by the checksum and retried on
+// the next change.
+func (s *Server) WatchArtifact(ctx context.Context) {
+	if s.cfg.ArtifactPath == "" || s.cfg.WatchInterval <= 0 {
+		return
+	}
+	var lastMod time.Time
+	var lastSize int64 = -1
+	if st, err := os.Stat(s.cfg.ArtifactPath); err == nil {
+		lastMod, lastSize = st.ModTime(), st.Size()
+	}
+	tick := time.NewTicker(s.cfg.WatchInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		st, err := os.Stat(s.cfg.ArtifactPath)
+		if err != nil {
+			continue
+		}
+		if st.ModTime().Equal(lastMod) && st.Size() == lastSize {
+			continue
+		}
+		lastMod, lastSize = st.ModTime(), st.Size()
+		if _, err := s.Reload(s.cfg.ArtifactPath); err != nil && s.cfg.Logf != nil {
+			s.cfg.Logf("watcher: reload %s: %v", s.cfg.ArtifactPath, err)
+		}
 	}
 }
 
@@ -196,6 +398,25 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// decodeJSON decodes a bounded JSON body, mapping an exceeded size limit to
+// 413 and any other decoding failure to 400. It reports whether decoding
+// succeeded; on failure the error response has already been written.
+func decodeJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+		} else {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		}
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	s.reqTotal.Add(1)
 	s.inFlightGauge.Add(1)
@@ -203,14 +424,17 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	startReq := time.Now()
 
 	var req RankRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if !decodeJSON(w, r, maxRankBody, &req) {
 		s.rankErrors.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
 		return
 	}
-	n := int64(s.art.Graph.NumVertices())
+
+	// Pin the serving snapshot for the whole request: a hot swap installed
+	// mid-request must not mix two models' state.
+	snap := s.acquire()
+	defer snap.release()
+
+	n := int64(snap.art.Graph.NumVertices())
 	if req.Src < 0 || req.Src >= n || req.Dst < 0 || req.Dst >= n {
 		s.rankErrors.Add(1)
 		writeJSON(w, http.StatusBadRequest,
@@ -228,13 +452,13 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	// default (0): the queries are identical, so they must share one cache
 	// entry and one in-flight computation.
 	reqK := req.K
-	if reqK == s.ranker.Candidates.K {
+	if reqK == snap.ranker.Candidates.K {
 		reqK = 0
 	}
 	key := queryKey{src: roadnet.VertexID(req.Src), dst: roadnet.VertexID(req.Dst), k: reqK}
 	resp := RankResponse{Src: req.Src, Dst: req.Dst, K: req.K}
 
-	ranked, ok := s.cache.get(key)
+	ranked, ok := snap.cache.get(key)
 	if ok {
 		s.cacheHits.Add(1)
 		resp.Cached = true
@@ -242,8 +466,8 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		s.cacheMisses.Add(1)
 		var err error
 		var shared bool
-		ranked, err, shared = s.flight.do(key, func() ([]pathrank.Ranked, error) {
-			return s.rank(key)
+		ranked, err, shared = snap.flight.do(key, func() ([]pathrank.Ranked, error) {
+			return rankQuery(snap, key)
 		})
 		if shared {
 			s.flightShared.Add(1)
@@ -259,7 +483,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if !shared {
-			s.cache.add(key, ranked)
+			snap.cache.add(key, ranked)
 		}
 	}
 
@@ -272,8 +496,8 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		resp.Paths[i] = RankedPath{
 			Rank:     i + 1,
 			Score:    rk.Score,
-			LengthM:  rk.Path.Length(s.art.Graph),
-			TimeS:    rk.Path.Time(s.art.Graph),
+			LengthM:  rk.Path.Length(snap.art.Graph),
+			TimeS:    rk.Path.Time(snap.art.Graph),
 			Hops:     rk.Path.Len(),
 			Vertices: verts,
 		}
@@ -283,12 +507,12 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// rank computes one uncached query: candidate generation on the pooled
-// spath workspaces, NN scoring (micro-batched when enabled), and the same
-// stable ordering Ranker.Query uses — so results are bit-identical to an
-// in-process query.
-func (s *Server) rank(key queryKey) ([]pathrank.Ranked, error) {
-	rk := *s.ranker
+// rankQuery computes one uncached query against a pinned snapshot:
+// candidate generation on the pooled spath workspaces, NN scoring
+// (micro-batched when enabled), and the same stable ordering Ranker.Query
+// uses — so results are bit-identical to an in-process query.
+func rankQuery(snap *snapshot, key queryKey) ([]pathrank.Ranked, error) {
+	rk := *snap.ranker
 	// An explicit k equal to the configured K must not change anything —
 	// the query is semantically identical to the default-k one. A genuine
 	// override scales a configured D-TkDI probe bound proportionally so
@@ -304,34 +528,133 @@ func (s *Server) rank(key queryKey) ([]pathrank.Ranked, error) {
 		return nil, err
 	}
 	var scores []float64
-	if s.batch != nil {
-		scores = s.batch.score(cands)
+	if snap.batch != nil {
+		scores = snap.batch.score(cands)
 	} else {
-		scores = s.art.Model.ScoreBatch(cands)
+		scores = snap.art.Model.ScoreBatch(cands)
 	}
 	return pathrank.RankScored(cands, scores), nil
 }
 
+// ReloadRequest is the (optional) body of POST /v1/reload.
+type ReloadRequest struct {
+	// Artifact overrides the configured artifact path for this reload.
+	Artifact string `json:"artifact,omitempty"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal.Add(1)
+	var req ReloadRequest
+	// An empty body means "reload the configured artifact".
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRankBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	info, err := s.Reload(req.Artifact)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if req.Artifact == "" && s.cfg.ArtifactPath == "" {
+			status = http.StatusBadRequest
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// GPSSample is one raw positioning record of an ingested trajectory.
+type GPSSample struct {
+	Lon float64 `json:"lon"`
+	Lat float64 `json:"lat"`
+	// T is seconds since the start of the trip.
+	T float64 `json:"t"`
+}
+
+// IngestRequest is the body of POST /v1/ingest: one raw GPS trajectory.
+type IngestRequest struct {
+	Records []GPSSample `json:"records"`
+}
+
+// IngestResponse acknowledges an accepted trajectory.
+type IngestResponse struct {
+	Queued int `json:"queued"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal.Add(1)
+	if s.cfg.Ingest == nil {
+		s.ingestRejected.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorResponse{Error: "ingestion is not enabled on this server"})
+		return
+	}
+	var req IngestRequest
+	if !decodeJSON(w, r, maxIngestBody, &req) {
+		s.ingestRejected.Add(1)
+		return
+	}
+	if len(req.Records) == 0 {
+		s.ingestRejected.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "trajectory has no records"})
+		return
+	}
+	if len(req.Records) > s.cfg.MaxIngestRecords {
+		s.ingestRejected.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("trajectory has %d records, limit is %d — split long traces",
+				len(req.Records), s.cfg.MaxIngestRecords)})
+		return
+	}
+	recs := make([]traj.GPSRecord, len(req.Records))
+	for i, sm := range req.Records {
+		recs[i] = traj.GPSRecord{Point: geo.Point{Lon: sm.Lon, Lat: sm.Lat}, TimeOffset: sm.T}
+	}
+	if err := s.cfg.Ingest.IngestGPS(recs); err != nil {
+		s.ingestRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return
+	}
+	s.ingestAccepted.Add(1)
+	writeJSON(w, http.StatusAccepted, IngestResponse{Queued: len(req.Records)})
+}
+
 type healthResponse struct {
-	Status      string  `json:"status"`
-	UptimeS     float64 `json:"uptime_s"`
-	Vertices    int     `json:"vertices"`
-	Edges       int     `json:"edges"`
-	ModelParams int     `json:"model_params"`
-	CacheSize   int     `json:"cache_entries"`
-	Batching    bool    `json:"batching"`
+	Status        string  `json:"status"`
+	UptimeS       float64 `json:"uptime_s"`
+	Vertices      int     `json:"vertices"`
+	Edges         int     `json:"edges"`
+	ModelParams   int     `json:"model_params"`
+	CacheSize     int     `json:"cache_entries"`
+	Batching      bool    `json:"batching"`
+	Fingerprint   string  `json:"fingerprint"`
+	Generation    int     `json:"generation"`
+	ParentModel   string  `json:"parent_fingerprint,omitempty"`
+	Swaps         int64   `json:"swaps"`
+	SnapshotAgeS  float64 `json:"snapshot_age_s"`
+	IngestEnabled bool    `json:"ingest_enabled"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.reqTotal.Add(1)
+	snap := s.acquire()
+	defer snap.release()
 	writeJSON(w, http.StatusOK, healthResponse{
-		Status:      "ok",
-		UptimeS:     time.Since(s.start).Seconds(),
-		Vertices:    s.art.Graph.NumVertices(),
-		Edges:       s.art.Graph.NumEdges(),
-		ModelParams: s.art.Model.NumParams(),
-		CacheSize:   s.cache.len(),
-		Batching:    s.batch != nil,
+		Status:        "ok",
+		UptimeS:       time.Since(s.start).Seconds(),
+		Vertices:      snap.art.Graph.NumVertices(),
+		Edges:         snap.art.Graph.NumEdges(),
+		ModelParams:   snap.art.Model.NumParams(),
+		CacheSize:     snap.cache.len(),
+		Batching:      snap.batch != nil,
+		Fingerprint:   snap.fpHex,
+		Generation:    snap.art.Lineage.Generation,
+		ParentModel:   snap.art.Lineage.Parent,
+		Swaps:         s.swapsTotal.Value(),
+		SnapshotAgeS:  time.Since(snap.loaded).Seconds(),
+		IngestEnabled: s.cfg.Ingest != nil,
 	})
 }
 

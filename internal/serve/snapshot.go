@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"pathrank/internal/pathrank"
+	"pathrank/internal/roadnet"
+)
+
+// snapshot is one immutable serving state: an artifact, its ranker, and the
+// caching/batching machinery bound to that artifact's model. The server
+// holds the current snapshot in an atomic pointer; a hot swap installs a
+// new snapshot while requests already running against the old one finish
+// undisturbed.
+//
+// Lifecycle: a snapshot is born with one creation reference. Every request
+// acquires a reference for its duration. When the snapshot is replaced, the
+// swapper drops the creation reference; once the last in-flight request
+// releases its reference the snapshot is drained and its batcher (the only
+// component with a background goroutine) is stopped.
+type snapshot struct {
+	art    *pathrank.Artifact
+	ranker *pathrank.Ranker
+	cache  *lruCache
+	flight *flightGroup
+	batch  *batcher
+	fp     [sha256.Size]byte
+	fpHex  string
+	graph  [sha256.Size]byte // digest of the serialized road network
+	loaded time.Time
+
+	refs    atomic.Int64
+	drained chan struct{}
+}
+
+// graphDigest hashes the graph's serialized form. Gob encoding is
+// deterministic for a given structure, so two graphs digest equal iff
+// their vertex/edge data is identical — which is what cache reuse across
+// a swap requires (cached paths carry edge IDs resolved against the
+// serving graph).
+func graphDigest(g *roadnet.Graph) ([sha256.Size]byte, error) {
+	h := sha256.New()
+	if err := g.Save(h); err != nil {
+		return [sha256.Size]byte{}, err
+	}
+	var sum [sha256.Size]byte
+	copy(sum[:], h.Sum(nil))
+	return sum, nil
+}
+
+// newSnapshot builds the serving state for art. When prev is non-nil, the
+// new snapshot reuses prev's result cache iff the model fingerprint,
+// candidate configuration, AND road network are identical — in that case
+// every cached ranking is bit-identical to what the new artifact would
+// compute, so dropping the cache would only cost recomputation. Any
+// difference fully invalidates the cache (a fresh, empty LRU); in
+// particular a changed graph must invalidate even under identical weights,
+// because cached paths carry edge IDs and geometry of the old network.
+func newSnapshot(art *pathrank.Artifact, cfg Config, prev *snapshot) (*snapshot, error) {
+	if art == nil || art.Graph == nil || art.Model == nil {
+		return nil, fmt.Errorf("serve: artifact needs a graph and a model")
+	}
+	fp, err := art.Model.Fingerprint()
+	if err != nil {
+		return nil, fmt.Errorf("serve: fingerprint artifact: %w", err)
+	}
+	gd, err := graphDigest(art.Graph)
+	if err != nil {
+		return nil, fmt.Errorf("serve: digest artifact graph: %w", err)
+	}
+	p := &snapshot{
+		art:    art,
+		ranker: art.NewRanker(),
+		flight: newFlightGroup(),
+		fp:     fp,
+		fpHex:  hex.EncodeToString(fp[:]),
+		graph:  gd,
+		loaded: time.Now(),
+	}
+	if prev != nil && prev.fp == fp && prev.graph == gd &&
+		prev.art.Candidates == art.Candidates && prev.cache != nil {
+		p.cache = prev.cache
+	} else {
+		p.cache = newLRUCache(cfg.CacheSize)
+	}
+	if cfg.BatchWindow > 0 {
+		p.batch = newBatcher(art.Model, cfg.BatchWindow, cfg.BatchMaxPaths)
+	}
+	p.refs.Store(1)
+	p.drained = make(chan struct{})
+	return p, nil
+}
+
+// release drops one reference; the last release marks the snapshot drained.
+func (p *snapshot) release() {
+	if p.refs.Add(-1) == 0 {
+		close(p.drained)
+	}
+}
+
+// retire drops the creation reference and, once every in-flight request has
+// released the snapshot, stops its batcher. It returns immediately; the
+// wait runs in the background. Requests that raced the swap and still hold
+// the old snapshot keep working: the batcher stays live until they release,
+// and even a post-stop straggler falls back to direct scoring.
+func (p *snapshot) retire() {
+	go func() {
+		p.release()
+		<-p.drained
+		if p.batch != nil {
+			p.batch.stop()
+		}
+	}()
+}

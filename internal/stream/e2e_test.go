@@ -1,0 +1,229 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pathrank/internal/pathrank"
+	"pathrank/internal/roadnet"
+	"pathrank/internal/serve"
+)
+
+// TestLiveLoopEndToEnd is the acceptance test for the live pipeline. It
+// drives the full production loop through the HTTP surface:
+//
+//  1. start a ranking server on artifact A,
+//  2. ingest synthetic GPS trajectories through POST /v1/ingest,
+//  3. trigger an incremental retrain (fine-tune on the matched window),
+//  4. hot-swap the resulting artifact B into the live server,
+//  5. verify POST /v1/rank now serves B's rankings bit-identically,
+//
+// while a background load generator hammers /v1/rank across the swap and
+// proves zero requests were dropped or errored.
+func TestLiveLoopEndToEnd(t *testing.T) {
+	artA, trips := testWorld(t)
+	fpA, err := artA.Model.FingerprintHex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	artifactPath := filepath.Join(t.TempDir(), "model.prart")
+
+	// The server and pipeline wire to each other exactly as pathrank-serve
+	// does: the service is the server's Ingestor, the server's Swap is the
+	// service's Publish hook.
+	var srv *serve.Server
+	svc, err := New(artA, Config{
+		QueueSize:       64,
+		Workers:         2,
+		MinObservations: 1,
+		Train:           pathrank.TrainConfig{Epochs: 1, LR: 0.002, Seed: 17},
+		ArtifactPath:    artifactPath,
+		Publish: func(a *pathrank.Artifact) error {
+			_, err := srv.Swap(a)
+			return err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err = serve.New(artA, serve.Config{Ingest: svc, ArtifactPath: artifactPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	svcDone := make(chan struct{})
+	go func() { defer close(svcDone); _ = svc.Run(ctx) }()
+
+	if got := srv.Fingerprint(); got != fpA {
+		t.Fatalf("server starts on %.12s, want artifact A %.12s", got, fpA)
+	}
+
+	// Step 2: ingest trajectories over HTTP.
+	streams := sampleTrajectories(artA, trips[:4], 400)
+	for _, recs := range streams {
+		var req serve.IngestRequest
+		for _, r := range recs {
+			req.Records = append(req.Records, serve.GPSSample{Lon: r.Point.Lon, Lat: r.Point.Lat, T: r.TimeOffset})
+		}
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("ingest status %d", resp.StatusCode)
+		}
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		st := svc.Stats()
+		return st.Matched+st.MatchFailed == int64(len(streams)) && st.Matched > 0
+	}, "ingested trajectories map-matched")
+
+	// Background load across the swap: every response must be a complete
+	// 200 — a hot swap must never drop or error an in-flight request.
+	n := artA.Graph.NumVertices()
+	pairs := [][2]int64{{0, int64(n - 1)}, {3, int64(n / 2)}, {int64(n - 2), 1}}
+	var loadWG sync.WaitGroup
+	var loadErrs atomic.Int64
+	var loadReqs atomic.Int64
+	stopLoad := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		loadWG.Add(1)
+		go func(w int) {
+			defer loadWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopLoad:
+					return
+				default:
+				}
+				p := pairs[(w+i)%len(pairs)]
+				body, _ := json.Marshal(serve.RankRequest{Src: p[0], Dst: p[1]})
+				resp, err := http.Post(ts.URL+"/v1/rank", "application/json", bytes.NewReader(body))
+				if err != nil {
+					loadErrs.Add(1)
+					return
+				}
+				var rr serve.RankResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&rr)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || decErr != nil || len(rr.Paths) == 0 {
+					loadErrs.Add(1)
+					return
+				}
+				loadReqs.Add(1)
+			}
+		}(w)
+	}
+	// Let the load generator establish in-flight traffic before swapping.
+	waitFor(t, 10*time.Second, func() bool { return loadReqs.Load() >= 8 }, "load generator warm")
+
+	// Steps 3+4: incremental retrain → publish → hot swap.
+	artB, err := svc.RetrainNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpB, err := artB.Model.FingerprintHex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpB == fpA {
+		t.Fatal("retrain produced an identical model; the swap would be vacuous")
+	}
+	if got := srv.Fingerprint(); got != fpB {
+		t.Fatalf("server fingerprint %.12s after publish, want B %.12s", got, fpB)
+	}
+
+	// Keep load flowing a moment across the post-swap window, then stop.
+	time.Sleep(50 * time.Millisecond)
+	close(stopLoad)
+	loadWG.Wait()
+	if e := loadErrs.Load(); e != 0 {
+		t.Fatalf("%d rank requests dropped or errored during the live swap (of %d)", e, loadReqs.Load())
+	}
+	if loadReqs.Load() == 0 {
+		t.Fatal("load generator made no successful requests")
+	}
+
+	// Step 5: the server now answers with B's rankings, bit-identically.
+	rankerB := artB.NewRanker()
+	for _, p := range pairs {
+		want, err := rankerB.Query(roadnet.VertexID(p[0]), roadnet.VertexID(p[1]))
+		if err != nil {
+			t.Fatalf("in-process B query %d->%d: %v", p[0], p[1], err)
+		}
+		body, _ := json.Marshal(serve.RankRequest{Src: p[0], Dst: p[1]})
+		resp, err := http.Post(ts.URL+"/v1/rank", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rr serve.RankResponse
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if len(rr.Paths) != len(want) {
+			t.Fatalf("query %d->%d: %d paths, want %d", p[0], p[1], len(rr.Paths), len(want))
+		}
+		for i := range want {
+			if rr.Paths[i].Score != want[i].Score {
+				t.Fatalf("query %d->%d rank %d: served %v, artifact B computes %v",
+					p[0], p[1], i+1, rr.Paths[i].Score, want[i].Score)
+			}
+		}
+	}
+
+	// The retrain also persisted B atomically; a cold server starting from
+	// the artifact path picks up the new generation with full lineage.
+	reloaded, err := pathrank.LoadArtifactFile(artifactPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpR, err := reloaded.Model.FingerprintHex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpR != fpB {
+		t.Fatal("persisted artifact is not generation B")
+	}
+	if reloaded.Lineage.Generation != 1 || reloaded.Lineage.Parent != fpA {
+		t.Fatalf("persisted lineage %+v, want gen 1 with parent %.12s", reloaded.Lineage, fpA)
+	}
+
+	// /healthz reflects the swap.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["fingerprint"] != fpB {
+		t.Fatalf("healthz fingerprint = %v, want %s", health["fingerprint"], fpB)
+	}
+	if int(health["generation"].(float64)) != 1 {
+		t.Fatalf("healthz generation = %v, want 1", health["generation"])
+	}
+
+	cancel()
+	select {
+	case <-svcDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream service did not stop")
+	}
+}

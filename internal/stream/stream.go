@@ -1,0 +1,411 @@
+// Package stream turns the offline train→artifact→serve chain into a live
+// loop. Raw GPS trajectories enter through a bounded ingest queue
+// (backpressure instead of unbounded memory growth), map-matching workers
+// recover network paths from them with the HMM matcher in internal/traj,
+// and an incremental trainer periodically fine-tunes the current model on
+// the accumulated observation window — warm-starting from the serving
+// weights with deterministic seeding, so the same ingest sequence always
+// produces the same chain of artifacts. Each retrain emits a new
+// lineage-stamped artifact: persisted atomically to disk (where the serve
+// layer's watcher picks it up) and/or pushed directly through a publish
+// hook (the serve layer's hot swap).
+//
+// The package deliberately does not import internal/serve: the server
+// consumes a Service through the serve.Ingestor interface, and the Service
+// reaches the server through the Publish callback, so either side can be
+// run and tested without the other.
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pathrank/internal/dataset"
+	"pathrank/internal/pathrank"
+	"pathrank/internal/spath"
+	"pathrank/internal/traj"
+)
+
+// ErrBacklog reports a full ingest queue; the caller should retry later.
+// The serve layer maps it to 503.
+var ErrBacklog = errors.New("stream: ingest queue full")
+
+// Config parameterizes the live pipeline.
+type Config struct {
+	// QueueSize bounds the ingest queue in trajectories (default 256).
+	// When full, IngestGPS fails fast with ErrBacklog.
+	QueueSize int
+	// Workers is the number of map-matching workers (default 2). Matching
+	// is CPU-bound Viterbi decoding, so a couple of workers keep up with
+	// substantial ingest rates without starving the serving path.
+	Workers int
+	// Window bounds the retained observation window in matched paths
+	// (default 1024). Older observations are evicted first.
+	Window int
+	// MinObservations is how many new observations must accumulate before
+	// a periodic retrain fires (default 16). RetrainNow ignores it.
+	MinObservations int
+	// Interval is the periodic retrain cadence; 0 disables the timer
+	// (retraining then only happens through RetrainNow).
+	Interval time.Duration
+	// MinHops discards matched paths with fewer edges (default 2): a
+	// trajectory that collapses to a point or a single hop carries no
+	// ranking signal.
+	MinHops int
+	// Match parameterizes the HMM map matcher; zero-valued fields use
+	// traj.DefaultMatchConfig.
+	Match traj.MatchConfig
+	// Train parameterizes each fine-tune step; zero-valued fields fall
+	// back to pathrank.DefaultFineTuneConfig. Train.Seed is the base seed:
+	// generation g trains with Seed+g, which keeps every step deterministic
+	// while decorrelating the shuffles of successive generations.
+	Train pathrank.TrainConfig
+	// ArtifactPath, when set, receives every new generation as an
+	// atomically renamed artifact bundle.
+	ArtifactPath string
+	// Publish, when non-nil, is invoked with every new generation (the
+	// serve layer wires it to Server.Swap). A publish error fails the
+	// retrain; the pipeline keeps the previous generation.
+	Publish func(*pathrank.Artifact) error
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// observation is one map-matched trajectory. seq is the ingest sequence
+// number: the window is sorted by it before training, so the training set
+// order — and with it the seeded shuffle — is independent of worker
+// scheduling.
+type observation struct {
+	seq  int64
+	path spath.Path
+}
+
+// Stats is a point-in-time snapshot of pipeline counters.
+type Stats struct {
+	QueueDepth    int
+	Received      int64
+	Dropped       int64 // rejected with ErrBacklog
+	Matched       int64
+	MatchFailed   int64
+	WindowSize    int
+	PendingTrain  int // new observations since the last retrain
+	Generation    int
+	Retrains      int64
+	RetrainErrors int64
+}
+
+// Service is the live pipeline: ingest queue, map-matching workers, and
+// the incremental retrainer. Create it with New; IngestGPS, RetrainNow,
+// Stats, and Artifact are safe for concurrent use.
+type Service struct {
+	cfg     Config
+	matcher *traj.Matcher
+	queue   chan ingestItem
+
+	// retrainMu serializes retrains so two triggers cannot both fine-tune
+	// from the same parent and race to publish.
+	retrainMu sync.Mutex
+
+	mu            sync.Mutex
+	art           *pathrank.Artifact
+	window        []observation
+	seq           int64
+	pending       int // new observations since last retrain
+	received      int64
+	dropped       int64
+	matched       int64
+	matchFailed   int64
+	retrains      int64
+	retrainErrors int64
+}
+
+type ingestItem struct {
+	seq     int64
+	records []traj.GPSRecord
+}
+
+// New builds a Service that evolves art. The artifact's graph anchors the
+// map matcher; its model is never mutated — each retrain fine-tunes a
+// clone, so the artifact handed in (and every one published) can keep
+// serving traffic while the next generation trains.
+func New(art *pathrank.Artifact, cfg Config) (*Service, error) {
+	if art == nil || art.Graph == nil || art.Model == nil {
+		return nil, fmt.Errorf("stream: artifact needs a graph and a model")
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 256
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 1024
+	}
+	if cfg.MinObservations <= 0 {
+		cfg.MinObservations = 16
+	}
+	if cfg.MinHops <= 0 {
+		cfg.MinHops = 2
+	}
+	// Per-field matcher defaults, so a caller overriding only SigmaM (say,
+	// for noisier receivers) keeps the defaults for the rest. NewMatcher
+	// also defaults Candidates/SigmaM/BetaM, but not StrideSec — and an
+	// unsubsampled 1 Hz stream makes Viterbi decoding needlessly slow.
+	def := traj.DefaultMatchConfig()
+	if cfg.Match.Candidates <= 0 {
+		cfg.Match.Candidates = def.Candidates
+	}
+	if cfg.Match.SigmaM <= 0 {
+		cfg.Match.SigmaM = def.SigmaM
+	}
+	if cfg.Match.BetaM <= 0 {
+		cfg.Match.BetaM = def.BetaM
+	}
+	if cfg.Match.StrideSec <= 0 {
+		cfg.Match.StrideSec = def.StrideSec
+	}
+	return &Service{
+		cfg:     cfg,
+		matcher: traj.NewMatcher(art.Graph, cfg.Match),
+		queue:   make(chan ingestItem, cfg.QueueSize),
+		art:     art,
+	}, nil
+}
+
+// IngestGPS enqueues one raw trajectory for asynchronous map matching. It
+// never blocks: when the queue is full it fails fast with ErrBacklog so
+// the caller (an HTTP handler under load) can shed instead of stall.
+func (s *Service) IngestGPS(records []traj.GPSRecord) error {
+	if len(records) == 0 {
+		return fmt.Errorf("stream: empty trajectory")
+	}
+	s.mu.Lock()
+	s.seq++
+	item := ingestItem{seq: s.seq, records: records}
+	s.mu.Unlock()
+	select {
+	case s.queue <- item:
+		s.mu.Lock()
+		s.received++
+		s.mu.Unlock()
+		return nil
+	default:
+		s.mu.Lock()
+		s.dropped++
+		s.mu.Unlock()
+		return ErrBacklog
+	}
+}
+
+// Artifact returns the newest generation.
+func (s *Service) Artifact() *pathrank.Artifact {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.art
+}
+
+// Stats returns a snapshot of the pipeline counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		QueueDepth:    len(s.queue),
+		Received:      s.received,
+		Dropped:       s.dropped,
+		Matched:       s.matched,
+		MatchFailed:   s.matchFailed,
+		WindowSize:    len(s.window),
+		PendingTrain:  s.pending,
+		Generation:    s.art.Lineage.Generation,
+		Retrains:      s.retrains,
+		RetrainErrors: s.retrainErrors,
+	}
+}
+
+// Run starts the map-matching workers and, when cfg.Interval > 0, the
+// periodic retrain loop. It blocks until ctx is canceled and all workers
+// have stopped.
+func (s *Service) Run(ctx context.Context) error {
+	var wg sync.WaitGroup
+	for i := 0; i < s.cfg.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.matchLoop(ctx)
+		}()
+	}
+	if s.cfg.Interval > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.retrainLoop(ctx)
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+// matchLoop drains the ingest queue, recovering network paths.
+func (s *Service) matchLoop(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case item := <-s.queue:
+			s.matchOne(item)
+		}
+	}
+}
+
+// matchOne map-matches one trajectory and folds it into the window.
+func (s *Service) matchOne(item ingestItem) {
+	path, err := s.matcher.Match(item.records)
+	if err != nil || path.Len() < s.cfg.MinHops {
+		s.mu.Lock()
+		s.matchFailed++
+		s.mu.Unlock()
+		if err != nil && s.cfg.Logf != nil {
+			s.cfg.Logf("match trajectory %d: %v", item.seq, err)
+		}
+		return
+	}
+	s.mu.Lock()
+	s.matched++
+	s.pending++
+	s.window = append(s.window, observation{seq: item.seq, path: path})
+	if len(s.window) > s.cfg.Window {
+		// Evict the oldest observation (smallest sequence number).
+		oldest := 0
+		for i := range s.window {
+			if s.window[i].seq < s.window[oldest].seq {
+				oldest = i
+			}
+		}
+		s.window[oldest] = s.window[len(s.window)-1]
+		s.window = s.window[:len(s.window)-1]
+	}
+	s.mu.Unlock()
+}
+
+// retrainLoop fires a retrain whenever the cadence elapses with at least
+// MinObservations new observations accumulated.
+func (s *Service) retrainLoop(ctx context.Context) {
+	tick := time.NewTicker(s.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		s.mu.Lock()
+		ready := s.pending >= s.cfg.MinObservations
+		s.mu.Unlock()
+		if !ready {
+			continue
+		}
+		if _, err := s.RetrainNow(); err != nil && s.cfg.Logf != nil {
+			s.cfg.Logf("retrain: %v", err)
+		}
+	}
+}
+
+// RetrainNow fine-tunes the current model on the accumulated observation
+// window and installs the result as the next generation: lineage bumped,
+// persisted atomically to cfg.ArtifactPath (when set), and pushed through
+// cfg.Publish (when set). The serving model is never touched — training
+// runs on a clone — and the step is deterministic: the window is sorted
+// into ingest order and the fine-tune is seeded with Train.Seed+generation.
+// On any error the previous generation stays current.
+func (s *Service) RetrainNow() (*pathrank.Artifact, error) {
+	s.retrainMu.Lock()
+	defer s.retrainMu.Unlock()
+
+	s.mu.Lock()
+	base := s.art
+	obs := make([]observation, len(s.window))
+	copy(obs, s.window)
+	s.mu.Unlock()
+
+	art, err := s.retrain(base, obs)
+	if err != nil {
+		s.mu.Lock()
+		s.retrainErrors++
+		s.mu.Unlock()
+		return nil, err
+	}
+
+	if s.cfg.ArtifactPath != "" {
+		if err := pathrank.SaveArtifactFileAtomic(s.cfg.ArtifactPath, art); err != nil {
+			s.mu.Lock()
+			s.retrainErrors++
+			s.mu.Unlock()
+			return nil, err
+		}
+	}
+	if s.cfg.Publish != nil {
+		if err := s.cfg.Publish(art); err != nil {
+			s.mu.Lock()
+			s.retrainErrors++
+			s.mu.Unlock()
+			return nil, fmt.Errorf("stream: publish generation %d: %w", art.Lineage.Generation, err)
+		}
+	}
+
+	s.mu.Lock()
+	s.art = art
+	s.pending = 0
+	s.retrains++
+	s.mu.Unlock()
+	if s.cfg.Logf != nil {
+		s.cfg.Logf("retrained: generation %d on %d observations", art.Lineage.Generation, len(obs))
+	}
+	return art, nil
+}
+
+// retrain produces the next-generation artifact from base and the window.
+func (s *Service) retrain(base *pathrank.Artifact, obs []observation) (*pathrank.Artifact, error) {
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("stream: no observations to retrain on")
+	}
+	// Ingest order, not worker-completion order: determinism.
+	sort.Slice(obs, func(a, b int) bool { return obs[a].seq < obs[b].seq })
+	trips := make([]traj.Trip, len(obs))
+	for i, o := range obs {
+		trips[i] = traj.Trip{Path: o.path}
+	}
+	dcfg := base.Candidates
+	if dcfg.K <= 0 {
+		dcfg = dataset.DefaultConfig()
+	}
+	queries, err := dataset.Generate(base.Graph, trips, dcfg)
+	if err != nil {
+		return nil, fmt.Errorf("stream: label window: %w", err)
+	}
+
+	model, err := base.Model.Clone()
+	if err != nil {
+		return nil, fmt.Errorf("stream: clone model: %w", err)
+	}
+	tcfg := s.cfg.Train
+	tcfg.Seed += int64(base.Lineage.Generation) + 1
+	if _, err := model.FineTune(queries, tcfg); err != nil {
+		return nil, fmt.Errorf("stream: fine-tune: %w", err)
+	}
+
+	parent, err := base.Model.FingerprintHex()
+	if err != nil {
+		return nil, fmt.Errorf("stream: fingerprint parent: %w", err)
+	}
+	return &pathrank.Artifact{
+		Graph:      base.Graph,
+		Embeddings: base.Embeddings,
+		Model:      model,
+		Candidates: base.Candidates,
+		Lineage:    base.Lineage.Child(parent, len(obs), "stream"),
+	}, nil
+}

@@ -109,6 +109,11 @@ func abs(x int) int {
 // Newson & Krumm (GIS 2009): emissions are Gaussian in the GPS-to-candidate
 // distance, transitions penalize the gap between routed distance and
 // great-circle displacement.
+//
+// A Matcher is immutable after NewMatcher (the spatial index is built once
+// and only read afterwards), so concurrent Match calls are safe — the
+// streaming pipeline in internal/stream runs several matching workers over
+// one Matcher.
 type Matcher struct {
 	g   *roadnet.Graph
 	idx *gridIndex
