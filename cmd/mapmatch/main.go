@@ -12,9 +12,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"pathrank/internal/pathsim"
 	"pathrank/internal/roadnet"
+	"pathrank/internal/spath"
 	"pathrank/internal/traj"
 )
 
@@ -27,7 +29,13 @@ func main() {
 	noise := flag.Float64("noise", 8, "GPS noise standard deviation in meters")
 	interval := flag.Float64("interval", 1, "GPS sampling interval in seconds")
 	seed := flag.Int64("seed", 1, "random seed")
+	engineName := flag.String("engine", "ch", "shortest-path engine for matching: ch, alt or dijkstra")
 	flag.Parse()
+
+	kind, err := spath.ParseEngineKind(*engineName)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	g, err := roadnet.LoadFile(*netPath)
 	if err != nil {
@@ -40,7 +48,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	matcher := traj.NewMatcher(g, traj.DefaultMatchConfig())
+	prepStart := time.Now()
+	engine := spath.NewEngine(kind, g, spath.ByLength, spath.EngineConfig{})
+	fmt.Printf("engine: %s (preprocessed in %v)\n", engine.Kind(), time.Since(prepStart).Round(time.Millisecond))
+	matcher := traj.NewMatcherEngine(g, traj.DefaultMatchConfig(), engine)
 
 	var simSum float64
 	var records, matched int

@@ -49,6 +49,7 @@ func main() {
 	batchWindow := flag.Duration("batch-window", 0, "micro-batch gather window (0 disables batching)")
 	batchMax := flag.Int("batch-max-paths", 256, "max paths per micro-batched scoring sweep")
 	maxK := flag.Int("max-k", 32, "largest per-request candidate-set override")
+	engine := flag.String("engine", "ch", "shortest-path engine for candidate generation: ch, alt or dijkstra")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 	watch := flag.Duration("watch", 0, "artifact-file watch interval (0 disables the watcher)")
 	ingestQueue := flag.Int("ingest-queue", 256, "bounded ingest queue size in trajectories")
@@ -71,10 +72,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("loaded %s in %v: %d vertices, %d edges, %d params, strategy %s k=%d, gen %d fingerprint %.12s",
+	prepNote := "no prep embedded (preprocessing on demand)"
+	if art.Prep != nil {
+		prepNote = "prep embedded (cold start skips preprocessing)"
+	}
+	log.Printf("loaded %s in %v: %d vertices, %d edges, %d params, strategy %s k=%d, gen %d fingerprint %.12s, engine %s, %s",
 		*artifactPath, time.Since(start).Round(time.Millisecond),
 		art.Graph.NumVertices(), art.Graph.NumEdges(), art.Model.NumParams(),
-		art.Candidates.Strategy, art.Candidates.K, art.Lineage.Generation, fpHex)
+		art.Candidates.Strategy, art.Candidates.K, art.Lineage.Generation, fpHex, *engine, prepNote)
 
 	cfg := serve.Config{
 		Addr:             *addr,
@@ -82,6 +87,7 @@ func main() {
 		BatchWindow:      *batchWindow,
 		BatchMaxPaths:    *batchMax,
 		MaxK:             *maxK,
+		Engine:           *engine,
 		ShutdownTimeout:  *drain,
 		ArtifactPath:     *artifactPath,
 		WatchInterval:    *watch,
@@ -104,6 +110,7 @@ func main() {
 			Window:          *retrainWindow,
 			MinObservations: *retrainMin,
 			Interval:        *retrainEvery,
+			Engine:          *engine,
 			Train: pathrank.TrainConfig{
 				Epochs: *retrainEpochs, LR: *retrainLR, ClipNorm: 5, Seed: *retrainSeed,
 			},

@@ -22,6 +22,7 @@ import (
 	"pathrank/internal/node2vec"
 	"pathrank/internal/pathrank"
 	"pathrank/internal/roadnet"
+	"pathrank/internal/spath"
 	"pathrank/internal/traj"
 )
 
@@ -50,6 +51,8 @@ func main() {
 	out := flag.String("out", "model.gob", "output path for the trained model")
 	artifactOut := flag.String("artifact", "", "also write a complete serving artifact (network + embeddings + model) to this path")
 	resume := flag.String("resume", "", "warm-start from this artifact bundle instead of training from scratch (incremental fine-tune; ignores -net/-m/-hidden/-variant)")
+	prep := flag.Bool("prep", true, "embed precomputed speedup structures (contraction hierarchy + ALT landmarks) in the artifact so pathrank-serve cold-starts without preprocessing")
+	prepLandmarks := flag.Int("prep-landmarks", 0, "ALT landmark count for -prep (0 = default)")
 	flag.Parse()
 
 	if *resume != "" {
@@ -66,7 +69,7 @@ func main() {
 				ftLR = *lr
 			}
 		})
-		if err := resumeTrain(*resume, *tripsPath, ftEpochs, ftLR, *seed, *out, *artifactOut); err != nil {
+		if err := resumeTrain(*resume, *tripsPath, ftEpochs, ftLR, *seed, *out, *artifactOut, *prep, *prepLandmarks); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -150,6 +153,9 @@ func main() {
 			Candidates: dcfg,
 			Lineage:    pathrank.Lineage{TrainedOn: len(pipe.Train), TotalObserved: len(pipe.Train), Note: "offline"},
 		}
+		if *prep {
+			art.Prep = buildPrep(g, *prepLandmarks)
+		}
 		if err := pathrank.SaveArtifactFile(*artifactOut, art); err != nil {
 			log.Fatal(err)
 		}
@@ -157,10 +163,20 @@ func main() {
 	}
 }
 
+// buildPrep preprocesses the road network into the speedup structures the
+// serving and map-matching hot paths query (CH + ALT landmark tables).
+func buildPrep(g *roadnet.Graph, landmarks int) *spath.Prep {
+	start := time.Now()
+	p := spath.BuildPrep(g, spath.PrepConfig{Landmarks: landmarks})
+	fmt.Printf("prep: %d shortcuts, %d landmarks in %v\n",
+		p.CH.NumShortcuts(), p.ALT.NumLandmarks(), time.Since(start).Round(time.Millisecond))
+	return p
+}
+
 // resumeTrain implements -resume: load an artifact, fine-tune its model on
 // a new trip log (warm start), bump the lineage, and write the results —
 // the offline twin of the streaming retrainer.
-func resumeTrain(artPath, tripsPath string, epochs int, lr float64, seed int64, out, artifactOut string) error {
+func resumeTrain(artPath, tripsPath string, epochs int, lr float64, seed int64, out, artifactOut string, prep bool, prepLandmarks int) error {
 	art, err := pathrank.LoadArtifactFile(artPath)
 	if err != nil {
 		return err
@@ -224,7 +240,13 @@ func resumeTrain(artPath, tripsPath string, epochs int, lr float64, seed int64, 
 			Embeddings: art.Embeddings,
 			Model:      model,
 			Candidates: art.Candidates,
-			Lineage:    art.Lineage.Child(parent, len(queries), "resume"),
+			// The road network is unchanged by a fine-tune, so the parent's
+			// speedup structures carry forward as-is.
+			Prep:    art.Prep,
+			Lineage: art.Lineage.Child(parent, len(queries), "resume"),
+		}
+		if next.Prep == nil && prep {
+			next.Prep = buildPrep(art.Graph, prepLandmarks)
 		}
 		if err := pathrank.SaveArtifactFileAtomic(artifactOut, next); err != nil {
 			return err

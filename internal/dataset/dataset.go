@@ -123,7 +123,7 @@ func Generate(g *roadnet.Graph, trips []traj.Trip, cfg Config) ([]Query, error) 
 		for _, c := range cands {
 			inst := Instance{
 				Path:        c,
-				Label:       pathsim.WeightedJaccard(g, c, tr.Path),
+				Label:       sim(c, tr.Path),
 				LengthRatio: minLen / c.Length(g),
 				TimeRatio:   minTime / c.Time(g),
 			}
@@ -190,6 +190,7 @@ func Describe(g *roadnet.Graph, queries []Query) Stats {
 	var hops, labels float64
 	var divSum float64
 	var divCnt int
+	sim := pathsim.WeightedJaccardSim(g)
 	for _, q := range queries {
 		s.Candidates += len(q.Candidates)
 		for _, c := range q.Candidates {
@@ -198,7 +199,7 @@ func Describe(g *roadnet.Graph, queries []Query) Stats {
 		}
 		for i := range q.Candidates {
 			for j := i + 1; j < len(q.Candidates); j++ {
-				divSum += pathsim.WeightedJaccard(g, q.Candidates[i].Path, q.Candidates[j].Path)
+				divSum += sim(q.Candidates[i].Path, q.Candidates[j].Path)
 				divCnt++
 			}
 		}

@@ -17,6 +17,7 @@ import (
 	"pathrank/internal/nn"
 	"pathrank/internal/node2vec"
 	"pathrank/internal/roadnet"
+	"pathrank/internal/spath"
 )
 
 // Artifact is a complete trained PathRank deployment: the road network the
@@ -30,6 +31,13 @@ type Artifact struct {
 	Embeddings *node2vec.Embeddings // may be nil
 	Model      *Model
 	Candidates dataset.Config
+	// Prep carries the precomputed shortest-path speedup structures
+	// (contraction hierarchy, ALT landmark tables) built for Graph under
+	// the candidate-generation metric. It may be nil — consumers then
+	// preprocess on demand — but persisting it is what makes serving
+	// cold-starts preprocessing-free. An incremental retrain on an
+	// unchanged road network carries the parent's Prep forward untouched.
+	Prep *spath.Prep
 	// Lineage records where this artifact came from in an incremental
 	// training chain; the zero value denotes an unstamped (pre-lineage or
 	// externally assembled) artifact.
@@ -69,11 +77,16 @@ func (l Lineage) Child(parentFP string, trainedOn int, note string) Lineage {
 }
 
 // NewRanker wraps the artifact's model and graph for query-time use, with
-// the artifact's candidate configuration.
+// the artifact's candidate configuration. When the artifact carries
+// precomputed speedup structures, the ranker's candidate generation runs
+// on the fastest engine they back (CH, else ALT).
 func (a *Artifact) NewRanker() *Ranker {
 	r := NewRanker(a.Graph, a.Model)
 	if a.Candidates.K > 0 {
 		r.Candidates = a.Candidates
+	}
+	if a.Prep != nil {
+		r.Engine = a.Prep.BestEngine(a.Graph)
 	}
 	return r
 }
@@ -105,7 +118,20 @@ func (m *Model) FingerprintHex() (string, error) {
 //
 // The checksum covers every payload byte, so any torn write or bit flip is
 // detected before gob decoding is attempted.
-const artifactVersion = 1
+//
+// Version history:
+//
+//	1  initial format (graph + embeddings + model + candidate config;
+//	   lineage added later as a gob-compatible field)
+//	2  adds the precomputed speedup structures (CH + ALT landmark tables)
+//	   as a nested Prep section
+//
+// Version-2 readers still accept version-1 files — the Prep section
+// decodes as absent and consumers preprocess on demand.
+const (
+	artifactVersion    = 2
+	minArtifactVersion = 1
+)
 
 var artifactMagic = [8]byte{'P', 'R', 'A', 'R', 'T', 'F', 'C', 'T'}
 
@@ -137,6 +163,9 @@ type artifactWire struct {
 	Graph      []byte
 	Embeddings []byte // empty when the artifact carries no embeddings
 	Params     []byte
+	// Prep is the serialized spath.Prep (version 2); empty when the
+	// artifact carries no precomputed structures.
+	Prep []byte
 }
 
 // SaveArtifact writes a versioned, checksummed bundle of the artifact to w.
@@ -169,6 +198,14 @@ func SaveArtifact(w io.Writer, a *Artifact) error {
 	}
 	wire.Params = params
 
+	if a.Prep != nil {
+		var pbuf bytes.Buffer
+		if err := a.Prep.Save(&pbuf); err != nil {
+			return fmt.Errorf("pathrank: artifact prep: %w", err)
+		}
+		wire.Prep = pbuf.Bytes()
+	}
+
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(wire); err != nil {
 		return fmt.Errorf("pathrank: encode artifact: %w", err)
@@ -200,9 +237,9 @@ func LoadArtifact(r io.Reader) (*Artifact, error) {
 	if !bytes.Equal(header[0:8], artifactMagic[:]) {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrArtifactFormat, header[0:8])
 	}
-	if v := binary.BigEndian.Uint32(header[8:12]); v != artifactVersion {
-		return nil, fmt.Errorf("%w: file has version %d, this build reads version %d",
-			ErrArtifactVersion, v, artifactVersion)
+	if v := binary.BigEndian.Uint32(header[8:12]); v < minArtifactVersion || v > artifactVersion {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads versions %d-%d",
+			ErrArtifactVersion, v, minArtifactVersion, artifactVersion)
 	}
 	n := binary.BigEndian.Uint64(header[44:52])
 	if n > maxArtifactPayload {
@@ -239,6 +276,13 @@ func LoadArtifact(r io.Reader) (*Artifact, error) {
 		return nil, fmt.Errorf("pathrank: artifact weights: %w", err)
 	}
 	a := &Artifact{Graph: g, Model: model, Candidates: wire.Candidates, Lineage: wire.Lineage}
+	if len(wire.Prep) > 0 {
+		prep, err := spath.LoadPrep(bytes.NewReader(wire.Prep), g)
+		if err != nil {
+			return nil, fmt.Errorf("%w: prep section: %v", ErrArtifactCorrupt, err)
+		}
+		a.Prep = prep
+	}
 	if len(wire.Embeddings) > 0 {
 		emb, err := node2vec.LoadEmbeddings(bytes.NewReader(wire.Embeddings))
 		if err != nil {

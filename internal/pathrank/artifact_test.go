@@ -11,6 +11,7 @@ import (
 	"pathrank/internal/dataset"
 	"pathrank/internal/node2vec"
 	"pathrank/internal/roadnet"
+	"pathrank/internal/spath"
 )
 
 // trainedArtifact builds a small trained pipeline and wraps it in an
@@ -284,5 +285,95 @@ func TestArtifactRejectsImplausibleShape(t *testing.T) {
 	}
 	if err := checkModelShape(4, Config{EmbeddingDim: 3, Hidden: 2, Body: GRUBody}, 4096); err != nil {
 		t.Fatalf("plausible shape rejected: %v", err)
+	}
+}
+
+// TestArtifactPrepRoundTrip checks that the precomputed speedup structures
+// survive a save/load cycle and come back answering queries identically.
+func TestArtifactPrepRoundTrip(t *testing.T) {
+	art := trainedArtifact(t)
+	art.Prep = spath.BuildPrep(art.Graph, spath.PrepConfig{Landmarks: 3})
+	var buf bytes.Buffer
+	if err := SaveArtifact(&buf, art); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, err := LoadArtifact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if got.Prep == nil || got.Prep.CH == nil || got.Prep.ALT == nil {
+		t.Fatalf("prep not restored: %+v", got.Prep)
+	}
+	if got.Prep.CH.NumShortcuts() != art.Prep.CH.NumShortcuts() {
+		t.Fatalf("shortcuts %d != %d", got.Prep.CH.NumShortcuts(), art.Prep.CH.NumShortcuts())
+	}
+	// The restored ranker must run on the restored prep's engine and agree
+	// with the original on a query.
+	r := got.NewRanker()
+	if r.Engine == nil || r.Engine.Kind() != spath.EngineCH {
+		t.Fatalf("restored ranker engine = %v, want CH", r.Engine)
+	}
+	src := roadnet.VertexID(0)
+	dst := roadnet.VertexID(got.Graph.NumVertices() - 1)
+	want, err1 := art.NewRanker().Query(src, dst)
+	have, err2 := r.Query(src, dst)
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("query errs: %v vs %v", err1, err2)
+	}
+	if err1 == nil {
+		if len(want) != len(have) {
+			t.Fatalf("ranked %d vs %d paths", len(have), len(want))
+		}
+		for i := range want {
+			if want[i].Score != have[i].Score || !want[i].Path.Equal(have[i].Path) {
+				t.Fatalf("ranked path %d differs after round trip", i)
+			}
+		}
+	}
+}
+
+// TestArtifactVersion1StillLoads guards backward compatibility: a bundle
+// whose header says version 1 (written before the prep section existed)
+// must load, with Prep simply absent.
+func TestArtifactVersion1StillLoads(t *testing.T) {
+	art := trainedArtifact(t) // no prep: matches what a v1 writer produced
+	var buf bytes.Buffer
+	if err := SaveArtifact(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	binary.BigEndian.PutUint32(data[8:12], 1)
+	got, err := LoadArtifact(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("version-1 bundle rejected: %v", err)
+	}
+	if got.Prep != nil {
+		t.Fatalf("version-1 bundle grew a prep section")
+	}
+	if got.Graph.NumVertices() != art.Graph.NumVertices() {
+		t.Fatalf("graph shape changed across version-1 load")
+	}
+	// Without a prep the ranker has no prebuilt engine; consumers build on
+	// demand.
+	if r := got.NewRanker(); r.Engine != nil {
+		t.Fatalf("prep-less artifact produced a prebuilt engine")
+	}
+}
+
+// TestArtifactRejectsCorruptPrep checks that a mangled prep section fails
+// checksum-first, and a checksum-valid but graph-incompatible prep is
+// rejected by the prep validator rather than panicking later.
+func TestArtifactRejectsCorruptPrep(t *testing.T) {
+	art := trainedArtifact(t)
+	art.Prep = spath.BuildPrep(art.Graph, spath.PrepConfig{Landmarks: 2, SkipALT: true})
+	var buf bytes.Buffer
+	if err := SaveArtifact(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+	data[len(data)-7] ^= 0x40 // flip a bit inside the payload tail (prep bytes)
+	_, err := LoadArtifact(bytes.NewReader(data))
+	if !errors.Is(err, ErrArtifactCorrupt) {
+		t.Fatalf("want ErrArtifactCorrupt, got %v", err)
 	}
 }

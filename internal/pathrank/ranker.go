@@ -21,6 +21,14 @@ type Ranker struct {
 	// Candidates controls candidate generation for queries; defaults are
 	// used when zero-valued.
 	Candidates dataset.Config
+	// Engine, when non-nil, runs candidate generation on a prepared
+	// shortest-path engine (CH or ALT): the first path of every Yen
+	// enumeration comes from the engine's point-to-point query and spur
+	// searches use its admissible heuristic when it has one. The engine
+	// must be built over the same road network (Artifact.NewRanker wires
+	// the one persisted in the artifact). Distances are exact on every
+	// engine, so rankings match the nil-engine (plain Dijkstra) path.
+	Engine spath.Engine
 }
 
 // NewRanker wraps a trained model for query-time use.
@@ -41,14 +49,23 @@ func (r *Ranker) CandidatePaths(src, dst roadnet.VertexID) ([]spath.Path, error)
 	var err error
 	switch cfg.Strategy {
 	case dataset.TkDI:
-		cands, err = spath.TopK(r.Graph, src, dst, cfg.K, spath.ByLength)
+		if r.Engine != nil {
+			cands, err = spath.TopKEngine(r.Engine, src, dst, cfg.K)
+		} else {
+			cands, err = spath.TopK(r.Graph, src, dst, cfg.K, spath.ByLength)
+		}
 	case dataset.DTkDI:
 		probe := cfg.MaxProbe
 		if probe <= 0 {
 			probe = 10 * cfg.K
 		}
-		cands, err = spath.DiversifiedTopK(r.Graph, src, dst, cfg.K, spath.ByLength,
-			pathsim.WeightedJaccardSim(r.Graph), cfg.Threshold, probe)
+		sim := pathsim.WeightedJaccardSim(r.Graph)
+		if r.Engine != nil {
+			cands, err = spath.DiversifiedTopKEngine(r.Engine, src, dst, cfg.K, sim, cfg.Threshold, probe)
+		} else {
+			cands, err = spath.DiversifiedTopK(r.Graph, src, dst, cfg.K, spath.ByLength,
+				sim, cfg.Threshold, probe)
+		}
 	default:
 		return nil, fmt.Errorf("pathrank: unknown candidate strategy %d", cfg.Strategy)
 	}

@@ -74,6 +74,12 @@ type Config struct {
 	BatchMaxPaths int
 	// MaxK caps the per-request candidate-set override (default 32).
 	MaxK int
+	// Engine selects the shortest-path backend for candidate generation:
+	// "ch" (default), "alt", or "dijkstra". The structure persisted in the
+	// artifact is used when it matches; otherwise it is built once at
+	// snapshot creation and reused across hot swaps of the same road
+	// network.
+	Engine string
 	// ShutdownTimeout bounds graceful drain on Run cancellation (default 5s).
 	ShutdownTimeout time.Duration
 	// ArtifactPath is the bundle /v1/reload re-reads when the request names
@@ -131,10 +137,27 @@ type Server struct {
 	ingestRejected expvar.Int
 }
 
+// engineKind resolves the configured engine name; New has validated it.
+func (c Config) engineKind() spath.EngineKind {
+	if c.Engine == "" {
+		return spath.EngineCH
+	}
+	kind, err := spath.ParseEngineKind(c.Engine)
+	if err != nil {
+		return spath.EngineCH
+	}
+	return kind
+}
+
 // New builds a Server around a loaded artifact.
 func New(art *pathrank.Artifact, cfg Config) (*Server, error) {
 	if cfg.CacheSize == 0 {
 		cfg.CacheSize = 4096
+	}
+	if cfg.Engine != "" {
+		if _, err := spath.ParseEngineKind(cfg.Engine); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
 	}
 	if cfg.MaxK <= 0 {
 		cfg.MaxK = 32
@@ -629,6 +652,8 @@ type healthResponse struct {
 	ModelParams   int     `json:"model_params"`
 	CacheSize     int     `json:"cache_entries"`
 	Batching      bool    `json:"batching"`
+	Engine        string  `json:"engine"`
+	PrepEmbedded  bool    `json:"prep_embedded"`
 	Fingerprint   string  `json:"fingerprint"`
 	Generation    int     `json:"generation"`
 	ParentModel   string  `json:"parent_fingerprint,omitempty"`
@@ -649,6 +674,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		ModelParams:   snap.art.Model.NumParams(),
 		CacheSize:     snap.cache.len(),
 		Batching:      snap.batch != nil,
+		Engine:        snap.engine.Kind().String(),
+		PrepEmbedded:  snap.art.Prep != nil,
 		Fingerprint:   snap.fpHex,
 		Generation:    snap.art.Lineage.Generation,
 		ParentModel:   snap.art.Lineage.Parent,

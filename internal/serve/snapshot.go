@@ -9,6 +9,7 @@ import (
 
 	"pathrank/internal/pathrank"
 	"pathrank/internal/roadnet"
+	"pathrank/internal/spath"
 )
 
 // snapshot is one immutable serving state: an artifact, its ranker, and the
@@ -25,6 +26,7 @@ import (
 type snapshot struct {
 	art    *pathrank.Artifact
 	ranker *pathrank.Ranker
+	engine spath.Engine
 	cache  *lruCache
 	flight *flightGroup
 	batch  *batcher
@@ -81,6 +83,8 @@ func newSnapshot(art *pathrank.Artifact, cfg Config, prev *snapshot) (*snapshot,
 		graph:  gd,
 		loaded: time.Now(),
 	}
+	p.engine = buildEngine(art, cfg, gd, prev)
+	p.ranker.Engine = p.engine
 	if prev != nil && prev.fp == fp && prev.graph == gd &&
 		prev.art.Candidates == art.Candidates && prev.cache != nil {
 		p.cache = prev.cache
@@ -93,6 +97,25 @@ func newSnapshot(art *pathrank.Artifact, cfg Config, prev *snapshot) (*snapshot,
 	p.refs.Store(1)
 	p.drained = make(chan struct{})
 	return p, nil
+}
+
+// buildEngine resolves the snapshot's shortest-path engine with, in order
+// of preference: the structure persisted in the artifact (zero cold-start
+// preprocessing), the previous snapshot's engine when the road network is
+// digest-identical (an incremental retrain swaps in new weights on the same
+// network — rebuilding the hierarchy would waste the swap), and finally an
+// on-demand build for artifacts that predate the prep section.
+func buildEngine(art *pathrank.Artifact, cfg Config, gd [sha256.Size]byte, prev *snapshot) spath.Engine {
+	kind := cfg.engineKind()
+	if e := art.Prep.Engine(kind, art.Graph); e != nil {
+		return e
+	}
+	if prev != nil && prev.graph == gd && prev.engine != nil && prev.engine.Kind() == kind {
+		// Digest-equal graphs are structurally identical, so the previous
+		// engine's distances and edge IDs stay valid for the new artifact.
+		return prev.engine
+	}
+	return spath.NewEngine(kind, art.Graph, spath.ByLength, spath.EngineConfig{})
 }
 
 // release drops one reference; the last release marks the snapshot drained.

@@ -127,41 +127,20 @@ func (a *ALT) heuristic(v, dst roadnet.VertexID) float64 {
 	return best
 }
 
+// boundTo returns the landmark lower bound on d(v, dst) as a closure
+// suitable for Workspace.setGoalAux. The bound stays admissible when edges
+// or vertices are banned (bans only increase true distances), which is what
+// lets Yen spur searches stay goal-directed on an ALT engine.
+func (a *ALT) boundTo(dst roadnet.VertexID) func(roadnet.VertexID) float64 {
+	return func(v roadnet.VertexID) float64 { return a.heuristic(v, dst) }
+}
+
 // Query returns a minimum-cost path from src to dst. Costs equal
-// Dijkstra's; the landmark heuristic only prunes the search.
+// Dijkstra's; the landmark heuristic only prunes the search. Search state
+// comes from a pooled Workspace, so repeated queries do not reallocate the
+// O(n) arrays the previous implementation built per call.
 func (a *ALT) Query(src, dst roadnet.VertexID) (Path, error) {
-	if src == dst {
-		return Path{Vertices: []roadnet.VertexID{src}}, nil
-	}
-	g := a.g
-	n := g.NumVertices()
-	dist := make([]float64, n)
-	for i := range dist {
-		dist[i] = unreached
-	}
-	parentEdge := make([]roadnet.EdgeID, n)
-	done := make([]bool, n)
-	dist[src] = 0
-	h := &minHeap{}
-	h.push(item{v: src, dist: a.heuristic(src, dst)})
-	for !h.empty() {
-		it := h.pop()
-		if done[it.v] {
-			continue
-		}
-		done[it.v] = true
-		if it.v == dst {
-			return reconstruct(g, parentEdge, src, dst, dist[dst]), nil
-		}
-		for _, eid := range g.OutEdges(it.v) {
-			e := g.Edge(eid)
-			nd := dist[it.v] + a.w(e)
-			if nd < dist[e.To] {
-				dist[e.To] = nd
-				parentEdge[e.To] = eid
-				h.push(item{v: e.To, dist: nd + a.heuristic(e.To, dst)})
-			}
-		}
-	}
-	return Path{}, ErrNoPath
+	ws := GetWorkspace(a.g)
+	defer ws.Release()
+	return ws.AStarAux(a.g, src, dst, a.w, a.boundTo(dst))
 }

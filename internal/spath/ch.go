@@ -3,6 +3,7 @@ package spath
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"pathrank/internal/roadnet"
 )
@@ -15,20 +16,25 @@ import (
 // larger networks.
 //
 // The hierarchy is built for one Weight function; build one hierarchy per
-// metric of interest.
+// metric of interest. A built hierarchy is immutable and safe for
+// concurrent queries: per-query state lives in a pooled chWorkspace, so
+// Query and ManyToMany allocate only their results.
 type ContractionHierarchy struct {
 	g     *roadnet.Graph
 	order []int32 // order[v] = contraction rank of v (higher = more important)
 
-	// Augmented upward/downward adjacency. Shortcuts store the contracted
-	// middle vertex for path unpacking; original edges store mid = -1 and
-	// the edge ID.
-	upHead, downHead []int32
-	upNext, downNext []int32
-	arcFrom, arcTo   []int32
-	arcWeight        []float64
-	arcMid           []int32
-	arcEdge          []roadnet.EdgeID
+	// Augmented arc set. Shortcuts store the contracted middle vertex for
+	// path unpacking; original edges store mid = -1 and the edge ID.
+	arcFrom, arcTo []int32
+	arcWeight      []float64
+	arcMid         []int32
+	arcEdge        []roadnet.EdgeID
+
+	// CSR adjacency over the augmented arcs: upward arcs (rank increases)
+	// grouped by tail for the forward search, downward arcs (rank
+	// decreases) grouped by head for the backward search.
+	upStart, upArcs     []int32
+	downStart, downArcs []int32
 
 	// arcIndex maps (from<<32|to) to the minimum-weight arc for shortcut
 	// unpacking.
@@ -143,13 +149,13 @@ func BuildCH(g *roadnet.Graph, w Weight) *ContractionHierarchy {
 	priority := func(v int32) int { return simulate(v, false)*2 - degree(v) }
 
 	// Lazy priority queue.
-	type pqItem struct {
+	type pqCH struct {
 		v    int32
 		prio int
 	}
-	pq := make([]pqItem, 0, n)
+	pq := make([]pqCH, 0, n)
 	for v := 0; v < n; v++ {
-		pq = append(pq, pqItem{v: int32(v), prio: priority(int32(v))})
+		pq = append(pq, pqCH{v: int32(v), prio: priority(int32(v))})
 	}
 	sort.Slice(pq, func(a, b int) bool { return pq[a].prio < pq[b].prio })
 
@@ -207,40 +213,69 @@ func BuildCH(g *roadnet.Graph, w Weight) *ContractionHierarchy {
 	}
 
 	ch := &ContractionHierarchy{g: g, order: order}
-	ch.buildAdjacency(allArcs)
+	ch.setArcs(allArcs)
 	return ch
 }
 
-// buildAdjacency splits arcs into upward (rank increases) and downward
-// (rank decreases, stored reversed) linked adjacency lists.
-func (ch *ContractionHierarchy) buildAdjacency(arcs []chArc) {
-	n := ch.g.NumVertices()
-	ch.upHead = make([]int32, n)
-	ch.downHead = make([]int32, n)
-	for i := range ch.upHead {
-		ch.upHead[i] = -1
-		ch.downHead[i] = -1
+// setArcs installs the augmented arc set and derives the CSR upward and
+// downward adjacency plus the unpacking index. It is shared by BuildCH and
+// the Prep deserializer.
+func (ch *ContractionHierarchy) setArcs(arcs []chArc) {
+	m := len(arcs)
+	ch.arcFrom = make([]int32, m)
+	ch.arcTo = make([]int32, m)
+	ch.arcWeight = make([]float64, m)
+	ch.arcMid = make([]int32, m)
+	ch.arcEdge = make([]roadnet.EdgeID, m)
+	for i, a := range arcs {
+		ch.arcFrom[i] = a.from
+		ch.arcTo[i] = a.to
+		ch.arcWeight[i] = a.weight
+		ch.arcMid[i] = a.mid
+		ch.arcEdge[i] = a.edge
 	}
-	ch.arcIndex = make(map[int64]int32, len(arcs))
-	for _, a := range arcs {
-		idx := int32(len(ch.arcFrom))
-		ch.arcFrom = append(ch.arcFrom, a.from)
-		ch.arcTo = append(ch.arcTo, a.to)
-		ch.arcWeight = append(ch.arcWeight, a.weight)
-		ch.arcMid = append(ch.arcMid, a.mid)
-		ch.arcEdge = append(ch.arcEdge, a.edge)
-		key := int64(a.from)<<32 | int64(uint32(a.to))
-		if prev, ok := ch.arcIndex[key]; !ok || a.weight < ch.arcWeight[prev] {
-			ch.arcIndex[key] = idx
+	ch.buildAdjacency()
+}
+
+// buildAdjacency splits the installed arcs into upward (rank increases,
+// grouped by tail) and downward (rank decreases, grouped by head) CSR
+// adjacency and rebuilds the unpacking index.
+func (ch *ContractionHierarchy) buildAdjacency() {
+	n := ch.g.NumVertices()
+	m := len(ch.arcFrom)
+	ch.upStart = make([]int32, n+1)
+	ch.downStart = make([]int32, n+1)
+	ch.arcIndex = make(map[int64]int32, m)
+	for i := 0; i < m; i++ {
+		from, to := ch.arcFrom[i], ch.arcTo[i]
+		key := int64(from)<<32 | int64(uint32(to))
+		if prev, ok := ch.arcIndex[key]; !ok || ch.arcWeight[i] < ch.arcWeight[prev] {
+			ch.arcIndex[key] = int32(i)
 		}
-		if ch.order[a.to] > ch.order[a.from] {
-			ch.upNext = append(ch.upNext, ch.upHead[a.from])
-			ch.downNext = append(ch.downNext, -1)
-			ch.upHead[a.from] = idx
+		if ch.order[to] > ch.order[from] {
+			ch.upStart[from+1]++
 		} else {
-			ch.downNext = append(ch.downNext, ch.downHead[a.to])
-			ch.upNext = append(ch.upNext, -1)
-			ch.downHead[a.to] = idx
+			ch.downStart[to+1]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		ch.upStart[v+1] += ch.upStart[v]
+		ch.downStart[v+1] += ch.downStart[v]
+	}
+	ch.upArcs = make([]int32, ch.upStart[n])
+	ch.downArcs = make([]int32, ch.downStart[n])
+	upPos := make([]int32, n)
+	downPos := make([]int32, n)
+	copy(upPos, ch.upStart[:n])
+	copy(downPos, ch.downStart[:n])
+	for i := 0; i < m; i++ {
+		from, to := ch.arcFrom[i], ch.arcTo[i]
+		if ch.order[to] > ch.order[from] {
+			ch.upArcs[upPos[from]] = int32(i)
+			upPos[from]++
+		} else {
+			ch.downArcs[downPos[to]] = int32(i)
+			downPos[to]++
 		}
 	}
 }
@@ -256,7 +291,12 @@ func (ch *ContractionHierarchy) NumShortcuts() int {
 	return n
 }
 
-// chItem / vertexHeapCH: small map-backed binary heap for CH searches.
+// NumArcs returns the total number of arcs (original edges + shortcuts) in
+// the augmented search graph.
+func (ch *ContractionHierarchy) NumArcs() int { return len(ch.arcFrom) }
+
+// chItem / vertexHeapCH: small map-backed binary heap used only during
+// construction's witness searches (sparse, short-lived).
 type chItem struct {
 	v    int32
 	dist float64
@@ -303,61 +343,163 @@ func (h *vertexHeapCH) pop() chItem {
 	return top
 }
 
+// --- Pooled query workspace ---
+
+// chWorkspace holds the per-query state of CH searches: forward/backward
+// distance, parent-arc and reach-stamp arrays plus the two indexed heaps,
+// and the bucket store for many-to-many queries. Starting a new search
+// bumps a generation counter instead of clearing the arrays, so query setup
+// is O(1) regardless of graph size and steady-state queries do not allocate.
+type chWorkspace struct {
+	distF, distB     []float64
+	parentF, parentB []int32 // arc index per vertex
+	reachF, reachB   []uint32
+	gen              uint32
+	heapF, heapB     heap4
+
+	// Bucket store for ManyToMany: per-vertex singly linked lists of
+	// (target index, distance) entries, stamped by bGen.
+	bucketHead  []int32
+	bucketStamp []uint32
+	bGen        uint32
+	entries     []chBucketEntry
+
+	// arcStack is reconstruction scratch.
+	arcStack []int32
+}
+
+type chBucketEntry struct {
+	next int32
+	tgt  int32
+	dist float64
+}
+
+var chwsPool = sync.Pool{New: func() any { return &chWorkspace{} }}
+
+func getCHWorkspace(n int) *chWorkspace {
+	ws := chwsPool.Get().(*chWorkspace)
+	ws.ensure(n)
+	return ws
+}
+
+func (ws *chWorkspace) release() { chwsPool.Put(ws) }
+
+func (ws *chWorkspace) ensure(n int) {
+	if len(ws.distF) < n {
+		ws.distF = make([]float64, n)
+		ws.distB = make([]float64, n)
+		ws.parentF = make([]int32, n)
+		ws.parentB = make([]int32, n)
+		ws.reachF = make([]uint32, n)
+		ws.reachB = make([]uint32, n)
+		ws.bucketHead = make([]int32, n)
+		ws.bucketStamp = make([]uint32, n)
+		ws.gen = 0
+		ws.bGen = 0
+	}
+	ws.heapF.ensure(n)
+	ws.heapB.ensure(n)
+}
+
+func (ws *chWorkspace) begin() {
+	ws.gen++
+	if ws.gen == 0 { // stamp wrap: clear once every 2^32 queries
+		clearU32(ws.reachF)
+		clearU32(ws.reachB)
+		ws.gen = 1
+	}
+	ws.heapF.reset()
+	ws.heapB.reset()
+}
+
+func (ws *chWorkspace) resetBuckets() {
+	ws.bGen++
+	if ws.bGen == 0 {
+		clearU32(ws.bucketStamp)
+		ws.bGen = 1
+	}
+	ws.entries = ws.entries[:0]
+}
+
+func (ws *chWorkspace) addBucket(v int32, tgt int32, dist float64) {
+	next := int32(-1)
+	if ws.bucketStamp[v] == ws.bGen {
+		next = ws.bucketHead[v]
+	} else {
+		ws.bucketStamp[v] = ws.bGen
+	}
+	ws.entries = append(ws.entries, chBucketEntry{next: next, tgt: tgt, dist: dist})
+	ws.bucketHead[v] = int32(len(ws.entries) - 1)
+}
+
+// --- Queries ---
+
 // Query returns a minimum-cost path from src to dst, unpacking shortcuts
-// into original edges. Costs equal Dijkstra's on the original graph.
+// into original edges. Costs equal Dijkstra's on the original graph. State
+// comes from a pooled workspace, so the query allocates only the result.
 func (ch *ContractionHierarchy) Query(src, dst roadnet.VertexID) (Path, error) {
 	if src == dst {
 		return Path{Vertices: []roadnet.VertexID{src}}, nil
 	}
-	distF := map[int32]float64{int32(src): 0}
-	distB := map[int32]float64{int32(dst): 0}
-	parentF := map[int32]int32{} // vertex -> arc index
-	parentB := map[int32]int32{}
-	hf, hb := &vertexHeapCH{}, &vertexHeapCH{}
-	hf.push(chItem{v: int32(src)})
-	hb.push(chItem{v: int32(dst)})
+	ws := getCHWorkspace(ch.g.NumVertices())
+	defer ws.release()
+	ws.begin()
+	gen := ws.gen
+
+	ws.distF[src] = 0
+	ws.reachF[src] = gen
+	ws.distB[dst] = 0
+	ws.reachB[dst] = gen
+	ws.heapF.push(src, 0)
+	ws.heapB.push(dst, 0)
 
 	best := math.Inf(1)
 	meet := int32(-1)
-	relax := func(h *vertexHeapCH, dist map[int32]float64, parent map[int32]int32, head []int32, next []int32, forward bool) {
-		it := h.pop()
-		if it.dist > dist[it.v] {
-			return
-		}
-		if other, ok := otherDist(forward, distF, distB, it.v); ok && it.dist+other < best {
-			best = it.dist + other
-			meet = it.v
-		}
-		for ai := head[it.v]; ai >= 0; ai = next[ai] {
-			var to int32
-			if forward {
-				to = ch.arcTo[ai]
-			} else {
-				to = ch.arcFrom[ai]
-			}
-			nd := it.dist + ch.arcWeight[ai]
-			if cur, ok := dist[to]; !ok || nd < cur {
-				dist[to] = nd
-				parent[to] = ai
-				h.push(chItem{v: to, dist: nd})
-			}
-		}
-	}
-	for hf.len() > 0 || hb.len() > 0 {
+	for !ws.heapF.empty() || !ws.heapB.empty() {
 		topF, topB := math.Inf(1), math.Inf(1)
-		if hf.len() > 0 {
-			topF = hf.a[0].dist
+		if !ws.heapF.empty() {
+			topF = ws.heapF.topKey()
 		}
-		if hb.len() > 0 {
-			topB = hb.a[0].dist
+		if !ws.heapB.empty() {
+			topB = ws.heapB.topKey()
 		}
 		if math.Min(topF, topB) >= best {
 			break
 		}
 		if topF <= topB {
-			relax(hf, distF, parentF, ch.upHead, ch.upNext, true)
+			v, d := ws.heapF.pop()
+			if ws.reachB[v] == gen && d+ws.distB[v] < best {
+				best = d + ws.distB[v]
+				meet = int32(v)
+			}
+			for s, e := ch.upStart[v], ch.upStart[v+1]; s < e; s++ {
+				ai := ch.upArcs[s]
+				to := ch.arcTo[ai]
+				nd := d + ch.arcWeight[ai]
+				if ws.reachF[to] != gen || nd < ws.distF[to] {
+					ws.distF[to] = nd
+					ws.reachF[to] = gen
+					ws.parentF[to] = ai
+					ws.heapF.update(roadnet.VertexID(to), nd)
+				}
+			}
 		} else {
-			relax(hb, distB, parentB, ch.downHead, ch.downNext, false)
+			v, d := ws.heapB.pop()
+			if ws.reachF[v] == gen && d+ws.distF[v] < best {
+				best = d + ws.distF[v]
+				meet = int32(v)
+			}
+			for s, e := ch.downStart[v], ch.downStart[v+1]; s < e; s++ {
+				ai := ch.downArcs[s]
+				from := ch.arcFrom[ai]
+				nd := d + ch.arcWeight[ai]
+				if ws.reachB[from] != gen || nd < ws.distB[from] {
+					ws.distB[from] = nd
+					ws.reachB[from] = gen
+					ws.parentB[from] = ai
+					ws.heapB.update(roadnet.VertexID(from), nd)
+				}
+			}
 		}
 	}
 	if meet < 0 {
@@ -365,28 +507,24 @@ func (ch *ContractionHierarchy) Query(src, dst roadnet.VertexID) (Path, error) {
 	}
 
 	// Reconstruct arc sequences to/from the meeting vertex.
-	var upArcs []int32
+	up := ws.arcStack[:0]
 	for v := meet; v != int32(src); {
-		ai := parentF[v]
-		upArcs = append(upArcs, ai)
+		ai := ws.parentF[v]
+		up = append(up, ai)
 		v = ch.arcFrom[ai]
 	}
-	for i, j := 0, len(upArcs)-1; i < j; i, j = i+1, j-1 {
-		upArcs[i], upArcs[j] = upArcs[j], upArcs[i]
+	for i, j := 0, len(up)-1; i < j; i, j = i+1, j-1 {
+		up[i], up[j] = up[j], up[i]
 	}
-	var downArcs []int32
-	for v := meet; v != int32(dst); {
-		ai := parentB[v]
-		downArcs = append(downArcs, ai)
-		v = ch.arcTo[ai]
-	}
-
 	var edges []roadnet.EdgeID
-	for _, ai := range upArcs {
+	for _, ai := range up {
 		ch.unpack(ai, &edges)
 	}
-	for _, ai := range downArcs {
+	ws.arcStack = up[:0]
+	for v := meet; v != int32(dst); {
+		ai := ws.parentB[v]
 		ch.unpack(ai, &edges)
+		v = ch.arcTo[ai]
 	}
 	vertices := make([]roadnet.VertexID, 0, len(edges)+1)
 	vertices = append(vertices, src)
@@ -394,15 +532,6 @@ func (ch *ContractionHierarchy) Query(src, dst roadnet.VertexID) (Path, error) {
 		vertices = append(vertices, ch.g.Edge(eid).To)
 	}
 	return Path{Vertices: vertices, Edges: edges, Cost: best}, nil
-}
-
-func otherDist(forward bool, distF, distB map[int32]float64, v int32) (float64, bool) {
-	if forward {
-		d, ok := distB[v]
-		return d, ok
-	}
-	d, ok := distF[v]
-	return d, ok
 }
 
 // unpack recursively expands a (possibly shortcut) arc into original edges.
@@ -415,4 +544,109 @@ func (ch *ContractionHierarchy) unpack(ai int32, edges *[]roadnet.EdgeID) {
 	from, to := ch.arcFrom[ai], ch.arcTo[ai]
 	ch.unpack(ch.arcIndex[int64(from)<<32|int64(uint32(mid))], edges)
 	ch.unpack(ch.arcIndex[int64(mid)<<32|int64(uint32(to))], edges)
+}
+
+// ManyToMany fills out[i][j] with the exact minimum cost from sources[i] to
+// targets[j] for every pair whose cost is at most bound; pairs farther than
+// bound (and unreachable pairs) are +Inf. out must have len(sources) rows
+// of len(targets) columns.
+//
+// It runs the bucket algorithm (Knopp et al. 2007): one reverse upward
+// search per target deposits (target, distance) entries at every vertex it
+// settles, then one forward upward search per source scans the buckets of
+// the vertices it settles. The cost is |S|+|T| truncated CH searches
+// instead of |S| full Dijkstras, which is what makes HMM map-matching
+// transitions cheap. Pass bound = +Inf for unbounded queries.
+func (ch *ContractionHierarchy) ManyToMany(sources, targets []roadnet.VertexID, bound float64, out [][]float64) {
+	inf := math.Inf(1)
+	for i := range out {
+		row := out[i]
+		for j := range row {
+			row[j] = inf
+		}
+	}
+	if len(sources) == 0 || len(targets) == 0 {
+		return
+	}
+	ws := getCHWorkspace(ch.g.NumVertices())
+	defer ws.release()
+	ws.resetBuckets()
+
+	// Backward phase: reverse upward search from each target. Every settled
+	// vertex v with final distance db gets a bucket entry (j, db).
+	for j, t := range targets {
+		ws.begin()
+		gen := ws.gen
+		ws.distB[t] = 0
+		ws.reachB[t] = gen
+		ws.heapB.push(t, 0)
+		for !ws.heapB.empty() {
+			v, d := ws.heapB.pop()
+			ws.addBucket(int32(v), int32(j), d)
+			for s, e := ch.downStart[v], ch.downStart[v+1]; s < e; s++ {
+				ai := ch.downArcs[s]
+				from := ch.arcFrom[ai]
+				nd := d + ch.arcWeight[ai]
+				if nd > bound {
+					continue
+				}
+				if ws.reachB[from] != gen || nd < ws.distB[from] {
+					ws.distB[from] = nd
+					ws.reachB[from] = gen
+					ws.heapB.update(roadnet.VertexID(from), nd)
+				}
+			}
+		}
+	}
+
+	// Forward phase: upward search from each source; bucket scans join the
+	// two half-paths.
+	for i, s := range sources {
+		row := out[i]
+		ws.begin()
+		gen := ws.gen
+		ws.distF[s] = 0
+		ws.reachF[s] = gen
+		ws.heapF.push(s, 0)
+		for !ws.heapF.empty() {
+			v, d := ws.heapF.pop()
+			if ws.bucketStamp[v] == ws.bGen {
+				for bi := ws.bucketHead[v]; bi >= 0; bi = ws.entries[bi].next {
+					ent := ws.entries[bi]
+					if cand := d + ent.dist; cand < row[ent.tgt] {
+						row[ent.tgt] = cand
+					}
+				}
+			}
+			for st, e := ch.upStart[v], ch.upStart[v+1]; st < e; st++ {
+				ai := ch.upArcs[st]
+				to := ch.arcTo[ai]
+				nd := d + ch.arcWeight[ai]
+				if nd > bound {
+					continue
+				}
+				if ws.reachF[to] != gen || nd < ws.distF[to] {
+					ws.distF[to] = nd
+					ws.reachF[to] = gen
+					ws.heapF.update(roadnet.VertexID(to), nd)
+				}
+			}
+		}
+		// A pair joined through pruned half-searches can only be proven
+		// within bound when its total is; anything above the bound reports
+		// +Inf, matching a bounded Dijkstra's contract.
+		for j := range row {
+			if row[j] > bound {
+				row[j] = inf
+			}
+		}
+	}
+}
+
+// OneToMany fills out[j] with the exact minimum cost from src to targets[j]
+// for targets within bound, +Inf otherwise. It is ManyToMany with a single
+// source.
+func (ch *ContractionHierarchy) OneToMany(src roadnet.VertexID, targets []roadnet.VertexID, bound float64, out []float64) {
+	rows := [][]float64{out}
+	ch.ManyToMany([]roadnet.VertexID{src}, targets, bound, rows)
 }

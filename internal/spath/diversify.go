@@ -20,7 +20,11 @@ type Similarity func(a, b Path) float64
 //
 // maxProbe bounds how many Yen paths are enumerated while looking for
 // diverse ones (a multiple of k, e.g. 10*k); a loose bound keeps worst-case
-// latency predictable on dense networks.
+// latency predictable on dense networks. Enumeration is lazy: it stops as
+// soon as k diverse paths are accepted, so the typical query enumerates a
+// small fraction of the probe budget — the accepted set is identical to
+// enumerating all maxProbe paths first and filtering afterwards, because
+// the greedy filter never looks ahead.
 func DiversifiedTopK(g *roadnet.Graph, src, dst roadnet.VertexID, k int, w Weight, sim Similarity, threshold float64, maxProbe int) ([]Path, error) {
 	if k <= 0 {
 		return nil, nil
@@ -28,12 +32,50 @@ func DiversifiedTopK(g *roadnet.Graph, src, dst roadnet.VertexID, k int, w Weigh
 	if maxProbe < k {
 		maxProbe = 10 * k
 	}
-	all, err := TopK(g, src, dst, maxProbe, w)
+	ws := GetWorkspace(g)
+	defer ws.Release()
+	first, err := ws.Dijkstra(g, src, dst, w)
 	if err != nil {
 		return nil, err
 	}
+	ws.fillWeights(g, w)
+	ws.setGoal(g, dst)
+	y := newYenEnum(g, ws, w, dst, first)
+	return diversify(y, k, sim, threshold, maxProbe), nil
+}
+
+// DiversifiedTopKEngine is DiversifiedTopK running on a prepared Engine;
+// see TopKEngine for how the engine accelerates the enumeration.
+func DiversifiedTopKEngine(e Engine, src, dst roadnet.VertexID, k int, sim Similarity, threshold float64, maxProbe int) ([]Path, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	if maxProbe < k {
+		maxProbe = 10 * k
+	}
+	g := e.Graph()
+	ws := GetWorkspace(g)
+	defer ws.Release()
+	first, err := e.Shortest(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	w := e.Weight()
+	ws.fillWeights(g, w)
+	ws.setGoalAux(g, dst, e.spurHeuristic(dst))
+	y := newYenEnum(g, ws, w, dst, first)
+	return diversify(y, k, sim, threshold, maxProbe), nil
+}
+
+// diversify pulls paths from the enumerator in Yen order, greedily
+// accepting each one that is dissimilar from everything accepted so far,
+// until k are accepted, maxProbe paths have been examined, or the
+// enumeration is exhausted.
+func diversify(y *yenEnum, k int, sim Similarity, threshold float64, maxProbe int) []Path {
 	accepted := make([]Path, 0, k)
-	for _, p := range all {
+	p := y.paths[0]
+	probes := 1
+	for {
 		ok := true
 		for _, q := range accepted {
 			if sim(p, q) > threshold {
@@ -47,9 +89,18 @@ func DiversifiedTopK(g *roadnet.Graph, src, dst roadnet.VertexID, k int, w Weigh
 				break
 			}
 		}
+		if probes >= maxProbe {
+			break
+		}
+		var more bool
+		p, more = y.next()
+		if !more {
+			break
+		}
+		probes++
 	}
 	// Yen emits in cost order and the greedy filter preserves it, but sort
 	// defensively in case a Similarity implementation mutated costs.
 	sort.Slice(accepted, func(a, b int) bool { return accepted[a].Cost < accepted[b].Cost })
-	return accepted, nil
+	return accepted
 }

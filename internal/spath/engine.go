@@ -1,0 +1,220 @@
+package spath
+
+import (
+	"fmt"
+	"strings"
+
+	"pathrank/internal/roadnet"
+)
+
+// EngineKind names a shortest-path backend.
+type EngineKind uint8
+
+const (
+	// EngineDijkstra is plain workspace-backed Dijkstra: no preprocessing.
+	EngineDijkstra EngineKind = iota
+	// EngineALT is A* with landmark lower bounds: light preprocessing (two
+	// Dijkstras per landmark), goal-directed exact queries.
+	EngineALT
+	// EngineCH is contraction hierarchies: the heaviest preprocessing and
+	// the fastest exact point-to-point and many-to-many queries.
+	EngineCH
+)
+
+// String names the kind as accepted by ParseEngineKind.
+func (k EngineKind) String() string {
+	switch k {
+	case EngineDijkstra:
+		return "dijkstra"
+	case EngineALT:
+		return "alt"
+	case EngineCH:
+		return "ch"
+	default:
+		return fmt.Sprintf("engine(%d)", uint8(k))
+	}
+}
+
+// ParseEngineKind parses an engine name ("dijkstra", "alt", "ch").
+func ParseEngineKind(s string) (EngineKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "dijkstra", "":
+		return EngineDijkstra, nil
+	case "alt":
+		return EngineALT, nil
+	case "ch":
+		return EngineCH, nil
+	default:
+		return EngineDijkstra, fmt.Errorf("spath: unknown engine %q (want dijkstra, alt or ch)", s)
+	}
+}
+
+// DefaultLandmarks is the ALT landmark count used when a configuration
+// leaves it zero.
+const DefaultLandmarks = 8
+
+// EngineConfig parameterizes engine construction.
+type EngineConfig struct {
+	// Landmarks is the ALT landmark count (default DefaultLandmarks).
+	Landmarks int
+}
+
+// Engine answers exact shortest-path queries over one (graph, weight)
+// pair. Every backend returns minimum-cost results — the choice of kind
+// affects preprocessing and query time, never optimality — so consumers
+// (candidate generation, map matching, serving) can switch engines without
+// changing outputs beyond floating-point tie-breaking among equal-cost
+// paths.
+//
+// Engines are immutable after construction and safe for concurrent use;
+// per-query state lives in pooled workspaces.
+type Engine interface {
+	// Kind reports the backend.
+	Kind() EngineKind
+	// Graph returns the road network the engine was built for.
+	Graph() *roadnet.Graph
+	// Weight returns the edge-weight function the engine was built for.
+	Weight() Weight
+	// Shortest returns a minimum-cost path from src to dst, or ErrNoPath.
+	Shortest(src, dst roadnet.VertexID) (Path, error)
+	// ManyToMany fills out[i][j] with the exact cost from sources[i] to
+	// targets[j] for every pair within bound; pairs farther than bound
+	// (and unreachable pairs) get +Inf. out must have len(sources) rows of
+	// len(targets) columns. Pass math.Inf(1) for an unbounded query.
+	ManyToMany(sources, targets []roadnet.VertexID, bound float64, out [][]float64)
+
+	// spurHeuristic returns an admissible per-vertex lower bound on the
+	// cost to dst that remains valid under edge/vertex bans (bans only
+	// increase distances), or nil when the engine adds nothing beyond the
+	// geometric default. Unexported: engines are built by this package.
+	spurHeuristic(dst roadnet.VertexID) func(roadnet.VertexID) float64
+}
+
+// NewEngine builds an engine of the requested kind over g and w,
+// performing whatever preprocessing the kind needs (none for Dijkstra,
+// landmark tables for ALT, contraction for CH). Prebuilt structures can be
+// wrapped directly with EngineFromALT / EngineFromCH instead.
+func NewEngine(kind EngineKind, g *roadnet.Graph, w Weight, cfg EngineConfig) Engine {
+	switch kind {
+	case EngineALT:
+		lm := cfg.Landmarks
+		if lm <= 0 {
+			lm = DefaultLandmarks
+		}
+		return EngineFromALT(BuildALT(g, w, lm))
+	case EngineCH:
+		return EngineFromCH(BuildCH(g, w), g, w)
+	default:
+		return NewDijkstraEngine(g, w)
+	}
+}
+
+// --- Dijkstra backend ---
+
+type dijkstraEngine struct {
+	g *roadnet.Graph
+	w Weight
+}
+
+// NewDijkstraEngine wraps plain workspace Dijkstra as an Engine. It is the
+// no-preprocessing baseline every other engine must agree with.
+func NewDijkstraEngine(g *roadnet.Graph, w Weight) Engine {
+	return &dijkstraEngine{g: g, w: w}
+}
+
+func (e *dijkstraEngine) Kind() EngineKind      { return EngineDijkstra }
+func (e *dijkstraEngine) Graph() *roadnet.Graph { return e.g }
+func (e *dijkstraEngine) Weight() Weight        { return e.w }
+
+func (e *dijkstraEngine) Shortest(src, dst roadnet.VertexID) (Path, error) {
+	return Dijkstra(e.g, src, dst, e.w)
+}
+
+func (e *dijkstraEngine) ManyToMany(sources, targets []roadnet.VertexID, bound float64, out [][]float64) {
+	boundedManyToMany(e.g, e.w, sources, targets, bound, out)
+}
+
+func (e *dijkstraEngine) spurHeuristic(roadnet.VertexID) func(roadnet.VertexID) float64 {
+	return nil
+}
+
+// boundedManyToMany runs one bounded multi-target search per source on a
+// shared pooled workspace; the Dijkstra and ALT engines both use it.
+func boundedManyToMany(g *roadnet.Graph, w Weight, sources, targets []roadnet.VertexID, bound float64, out [][]float64) {
+	ws := GetWorkspace(g)
+	defer ws.Release()
+	for i, s := range sources {
+		ws.BoundedDistances(g, s, targets, bound, w, out[i])
+	}
+}
+
+// --- ALT backend ---
+
+type altEngine struct {
+	a *ALT
+}
+
+// EngineFromALT wraps a prebuilt ALT structure as an Engine.
+func EngineFromALT(a *ALT) Engine { return &altEngine{a: a} }
+
+func (e *altEngine) Kind() EngineKind      { return EngineALT }
+func (e *altEngine) Graph() *roadnet.Graph { return e.a.g }
+func (e *altEngine) Weight() Weight        { return e.a.w }
+
+func (e *altEngine) Shortest(src, dst roadnet.VertexID) (Path, error) {
+	return e.a.Query(src, dst)
+}
+
+func (e *altEngine) ManyToMany(sources, targets []roadnet.VertexID, bound float64, out [][]float64) {
+	// Landmark bounds are goal-directed and do not compose across a target
+	// set, so many-to-many falls back to bounded multi-target Dijkstra.
+	boundedManyToMany(e.a.g, e.a.w, sources, targets, bound, out)
+}
+
+func (e *altEngine) spurHeuristic(dst roadnet.VertexID) func(roadnet.VertexID) float64 {
+	return e.a.boundTo(dst)
+}
+
+// --- CH backend ---
+
+type chEngine struct {
+	ch *ContractionHierarchy
+	g  *roadnet.Graph
+	w  Weight
+}
+
+// EngineFromCH wraps a prebuilt contraction hierarchy as an Engine. w must
+// be the weight function the hierarchy was built with.
+func EngineFromCH(ch *ContractionHierarchy, g *roadnet.Graph, w Weight) Engine {
+	return &chEngine{ch: ch, g: g, w: w}
+}
+
+func (e *chEngine) Kind() EngineKind      { return EngineCH }
+func (e *chEngine) Graph() *roadnet.Graph { return e.g }
+func (e *chEngine) Weight() Weight        { return e.w }
+
+func (e *chEngine) Shortest(src, dst roadnet.VertexID) (Path, error) {
+	p, err := e.ch.Query(src, dst)
+	if err != nil {
+		return p, err
+	}
+	// The bidirectional search accumulates the cost through shortcut sums,
+	// whose floating-point rounding can differ from Dijkstra's sequential
+	// accumulation in the last ulp. Re-sum the unpacked edges left to right
+	// — exactly Dijkstra's association — so costs are bit-identical across
+	// engines.
+	var cost float64
+	for _, eid := range p.Edges {
+		cost += e.w(e.g.Edge(eid))
+	}
+	p.Cost = cost
+	return p, nil
+}
+
+func (e *chEngine) ManyToMany(sources, targets []roadnet.VertexID, bound float64, out [][]float64) {
+	e.ch.ManyToMany(sources, targets, bound, out)
+}
+
+func (e *chEngine) spurHeuristic(roadnet.VertexID) func(roadnet.VertexID) float64 {
+	return nil
+}

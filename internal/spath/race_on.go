@@ -1,0 +1,10 @@
+//go:build race
+
+package spath
+
+// raceEnabled reports whether this binary was built with the race
+// detector. Race instrumentation adds allocations inside sync.Pool's fast
+// path, so the allocation-regression guards (which assert pooled queries
+// allocate only their results) skip themselves under -race rather than
+// report the instrumentation as a regression.
+const raceEnabled = true

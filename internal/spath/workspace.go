@@ -47,12 +47,19 @@ type Workspace struct {
 
 	// Goal-heuristic cache for constrained A* spur queries: all spur
 	// queries of one TopK call share the same destination, so the scaled
-	// straight-line lower bound is memoized per vertex.
+	// straight-line lower bound is memoized per vertex. heurAux, when
+	// non-nil, is an additional admissible bound (e.g. ALT landmark
+	// distances) combined with the geometric one by max.
 	heurV     []float64
 	heurStamp []uint32
 	heurGen   uint32
 	heurPt    geo.Point
 	heurScale float64
+	heurAux   func(roadnet.VertexID) float64
+
+	// Target stamps for bounded multi-target searches.
+	tgtStamp []uint32
+	tgtGen   uint32
 }
 
 // NewWorkspace returns an empty workspace; its arrays are sized lazily to
@@ -73,7 +80,10 @@ func GetWorkspace(g *roadnet.Graph) *Workspace {
 
 // Release returns the workspace to the shared pool. The workspace must not
 // be used after Release.
-func (ws *Workspace) Release() { wsPool.Put(ws) }
+func (ws *Workspace) Release() {
+	ws.heurAux = nil // do not retain engine closures in the pool
+	wsPool.Put(ws)
+}
 
 // ensure grows the vertex-indexed arrays to cover g.
 func (ws *Workspace) ensure(g *roadnet.Graph) {
@@ -86,6 +96,8 @@ func (ws *Workspace) ensure(g *roadnet.Graph) {
 		ws.parentB = make([]roadnet.EdgeID, n)
 		ws.reachB = make([]uint32, n)
 		ws.banV = make([]uint32, n)
+		ws.tgtStamp = make([]uint32, n)
+		ws.tgtGen = 0
 		ws.gen = 0
 		// banV and banE share banGen: resetting it invalidates stamps in
 		// the fresh banV, so the retained banE must be cleared too or its
@@ -146,6 +158,13 @@ func (ws *Workspace) fillWeights(g *roadnet.Graph, w Weight) {
 
 // setGoal points the heuristic cache at dst, invalidating memoized bounds.
 func (ws *Workspace) setGoal(g *roadnet.Graph, dst roadnet.VertexID) {
+	ws.setGoalAux(g, dst, nil)
+}
+
+// setGoalAux points the heuristic cache at dst with an optional auxiliary
+// admissible bound (an Engine's landmark tables); the memoized value is the
+// max of the geometric and auxiliary bounds, which stays admissible.
+func (ws *Workspace) setGoalAux(g *roadnet.Graph, dst roadnet.VertexID, aux func(roadnet.VertexID) float64) {
 	n := g.NumVertices()
 	if len(ws.heurV) < n {
 		ws.heurV = make([]float64, n)
@@ -158,13 +177,20 @@ func (ws *Workspace) setGoal(g *roadnet.Graph, dst roadnet.VertexID) {
 		ws.heurGen = 1
 	}
 	ws.heurPt = g.Vertex(dst).Point
+	ws.heurAux = aux
 }
 
 // heurTo returns the memoized admissible lower bound from v to the goal.
 func (ws *Workspace) heurTo(g *roadnet.Graph, v roadnet.VertexID) float64 {
 	if ws.heurStamp[v] != ws.heurGen {
 		ws.heurStamp[v] = ws.heurGen
-		ws.heurV[v] = geo.Distance(g.Vertex(v).Point, ws.heurPt) * ws.heurScale
+		h := geo.Distance(g.Vertex(v).Point, ws.heurPt) * ws.heurScale
+		if ws.heurAux != nil {
+			if a := ws.heurAux(v); a > h {
+				h = a
+			}
+		}
+		ws.heurV[v] = h
 	}
 	return ws.heurV[v]
 }
@@ -282,16 +308,83 @@ func (ws *Workspace) DijkstraAll(g *roadnet.Graph, src roadnet.VertexID, w Weigh
 	return out
 }
 
+// BoundedDistances computes exact minimum costs from src to every target
+// under w, treating targets farther than bound as unreachable: out[j] is
+// the cost to targets[j] when that cost is at most bound and +Inf
+// otherwise. The search stops as soon as every target is settled or the
+// frontier passes bound, so its cost is proportional to the bounded ball
+// around src rather than the graph. It is the one-to-many primitive of the
+// Dijkstra and ALT engines (CH has its own bucket-based ManyToMany).
+func (ws *Workspace) BoundedDistances(g *roadnet.Graph, src roadnet.VertexID, targets []roadnet.VertexID, bound float64, w Weight, out []float64) {
+	ws.ensure(g)
+	ws.begin()
+	gen := ws.gen
+	ws.tgtGen++
+	if ws.tgtGen == 0 {
+		clearU32(ws.tgtStamp)
+		ws.tgtGen = 1
+	}
+	tgen := ws.tgtGen
+	remaining := 0
+	for _, t := range targets {
+		if ws.tgtStamp[t] != tgen {
+			ws.tgtStamp[t] = tgen
+			remaining++
+		}
+	}
+	ws.dist[src] = 0
+	ws.reach[src] = gen
+	ws.heap.push(src, 0)
+	for !ws.heap.empty() && remaining > 0 {
+		v, d := ws.heap.pop()
+		if d > bound {
+			break
+		}
+		if ws.tgtStamp[v] == tgen {
+			ws.tgtStamp[v] = tgen - 1
+			remaining--
+		}
+		outs := g.OutEdges(v)
+		tos := g.OutNeighbors(v)
+		for i, eid := range outs {
+			to := tos[i]
+			nd := d + w(g.Edge(eid))
+			if ws.reach[to] != gen || nd < ws.dist[to] {
+				ws.dist[to] = nd
+				ws.reach[to] = gen
+				ws.parent[to] = eid
+				ws.heap.update(to, nd)
+			}
+		}
+	}
+	for j, t := range targets {
+		if ws.reach[t] == gen && ws.dist[t] <= bound {
+			out[j] = ws.dist[t]
+		} else {
+			out[j] = math.Inf(1)
+		}
+	}
+}
+
 // AStar is the workspace-backed equivalent of the package-level AStar. It
 // shares the weight cache, admissible scale, and memoized goal heuristic
 // with Yen's spur searches.
 func (ws *Workspace) AStar(g *roadnet.Graph, src, dst roadnet.VertexID, w Weight) (Path, error) {
+	return ws.AStarAux(g, src, dst, w, nil)
+}
+
+// AStarAux is AStar with an additional admissible per-vertex lower bound on
+// the cost to dst (e.g. ALT landmark bounds), combined with the geometric
+// heuristic by max. A nil aux degrades to plain AStar. The heuristic must
+// be admissible for optimality; landmark triangle bounds and the scaled
+// straight-line distance both are, and so is their max.
+func (ws *Workspace) AStarAux(g *roadnet.Graph, src, dst roadnet.VertexID, w Weight, aux func(roadnet.VertexID) float64) (Path, error) {
 	if src == dst {
 		return Path{Vertices: []roadnet.VertexID{src}}, nil
 	}
 	ws.ensure(g)
 	ws.fillWeights(g, w)
-	ws.setGoal(g, dst)
+	ws.setGoalAux(g, dst, aux)
 	ws.begin()
 	gen := ws.gen
 	ws.dist[src] = 0

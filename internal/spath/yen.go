@@ -6,14 +6,85 @@ import (
 	"pathrank/internal/roadnet"
 )
 
+// yenEnum enumerates loopless shortest paths from a fixed source to a fixed
+// destination in increasing cost order (Yen's algorithm), one path per next
+// call. The enumerator form is what makes DiversifiedTopK lazy: it pulls
+// paths only until enough diverse ones are accepted, instead of eagerly
+// enumerating the full probe budget and filtering afterwards.
+//
+// All spur queries share the enclosing pooled Workspace: the banned
+// vertex/edge sets are generation-stamped arrays rather than per-iteration
+// maps, the edge-weight cache is filled once, and the goal heuristic
+// (geometric, optionally strengthened by an engine's landmark bounds) is
+// memoized per destination.
+type yenEnum struct {
+	g          *roadnet.Graph
+	ws         *Workspace
+	w          Weight
+	dst        roadnet.VertexID
+	paths      []Path // emitted so far, increasing cost
+	candidates []Path
+	seen       map[string]bool
+}
+
+// newYenEnum starts an enumeration whose first emitted path is first. The
+// caller must have filled ws's weight cache and goal heuristic for (w, dst).
+func newYenEnum(g *roadnet.Graph, ws *Workspace, w Weight, dst roadnet.VertexID, first Path) *yenEnum {
+	return &yenEnum{
+		g: g, ws: ws, w: w, dst: dst,
+		paths: []Path{first},
+		seen:  map[string]bool{pathKey(first): true},
+	}
+}
+
+// next computes the cheapest loopless path after the ones already emitted,
+// reporting false when the path set is exhausted.
+func (y *yenEnum) next() (Path, bool) {
+	prev := y.paths[len(y.paths)-1]
+	// Each vertex of the previous path except the last is a spur node.
+	for i := 0; i < len(prev.Vertices)-1; i++ {
+		spur := prev.Vertices[i]
+		rootVertices := prev.Vertices[:i+1]
+		rootEdges := prev.Edges[:i]
+
+		y.ws.resetBans(y.g)
+		// Ban the next edge of every accepted path sharing this root.
+		for _, p := range y.paths {
+			if sharesRoot(p, rootVertices) && len(p.Edges) > i {
+				y.ws.banEdge(p.Edges[i])
+			}
+		}
+		// Ban root vertices (except the spur) to keep paths loopless.
+		for _, v := range rootVertices[:i] {
+			y.ws.banVertex(v)
+		}
+
+		spurPath, ok := y.ws.dijkstraConstrained(y.g, spur, y.dst)
+		if !ok {
+			continue
+		}
+		total := joinPaths(y.g, rootVertices, rootEdges, spurPath, y.w)
+		key := pathKey(total)
+		if y.seen[key] {
+			continue
+		}
+		y.seen[key] = true
+		y.candidates = append(y.candidates, total)
+	}
+	if len(y.candidates) == 0 {
+		return Path{}, false
+	}
+	sort.Slice(y.candidates, func(a, b int) bool { return y.candidates[a].Cost < y.candidates[b].Cost })
+	p := y.candidates[0]
+	y.candidates = y.candidates[1:]
+	y.paths = append(y.paths, p)
+	return p, true
+}
+
 // TopK returns up to k loopless shortest paths from src to dst in increasing
 // cost order, using Yen's algorithm. This implements the paper's TkDI
 // candidate-generation strategy ("top-k shortest paths w.r.t. distance").
 // It returns ErrNoPath if even the shortest path does not exist.
-//
-// All spur queries share one pooled Workspace: the banned vertex/edge sets
-// are generation-stamped arrays rather than per-iteration maps, so a k=5
-// enumeration on a large network performs no per-query O(n) allocation.
 func TopK(g *roadnet.Graph, src, dst roadnet.VertexID, k int, w Weight) ([]Path, error) {
 	if k <= 0 {
 		return nil, nil
@@ -29,54 +100,42 @@ func TopK(g *roadnet.Graph, src, dst roadnet.VertexID, k int, w Weight) ([]Path,
 	// by every spur query below.
 	ws.fillWeights(g, w)
 	ws.setGoal(g, dst)
-	paths := []Path{first}
-	type candidate struct {
-		p Path
-	}
-	var candidates []candidate
-
-	seen := map[string]bool{pathKey(first): true}
-
-	for len(paths) < k {
-		prev := paths[len(paths)-1]
-		// Each vertex of the previous path except the last is a spur node.
-		for i := 0; i < len(prev.Vertices)-1; i++ {
-			spur := prev.Vertices[i]
-			rootVertices := prev.Vertices[:i+1]
-			rootEdges := prev.Edges[:i]
-
-			ws.resetBans(g)
-			// Ban the next edge of every accepted path sharing this root.
-			for _, p := range paths {
-				if sharesRoot(p, rootVertices) && len(p.Edges) > i {
-					ws.banEdge(p.Edges[i])
-				}
-			}
-			// Ban root vertices (except the spur) to keep paths loopless.
-			for _, v := range rootVertices[:i] {
-				ws.banVertex(v)
-			}
-
-			spurPath, ok := ws.dijkstraConstrained(g, spur, dst)
-			if !ok {
-				continue
-			}
-			total := joinPaths(g, rootVertices, rootEdges, spurPath, w)
-			key := pathKey(total)
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			candidates = append(candidates, candidate{p: total})
-		}
-		if len(candidates) == 0 {
+	y := newYenEnum(g, ws, w, dst, first)
+	for len(y.paths) < k {
+		if _, ok := y.next(); !ok {
 			break
 		}
-		sort.Slice(candidates, func(a, b int) bool { return candidates[a].p.Cost < candidates[b].p.Cost })
-		paths = append(paths, candidates[0].p)
-		candidates = candidates[1:]
 	}
-	return paths, nil
+	return y.paths, nil
+}
+
+// TopKEngine is TopK running on a prepared Engine: the first path comes
+// from the engine's point-to-point query (a CH bidirectional upward search
+// or goal-directed ALT A*), and spur searches are strengthened by the
+// engine's admissible heuristic when it has one. Results equal TopK's —
+// distances are exact on every backend.
+func TopKEngine(e Engine, src, dst roadnet.VertexID, k int) ([]Path, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	g := e.Graph()
+	ws := GetWorkspace(g)
+	defer ws.Release()
+
+	first, err := e.Shortest(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	w := e.Weight()
+	ws.fillWeights(g, w)
+	ws.setGoalAux(g, dst, e.spurHeuristic(dst))
+	y := newYenEnum(g, ws, w, dst, first)
+	for len(y.paths) < k {
+		if _, ok := y.next(); !ok {
+			break
+		}
+	}
+	return y.paths, nil
 }
 
 func sharesRoot(p Path, root []roadnet.VertexID) bool {

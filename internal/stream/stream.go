@@ -59,6 +59,12 @@ type Config struct {
 	// Match parameterizes the HMM map matcher; zero-valued fields use
 	// traj.DefaultMatchConfig.
 	Match traj.MatchConfig
+	// Engine selects the matcher's shortest-path backend ("ch", "alt",
+	// "dijkstra"; "" defaults to ch). The artifact's persisted structure is
+	// used when it matches the requested kind; otherwise the engine is
+	// built at service construction. The serve layer passes its own engine
+	// flag through, so "-engine dijkstra" genuinely avoids preprocessing.
+	Engine string
 	// Train parameterizes each fine-tune step; zero-valued fields fall
 	// back to pathrank.DefaultFineTuneConfig. Train.Seed is the base seed:
 	// generation g trains with Seed+g, which keeps every step deterministic
@@ -168,9 +174,24 @@ func New(art *pathrank.Artifact, cfg Config) (*Service, error) {
 	if cfg.Match.StrideSec <= 0 {
 		cfg.Match.StrideSec = def.StrideSec
 	}
+	// The matcher routes on the artifact's persisted speedup structures
+	// when they back the requested engine kind (zero preprocessing at
+	// service start); otherwise the engine is built here once and every
+	// matching worker amortizes it.
+	kind := spath.EngineCH
+	if cfg.Engine != "" {
+		var err error
+		if kind, err = spath.ParseEngineKind(cfg.Engine); err != nil {
+			return nil, fmt.Errorf("stream: %w", err)
+		}
+	}
+	engine := art.Prep.Engine(kind, art.Graph)
+	if engine == nil {
+		engine = spath.NewEngine(kind, art.Graph, spath.ByLength, spath.EngineConfig{})
+	}
 	return &Service{
 		cfg:     cfg,
-		matcher: traj.NewMatcher(art.Graph, cfg.Match),
+		matcher: traj.NewMatcherEngine(art.Graph, cfg.Match, engine),
 		queue:   make(chan ingestItem, cfg.QueueSize),
 		art:     art,
 	}, nil
@@ -406,6 +427,11 @@ func (s *Service) retrain(base *pathrank.Artifact, obs []observation) (*pathrank
 		Embeddings: base.Embeddings,
 		Model:      model,
 		Candidates: base.Candidates,
-		Lineage:    base.Lineage.Child(parent, len(obs), "stream"),
+		// The road network is unchanged across a fine-tune, so the parent's
+		// speedup structures stay exactly valid: every generation inherits
+		// them instead of re-preprocessing, and the serve layer's snapshot
+		// reuses the same engine across the hot swap.
+		Prep:    base.Prep,
+		Lineage: base.Lineage.Child(parent, len(obs), "stream"),
 	}, nil
 }

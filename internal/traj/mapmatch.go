@@ -110,18 +110,35 @@ func abs(x int) int {
 // distance, transitions penalize the gap between routed distance and
 // great-circle displacement.
 //
-// A Matcher is immutable after NewMatcher (the spatial index is built once
-// and only read afterwards), so concurrent Match calls are safe — the
-// streaming pipeline in internal/stream runs several matching workers over
-// one Matcher.
+// Routed transition distances and path stitching run on a spath.Engine.
+// NewMatcher builds a contraction hierarchy at construction — one
+// preprocessing pass that every subsequent Match amortizes via the CH
+// bucket many-to-many — while NewMatcherEngine accepts a prebuilt or
+// alternative engine (e.g. the one persisted in a serving artifact, or
+// plain Dijkstra when preprocessing is unwanted).
+//
+// A Matcher is immutable after construction (the spatial index and engine
+// are built once and only read afterwards), so concurrent Match calls are
+// safe — the streaming pipeline in internal/stream runs several matching
+// workers over one Matcher.
 type Matcher struct {
-	g   *roadnet.Graph
-	idx *gridIndex
-	cfg MatchConfig
+	g      *roadnet.Graph
+	idx    *gridIndex
+	cfg    MatchConfig
+	engine spath.Engine
 }
 
-// NewMatcher builds a matcher over g.
+// NewMatcher builds a matcher over g, preprocessing g into a contraction
+// hierarchy for fast transition queries.
 func NewMatcher(g *roadnet.Graph, cfg MatchConfig) *Matcher {
+	return NewMatcherEngine(g, cfg, nil)
+}
+
+// NewMatcherEngine builds a matcher that routes on the given engine. The
+// engine must be built over g with the ByLength weight (the HMM transition
+// model is metric); a nil or mismatched engine falls back to building a
+// contraction hierarchy over g.
+func NewMatcherEngine(g *roadnet.Graph, cfg MatchConfig, engine spath.Engine) *Matcher {
 	if cfg.Candidates <= 0 {
 		cfg.Candidates = 4
 	}
@@ -131,8 +148,14 @@ func NewMatcher(g *roadnet.Graph, cfg MatchConfig) *Matcher {
 	if cfg.BetaM <= 0 {
 		cfg.BetaM = 60
 	}
-	return &Matcher{g: g, idx: newGridIndex(g, 4*cfg.SigmaM+200), cfg: cfg}
+	if engine == nil || engine.Graph() != g {
+		engine = spath.NewEngine(spath.EngineCH, g, spath.ByLength, spath.EngineConfig{})
+	}
+	return &Matcher{g: g, idx: newGridIndex(g, 4*cfg.SigmaM+200), cfg: cfg, engine: engine}
 }
+
+// Engine returns the shortest-path engine the matcher routes on.
+func (m *Matcher) Engine() spath.Engine { return m.engine }
 
 // Match decodes the most likely vertex sequence for the GPS stream and
 // stitches it into a connected path with shortest-path segments. The
@@ -166,8 +189,24 @@ func (m *Matcher) Match(records []GPSRecord) (spath.Path, error) {
 	}
 	backs := make([][]back, len(samples))
 
-	// Cache of routed distances from each candidate of step t to the
-	// candidates of step t+1 via a truncated Dijkstra.
+	// Routed transition distances between consecutive candidate sets come
+	// from one engine many-to-many query per step (on the CH engine: a
+	// bucket join of |prev|+|cur| truncated upward searches) instead of one
+	// bounded map-based Dijkstra per previous candidate. The bound is now
+	// strict — pairs beyond gcDist*4+500 are +Inf, where the old per-source
+	// Dijkstra could leak one just-over-bound distance as finite before
+	// stopping; a candidate pair only connectable beyond the bound was
+	// effectively unmatchable either way, and the uniform contract is what
+	// every engine backend can honor. The matrix backing store is allocated
+	// once per Match and re-sliced per step.
+	maxC := 0
+	for _, cs := range cands {
+		if len(cs) > maxC {
+			maxC = len(cs)
+		}
+	}
+	routedBuf := make([]float64, maxC*maxC)
+	routed := make([][]float64, maxC)
 	for t := 1; t < len(samples); t++ {
 		prevCands := cands[t-1]
 		curCands := cands[t]
@@ -177,13 +216,17 @@ func (m *Matcher) Match(records []GPSRecord) (spath.Path, error) {
 			next[j] = math.Inf(-1)
 		}
 		gcDist := geo.Distance(samples[t-1].Point, samples[t].Point)
-		for i, pv := range prevCands {
+		rows := routed[:len(prevCands)]
+		for i := range rows {
+			rows[i] = routedBuf[i*maxC : i*maxC+len(curCands)]
+		}
+		m.engine.ManyToMany(prevCands, curCands, gcDist*4+500, rows)
+		for i := range prevCands {
 			if math.IsInf(score[i], -1) {
 				continue
 			}
-			routed := m.boundedDistances(pv, curCands, gcDist*4+500)
 			for j, cv := range curCands {
-				rd := routed[cv]
+				rd := rows[i][j]
 				var trans float64
 				if math.IsInf(rd, 1) {
 					trans = math.Inf(-1)
@@ -239,48 +282,6 @@ func (m *Matcher) subsample(records []GPSRecord) []GPSRecord {
 	return out
 }
 
-// boundedDistances runs Dijkstra (by length) from src, stopping once all
-// targets are settled or the distance bound is exceeded. Unreached targets
-// map to +Inf.
-func (m *Matcher) boundedDistances(src roadnet.VertexID, targets []roadnet.VertexID, bound float64) map[roadnet.VertexID]float64 {
-	want := make(map[roadnet.VertexID]bool, len(targets))
-	for _, v := range targets {
-		want[v] = true
-	}
-	out := make(map[roadnet.VertexID]float64, len(targets))
-	for _, v := range targets {
-		out[v] = math.Inf(1)
-	}
-	dist := map[roadnet.VertexID]float64{src: 0}
-	done := map[roadnet.VertexID]bool{}
-	h := &vertexHeap{}
-	h.push(vertexItem{v: src})
-	remaining := len(want)
-	for h.len() > 0 && remaining > 0 {
-		it := h.pop()
-		if done[it.v] {
-			continue
-		}
-		done[it.v] = true
-		if want[it.v] && math.IsInf(out[it.v], 1) {
-			out[it.v] = it.dist
-			remaining--
-		}
-		if it.dist > bound {
-			break
-		}
-		for _, eid := range m.g.OutEdges(it.v) {
-			e := m.g.Edge(eid)
-			nd := it.dist + e.Length
-			if cur, ok := dist[e.To]; !ok || nd < cur {
-				dist[e.To] = nd
-				h.push(vertexItem{v: e.To, dist: nd})
-			}
-		}
-	}
-	return out
-}
-
 // stitch connects the decoded vertex sequence with shortest-path segments,
 // skipping consecutive duplicates.
 func (m *Matcher) stitch(seq []roadnet.VertexID) (spath.Path, error) {
@@ -296,7 +297,7 @@ func (m *Matcher) stitch(seq []roadnet.VertexID) (spath.Path, error) {
 	}
 	var edges []roadnet.EdgeID
 	for i := 1; i < len(uniq); i++ {
-		seg, err := spath.Dijkstra(m.g, uniq[i-1], uniq[i], spath.ByLength)
+		seg, err := m.engine.Shortest(uniq[i-1], uniq[i])
 		if err != nil {
 			return spath.Path{}, fmt.Errorf("traj: stitch segment %d->%d: %w", uniq[i-1], uniq[i], err)
 		}
@@ -332,52 +333,4 @@ func (m *Matcher) removeCycles(src roadnet.VertexID, edges []roadnet.EdgeID) spa
 		cost += m.g.Edge(eid).Length
 	}
 	return spath.Path{Vertices: vertices, Edges: kept, Cost: cost}
-}
-
-// vertexItem / vertexHeap: a tiny map-based Dijkstra heap for bounded
-// searches (sparse, so slice-indexed arrays would waste work).
-type vertexItem struct {
-	v    roadnet.VertexID
-	dist float64
-}
-
-type vertexHeap struct{ a []vertexItem }
-
-func (h *vertexHeap) len() int { return len(h.a) }
-
-func (h *vertexHeap) push(it vertexItem) {
-	h.a = append(h.a, it)
-	i := len(h.a) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if h.a[p].dist <= h.a[i].dist {
-			break
-		}
-		h.a[p], h.a[i] = h.a[i], h.a[p]
-		i = p
-	}
-}
-
-func (h *vertexHeap) pop() vertexItem {
-	top := h.a[0]
-	last := len(h.a) - 1
-	h.a[0] = h.a[last]
-	h.a = h.a[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < last && h.a[l].dist < h.a[small].dist {
-			small = l
-		}
-		if r < last && h.a[r].dist < h.a[small].dist {
-			small = r
-		}
-		if small == i {
-			break
-		}
-		h.a[i], h.a[small] = h.a[small], h.a[i]
-		i = small
-	}
-	return top
 }
