@@ -11,11 +11,14 @@
 package pathrank_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
 	"sync"
 	"testing"
+
+	"pathrank"
 
 	"pathrank/internal/experiments"
 	"pathrank/internal/geo"
@@ -376,6 +379,70 @@ func BenchmarkDiversifiedTopK5CH(b *testing.B) {
 		src := roadnet.VertexID(rng.Intn(g.NumVertices()))
 		dst := roadnet.VertexID(rng.Intn(g.NumVertices()))
 		_, _ = spath.DiversifiedTopKEngine(eng, src, dst, 5, sim, 0.8, 50)
+	}
+}
+
+// --- Query API v2 guard benchmarks ---
+
+var (
+	queryRankerOnce sync.Once
+	queryRanker     *pathrank.Ranker
+)
+
+// benchQueryRanker builds a ranker over the experiment network with a
+// seeded (untrained) model — scoring cost is weight-independent, so the
+// ctx-overhead comparison below does not need a training run.
+func benchQueryRanker(b *testing.B) *pathrank.Ranker {
+	b.Helper()
+	queryRankerOnce.Do(func() {
+		g := microGraph(b)
+		m, err := pathrank.NewModel(g.NumVertices(), pathrank.ModelConfig{
+			EmbeddingDim: 32, Hidden: 16, Variant: pathrank.PRA2, Body: pathrank.GRUBody, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		queryRanker = pathrank.NewRanker(g, m)
+		queryRanker.Candidates = pathrank.DataConfig{
+			Strategy: pathrank.DTkDI, K: 5, Threshold: 0.8, MaxProbe: 50,
+		}
+	})
+	return queryRanker
+}
+
+// BenchmarkRankQuery measures the legacy entry point Ranker.Query —
+// the no-context baseline of the pair below.
+func BenchmarkRankQuery(b *testing.B) {
+	r := benchQueryRanker(b)
+	n := r.Graph.NumVertices()
+	rng := rand.New(rand.NewSource(9))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := pathrank.VertexID(rng.Intn(n))
+		dst := pathrank.VertexID(rng.Intn(n))
+		_, _ = r.Query(src, dst)
+	}
+}
+
+// BenchmarkRankWithContext measures Ranker.Rank with a live cancelable
+// context — the v2 hot path with amortized cancellation checks armed.
+// Guard: ns/op within 2% of BenchmarkRankQuery and identical allocs/op
+// (the ctx plumbing must be free when the context never fires); compare
+// against BenchmarkServeRankUncached across BENCH_*.json for the
+// end-to-end serving cost.
+func BenchmarkRankWithContext(b *testing.B) {
+	r := benchQueryRanker(b)
+	n := r.Graph.NumVertices()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rng := rand.New(rand.NewSource(9))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := pathrank.VertexID(rng.Intn(n))
+		dst := pathrank.VertexID(rng.Intn(n))
+		_, _ = r.Rank(ctx, pathrank.RankRequest{Src: src, Dst: dst})
 	}
 }
 

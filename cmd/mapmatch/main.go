@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"pathrank/internal/pathsim"
@@ -53,16 +56,27 @@ func main() {
 	fmt.Printf("engine: %s (preprocessed in %v)\n", engine.Kind(), time.Since(prepStart).Round(time.Millisecond))
 	matcher := traj.NewMatcherEngine(g, traj.DefaultMatchConfig(), engine)
 
+	// Ctrl-C aborts an in-flight Viterbi decode via the matcher's context
+	// instead of waiting the trace out.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	var simSum float64
 	var records, matched int
 	worst := 1.0
 	for i, tr := range trips {
+		if ctx.Err() != nil {
+			log.Fatal("interrupted")
+		}
 		recs := traj.SampleGPS(g, tr.Path, traj.GPSConfig{
 			IntervalSec: *interval, NoiseStdM: *noise, Seed: *seed + int64(100+i),
 		})
 		records += len(recs)
-		got, err := matcher.Match(recs)
+		got, err := matcher.MatchCtx(ctx, recs)
 		if err != nil {
+			if ctx.Err() != nil {
+				log.Fatal("interrupted")
+			}
 			fmt.Printf("trip %d: match failed: %v\n", i, err)
 			continue
 		}

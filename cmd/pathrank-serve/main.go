@@ -17,11 +17,18 @@
 //
 // API:
 //
-//	POST /v1/rank    {"src": 12, "dst": 431, "k": 5}  -> ranked paths, best first
+//	POST /v2/rank    {"src": 12, "dst": 431, "k": 8, "strategy": "dtkdi", "timeout_ms": 200}
+//	                 or a batch: {"queries": [{...}, ...]} -> per-item results/errors
+//	POST /v1/rank    {"src": 12, "dst": 431, "k": 5}  -> ranked paths, best first (adapter over v2)
 //	POST /v1/ingest  {"records": [{"lon": 9.91, "lat": 57.04, "t": 0}, ...]} -> 202
 //	POST /v1/reload  {"artifact": "other.prart"}  (empty body = configured path)
 //	GET  /healthz    liveness, artifact shape, fingerprint, lineage
 //	GET  /metrics    expvar counters (requests, cache, singleflight, batching, swaps, ingest)
+//
+// /v2/rank errors are typed ({"error": {"code": "unroutable", ...}}): 400
+// invalid, 404 unroutable, 408 canceled, 504 deadline, 503 backlog with
+// Retry-After. The pathrank.Client SDK (and pathrank-rank -server) speak
+// this API.
 package main
 
 import (
@@ -49,6 +56,9 @@ func main() {
 	batchWindow := flag.Duration("batch-window", 0, "micro-batch gather window (0 disables batching)")
 	batchMax := flag.Int("batch-max-paths", 256, "max paths per micro-batched scoring sweep")
 	maxK := flag.Int("max-k", 32, "largest per-request candidate-set override")
+	maxBatch := flag.Int("max-batch", 64, "largest /v2/rank batch in queries")
+	maxInFlight := flag.Int("max-inflight", 0, "concurrent rank-request cap; excess sheds with 503 backlog (0 = unlimited)")
+	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "cap on per-request timeout_ms deadlines")
 	engine := flag.String("engine", "ch", "shortest-path engine for candidate generation: ch, alt or dijkstra")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 	watch := flag.Duration("watch", 0, "artifact-file watch interval (0 disables the watcher)")
@@ -87,6 +97,9 @@ func main() {
 		BatchWindow:      *batchWindow,
 		BatchMaxPaths:    *batchMax,
 		MaxK:             *maxK,
+		MaxBatch:         *maxBatch,
+		MaxInFlight:      *maxInFlight,
+		MaxTimeout:       *maxTimeout,
 		Engine:           *engine,
 		ShutdownTimeout:  *drain,
 		ArtifactPath:     *artifactPath,

@@ -1,0 +1,172 @@
+// Package api defines the wire types and error model of the versioned
+// PathRank query API. It is the single vocabulary shared by the HTTP
+// server (internal/serve), the Go client SDK (pathrank.Client at the
+// module root), and the CLIs — so a request marshaled by the client is by
+// construction the request the server decodes, and error codes survive the
+// HTTP round-trip intact.
+//
+// The package is a leaf: plain data types, JSON tags, and the code→status
+// mapping. It imports nothing from the rest of the module.
+package api
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Error codes of the query API. Every failure a client can observe carries
+// exactly one of these; HTTPStatus maps them onto response statuses.
+const (
+	// CodeInvalid reports a malformed or out-of-range request (bad vertex
+	// IDs, unknown strategy, k over the server limit, ...).
+	CodeInvalid = "invalid_request"
+	// CodeUnroutable reports an origin-destination pair with no connecting
+	// path in the road network.
+	CodeUnroutable = "unroutable"
+	// CodeDeadline reports a query abandoned because its deadline expired
+	// mid-computation.
+	CodeDeadline = "deadline_exceeded"
+	// CodeCanceled reports a query abandoned because the caller canceled
+	// it (e.g. the client disconnected).
+	CodeCanceled = "canceled"
+	// CodeBacklog reports a server too loaded to accept the work right
+	// now; the client should retry after a short delay.
+	CodeBacklog = "backlog"
+	// CodeInternal reports an unexpected server-side failure.
+	CodeInternal = "internal"
+)
+
+// HTTPStatus maps an error code onto its HTTP response status.
+func HTTPStatus(code string) int {
+	switch code {
+	case CodeInvalid:
+		return http.StatusBadRequest
+	case CodeUnroutable:
+		return http.StatusNotFound
+	case CodeDeadline:
+		return http.StatusGatewayTimeout
+	case CodeCanceled:
+		return http.StatusRequestTimeout
+	case CodeBacklog:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Error is a typed API failure: the wire error body of v2 responses and
+// the error value the client SDK returns for non-2xx responses.
+type Error struct {
+	// Status is the HTTP status the error traveled with; zero when the
+	// error has not crossed the wire (it is derivable from Code).
+	Status int `json:"-"`
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is a human-readable description.
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("pathrank api: %s (%s)", e.Message, e.Code)
+}
+
+// ErrorEnvelope is the body of a non-2xx v2 response.
+type ErrorEnvelope struct {
+	Error *Error `json:"error"`
+}
+
+// RankQuery is one origin-destination ranking query of POST /v2/rank.
+// Every field except Src and Dst is optional; zero values select the
+// serving snapshot's defaults.
+type RankQuery struct {
+	Src int64 `json:"src"`
+	Dst int64 `json:"dst"`
+	// K overrides the candidate-set size.
+	K int `json:"k,omitempty"`
+	// Strategy selects the candidate generator: "tkdi" (plain top-k) or
+	// "dtkdi" (diversified top-k).
+	Strategy string `json:"strategy,omitempty"`
+	// Threshold overrides the D-TkDI similarity threshold (0, 1].
+	Threshold float64 `json:"threshold,omitempty"`
+	// MaxProbe overrides the D-TkDI enumeration budget.
+	MaxProbe int `json:"max_probe,omitempty"`
+	// Weight selects the edge metric: "length" (meters, the default) or
+	// "time" (free-flow seconds).
+	Weight string `json:"weight,omitempty"`
+	// Engine selects the shortest-path backend: "auto" (the snapshot's
+	// prepared engine, default), "dijkstra" (no preprocessing), or the
+	// prepared kind by name ("ch", "alt").
+	Engine string `json:"engine,omitempty"`
+	// Explain requests candidate-generation statistics in the response.
+	Explain bool `json:"explain,omitempty"`
+	// TimeoutMs bounds the server-side computation in milliseconds; the
+	// query fails with CodeDeadline when it expires. For batch requests
+	// only the top-level timeout applies.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// RankRequest is the body of POST /v2/rank: either one inline query or a
+// batch under "queries" (the inline fields are then ignored, except the
+// top-level TimeoutMs). A present-but-empty "queries" array is an empty
+// batch, not a single query.
+type RankRequest struct {
+	RankQuery
+	Queries []RankQuery `json:"queries,omitempty"`
+}
+
+// RankedPath is one ranked candidate, best first.
+type RankedPath struct {
+	Rank     int     `json:"rank"`
+	Score    float64 `json:"score"`
+	LengthM  float64 `json:"length_m"`
+	TimeS    float64 `json:"time_s"`
+	Hops     int     `json:"hops"`
+	Vertices []int64 `json:"vertices"`
+}
+
+// RankStats describes how a ranking was produced; present when the query
+// set Explain and this response actually computed something — cached and
+// singleflight-shared results omit stats entirely, since the responding
+// request generated nothing.
+type RankStats struct {
+	Strategy   string  `json:"strategy"`
+	K          int     `json:"k"`
+	Threshold  float64 `json:"threshold,omitempty"`
+	MaxProbe   int     `json:"max_probe,omitempty"`
+	Weight     string  `json:"weight"`
+	Engine     string  `json:"engine"`
+	Candidates int     `json:"candidates"`
+	GenNs      int64   `json:"generation_ns,omitempty"`
+	ScoreNs    int64   `json:"score_ns,omitempty"`
+}
+
+// RankResult is one successful ranking: the body of a single-query v2
+// response and the per-item payload of a batch response.
+type RankResult struct {
+	Src    int64        `json:"src"`
+	Dst    int64        `json:"dst"`
+	K      int          `json:"k"`
+	Cached bool         `json:"cached"`
+	Shared bool         `json:"shared,omitempty"`
+	Paths  []RankedPath `json:"paths"`
+	Stats  *RankStats   `json:"stats,omitempty"`
+}
+
+// BatchItem is one entry of a batch response: exactly one of Response and
+// Error is set. Index is the query's position in the request, so clients
+// can correlate even if they filter.
+type BatchItem struct {
+	Index    int         `json:"index"`
+	Response *RankResult `json:"response,omitempty"`
+	Error    *Error      `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of a batch POST /v2/rank. The HTTP status is
+// 200 whenever the batch itself was processed; per-item failures are
+// reported inline with their own codes.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+	// Errors counts the items that failed.
+	Errors int `json:"errors"`
+}

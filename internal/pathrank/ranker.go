@@ -1,11 +1,11 @@
 package pathrank
 
 import (
+	"context"
 	"fmt"
 
 	"pathrank/internal/dataset"
 	"pathrank/internal/node2vec"
-	"pathrank/internal/pathsim"
 	"pathrank/internal/roadnet"
 	"pathrank/internal/spath"
 	"pathrank/internal/traj"
@@ -37,46 +37,17 @@ func NewRanker(g *roadnet.Graph, m *Model) *Ranker {
 }
 
 // CandidatePaths generates the unranked candidate set between src and dst
-// with the ranker's configured strategy. It is the candidate-generation half
-// of Query, exposed so callers that score through a different path (the
-// serving layer's micro-batcher) produce the same candidates.
+// with the ranker's configured strategy. It is a compatibility wrapper over
+// CandidatesFor with default options and no cancellation.
 func (r *Ranker) CandidatePaths(src, dst roadnet.VertexID) ([]spath.Path, error) {
-	cfg := r.Candidates
-	if cfg.K <= 0 {
-		cfg = dataset.DefaultConfig()
-	}
-	var cands []spath.Path
-	var err error
-	switch cfg.Strategy {
-	case dataset.TkDI:
-		if r.Engine != nil {
-			cands, err = spath.TopKEngine(r.Engine, src, dst, cfg.K)
-		} else {
-			cands, err = spath.TopK(r.Graph, src, dst, cfg.K, spath.ByLength)
-		}
-	case dataset.DTkDI:
-		probe := cfg.MaxProbe
-		if probe <= 0 {
-			probe = 10 * cfg.K
-		}
-		sim := pathsim.WeightedJaccardSim(r.Graph)
-		if r.Engine != nil {
-			cands, err = spath.DiversifiedTopKEngine(r.Engine, src, dst, cfg.K, sim, cfg.Threshold, probe)
-		} else {
-			cands, err = spath.DiversifiedTopK(r.Graph, src, dst, cfg.K, spath.ByLength,
-				sim, cfg.Threshold, probe)
-		}
-	default:
-		return nil, fmt.Errorf("pathrank: unknown candidate strategy %d", cfg.Strategy)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("pathrank: candidate generation %d->%d: %w", src, dst, err)
-	}
-	return cands, nil
+	cands, _, err := r.CandidatesFor(context.Background(), RankRequest{Src: src, Dst: dst})
+	return cands, err
 }
 
 // Query generates candidates between src and dst and returns them with
-// model scores, best first.
+// model scores, best first. It is the pre-RankRequest entry point, kept as
+// a compatibility wrapper: Rank with a zero-valued override set returns
+// bit-identical rankings.
 func (r *Ranker) Query(src, dst roadnet.VertexID) ([]Ranked, error) {
 	cands, err := r.CandidatePaths(src, dst)
 	if err != nil {

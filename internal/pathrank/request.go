@@ -1,0 +1,405 @@
+package pathrank
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"pathrank/internal/api"
+	"pathrank/internal/dataset"
+	"pathrank/internal/pathsim"
+	"pathrank/internal/roadnet"
+	"pathrank/internal/spath"
+)
+
+// StrategyChoice optionally overrides the ranker's candidate-generation
+// strategy for one request. The zero value keeps the configured default.
+type StrategyChoice uint8
+
+// Per-request strategy choices.
+const (
+	// StrategyAuto keeps the ranker's configured strategy.
+	StrategyAuto StrategyChoice = iota
+	// StrategyTkDI forces plain top-k shortest paths.
+	StrategyTkDI
+	// StrategyDTkDI forces diversified top-k shortest paths.
+	StrategyDTkDI
+)
+
+// String names the choice as accepted by ParseStrategyChoice.
+func (s StrategyChoice) String() string {
+	switch s {
+	case StrategyAuto:
+		return "auto"
+	case StrategyTkDI:
+		return "tkdi"
+	case StrategyDTkDI:
+		return "dtkdi"
+	default:
+		return fmt.Sprintf("strategy(%d)", uint8(s))
+	}
+}
+
+// ParseStrategyChoice parses a strategy name ("", "auto", "tkdi", "dtkdi").
+func ParseStrategyChoice(s string) (StrategyChoice, error) {
+	switch s {
+	case "", "auto":
+		return StrategyAuto, nil
+	case "tkdi", "topk":
+		return StrategyTkDI, nil
+	case "dtkdi", "diversified":
+		return StrategyDTkDI, nil
+	default:
+		return StrategyAuto, rankErrf(api.CodeInvalid, "unknown strategy %q (want tkdi or dtkdi)", s)
+	}
+}
+
+// WeightKind optionally overrides the edge metric for one request. The
+// zero value keeps the configured default (length).
+type WeightKind uint8
+
+// Per-request weight kinds.
+const (
+	// WeightAuto keeps the default metric (length).
+	WeightAuto WeightKind = iota
+	// WeightLength ranks by geometric length in meters.
+	WeightLength
+	// WeightTime ranks by free-flow travel time in seconds.
+	WeightTime
+)
+
+// String names the kind as accepted by ParseWeightKind.
+func (w WeightKind) String() string {
+	switch w {
+	case WeightAuto:
+		return "auto"
+	case WeightLength:
+		return "length"
+	case WeightTime:
+		return "time"
+	default:
+		return fmt.Sprintf("weight(%d)", uint8(w))
+	}
+}
+
+// ParseWeightKind parses a weight name ("", "auto", "length", "time").
+func ParseWeightKind(s string) (WeightKind, error) {
+	switch s {
+	case "", "auto":
+		return WeightAuto, nil
+	case "length", "distance":
+		return WeightLength, nil
+	case "time":
+		return WeightTime, nil
+	default:
+		return WeightAuto, rankErrf(api.CodeInvalid, "unknown weight %q (want length or time)", s)
+	}
+}
+
+// EngineChoice optionally overrides the shortest-path backend for one
+// request. The zero value keeps the ranker's configured engine.
+type EngineChoice uint8
+
+// Per-request engine choices.
+const (
+	// EngineAuto keeps the ranker's configured engine (its prepared CH or
+	// ALT structure when it has one, plain Dijkstra otherwise).
+	EngineAuto EngineChoice = iota
+	// EngineNone bypasses any prepared engine and runs plain pooled
+	// Dijkstra searches.
+	EngineNone
+	// EngineALT requires the ranker's prepared ALT engine.
+	EngineALT
+	// EngineCH requires the ranker's prepared CH engine.
+	EngineCH
+)
+
+// String names the choice as accepted by ParseEngineChoice.
+func (e EngineChoice) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineNone:
+		return "dijkstra"
+	case EngineALT:
+		return "alt"
+	case EngineCH:
+		return "ch"
+	default:
+		return fmt.Sprintf("engine(%d)", uint8(e))
+	}
+}
+
+// ParseEngineChoice parses an engine name ("", "auto", "dijkstra", "alt",
+// "ch").
+func ParseEngineChoice(s string) (EngineChoice, error) {
+	switch s {
+	case "", "auto":
+		return EngineAuto, nil
+	case "dijkstra", "none":
+		return EngineNone, nil
+	case "alt":
+		return EngineALT, nil
+	case "ch":
+		return EngineCH, nil
+	default:
+		return EngineAuto, rankErrf(api.CodeInvalid, "unknown engine %q (want auto, dijkstra, alt or ch)", s)
+	}
+}
+
+// RankRequest is a first-class ranking query: an origin-destination pair
+// plus per-request overrides of the candidate regime. Every field except
+// Src and Dst is optional — the zero value of each override keeps the
+// ranker's configured default, so RankRequest{Src: s, Dst: d} reproduces
+// Ranker.Query(s, d) exactly.
+type RankRequest struct {
+	Src roadnet.VertexID
+	Dst roadnet.VertexID
+	// K overrides the candidate-set size when positive. A D-TkDI probe
+	// budget configured on the ranker is scaled proportionally, so the
+	// probe-to-k ratio the model was built with is preserved.
+	K int
+	// Strategy overrides the candidate-generation strategy.
+	Strategy StrategyChoice
+	// Threshold overrides the D-TkDI similarity threshold when positive;
+	// it must lie in (0, 1].
+	Threshold float64
+	// MaxProbe overrides the D-TkDI enumeration budget when positive.
+	MaxProbe int
+	// Weight overrides the edge metric. WeightTime bypasses a prepared
+	// engine (prepared structures are built for the length metric).
+	Weight WeightKind
+	// Engine overrides the shortest-path backend. Requesting a prepared
+	// kind (EngineALT, EngineCH) the ranker does not hold is an
+	// invalid-request error; EngineNone always works.
+	Engine EngineChoice
+	// Explain asks the serving layer to include RankStats in its
+	// response; the in-process Rank fills stats regardless.
+	Explain bool
+}
+
+// RankStats describes how a ranking was produced: the fully resolved
+// candidate configuration and where the time went.
+type RankStats struct {
+	// Strategy, K, Threshold and MaxProbe are the effective candidate
+	// configuration after overrides.
+	Strategy  dataset.Strategy
+	K         int
+	Threshold float64
+	MaxProbe  int
+	// Weight is the effective edge metric (never WeightAuto).
+	Weight WeightKind
+	// Engine is the backend candidate generation ran on; EngineDijkstra
+	// covers both a Dijkstra engine and the engineless pooled search.
+	Engine spath.EngineKind
+	// Candidates is the number of candidate paths generated.
+	Candidates int
+	// GenNanos and ScoreNanos split the query cost into candidate
+	// generation and NN scoring.
+	GenNanos   int64
+	ScoreNanos int64
+}
+
+// RankResponse is the result of one Rank call: the scored candidates, best
+// first, plus generation statistics.
+type RankResponse struct {
+	Paths []Ranked
+	Stats RankStats
+}
+
+// RankError is a typed ranking failure; Code is one of the api.Code*
+// constants, so the serving layer can map it onto an HTTP status without
+// string matching.
+type RankError struct {
+	Code    string
+	Message string
+	// Err is the wrapped cause, when any.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *RankError) Error() string {
+	return "pathrank: " + e.Message
+}
+
+// Unwrap returns the wrapped cause.
+func (e *RankError) Unwrap() error { return e.Err }
+
+// rankErrf builds a RankError with a formatted message.
+func rankErrf(code, format string, args ...any) *RankError {
+	return &RankError{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// ErrorCodeOf classifies err into an api error code: a RankError carries
+// its own code; spath.ErrNoPath is unroutable; context expiry maps to the
+// deadline/cancel codes; anything else is internal.
+func ErrorCodeOf(err error) string {
+	var re *RankError
+	if errors.As(err, &re) {
+		return re.Code
+	}
+	switch {
+	case errors.Is(err, spath.ErrNoPath):
+		return api.CodeUnroutable
+	case errors.Is(err, context.DeadlineExceeded):
+		return api.CodeDeadline
+	case errors.Is(err, context.Canceled):
+		return api.CodeCanceled
+	}
+	return api.CodeInternal
+}
+
+// resolve validates req against the ranker and materializes the effective
+// candidate configuration, weight, and engine.
+func (r *Ranker) resolve(req RankRequest) (dataset.Config, spath.Weight, spath.Engine, RankStats, error) {
+	var stats RankStats
+	n := roadnet.VertexID(r.Graph.NumVertices())
+	if req.Src < 0 || req.Src >= n || req.Dst < 0 || req.Dst >= n {
+		return dataset.Config{}, nil, nil, stats,
+			rankErrf(api.CodeInvalid, "src/dst must be in [0,%d)", n)
+	}
+	if req.K < 0 {
+		return dataset.Config{}, nil, nil, stats, rankErrf(api.CodeInvalid, "k must be non-negative")
+	}
+	if req.Threshold < 0 || req.Threshold > 1 {
+		return dataset.Config{}, nil, nil, stats,
+			rankErrf(api.CodeInvalid, "threshold must be in (0,1], got %g", req.Threshold)
+	}
+	if req.MaxProbe < 0 {
+		return dataset.Config{}, nil, nil, stats, rankErrf(api.CodeInvalid, "max_probe must be non-negative")
+	}
+
+	cfg := r.Candidates
+	if cfg.K <= 0 {
+		cfg = dataset.DefaultConfig()
+	}
+	switch req.Strategy {
+	case StrategyAuto:
+	case StrategyTkDI:
+		cfg.Strategy = dataset.TkDI
+	case StrategyDTkDI:
+		cfg.Strategy = dataset.DTkDI
+	default:
+		return dataset.Config{}, nil, nil, stats, rankErrf(api.CodeInvalid, "unknown strategy %d", req.Strategy)
+	}
+	// A k equal to the configured K is a no-op by definition; a genuine
+	// override scales a configured probe budget proportionally so the
+	// probe-to-k ratio is preserved (the serving layer has always done
+	// this for its per-request k).
+	if req.K > 0 && req.K != cfg.K {
+		if cfg.MaxProbe > 0 && cfg.K > 0 {
+			cfg.MaxProbe = cfg.MaxProbe * req.K / cfg.K
+		}
+		cfg.K = req.K
+	}
+	if req.Threshold > 0 {
+		cfg.Threshold = req.Threshold
+	}
+	if req.MaxProbe > 0 {
+		cfg.MaxProbe = req.MaxProbe
+	}
+
+	weight := spath.ByLength
+	wk := WeightLength
+	if req.Weight == WeightTime {
+		weight = spath.ByTime
+		wk = WeightTime
+	}
+
+	engine := r.Engine
+	switch req.Engine {
+	case EngineAuto:
+	case EngineNone:
+		engine = nil
+	case EngineALT, EngineCH:
+		want := spath.EngineALT
+		if req.Engine == EngineCH {
+			want = spath.EngineCH
+		}
+		if engine == nil || engine.Kind() != want {
+			return dataset.Config{}, nil, nil, stats,
+				rankErrf(api.CodeInvalid, "engine %s is not prepared for this snapshot", req.Engine)
+		}
+	default:
+		return dataset.Config{}, nil, nil, stats, rankErrf(api.CodeInvalid, "unknown engine %d", req.Engine)
+	}
+	// Prepared engines are built for the length metric; a time-weighted
+	// query must run on the plain pooled search. An explicit prepared-kind
+	// request combined with the time metric is contradictory.
+	if wk == WeightTime && engine != nil {
+		if req.Engine == EngineALT || req.Engine == EngineCH {
+			return dataset.Config{}, nil, nil, stats,
+				rankErrf(api.CodeInvalid, "engine %s serves the length metric; use weight=length or engine=dijkstra", req.Engine)
+		}
+		engine = nil
+	}
+
+	stats.Strategy = cfg.Strategy
+	stats.K = cfg.K
+	stats.Threshold = cfg.Threshold
+	stats.MaxProbe = cfg.MaxProbe
+	stats.Weight = wk
+	stats.Engine = spath.EngineDijkstra
+	if engine != nil {
+		stats.Engine = engine.Kind()
+	}
+	return cfg, weight, engine, stats, nil
+}
+
+// CandidatesFor generates the candidate set for req, honoring ctx, and
+// reports the resolved configuration. It is the candidate-generation half
+// of Rank, exposed so the serving layer can score through its own path
+// (the micro-batcher) while producing exactly the same candidates.
+func (r *Ranker) CandidatesFor(ctx context.Context, req RankRequest) ([]spath.Path, RankStats, error) {
+	cfg, weight, engine, stats, err := r.resolve(req)
+	if err != nil {
+		return nil, stats, err
+	}
+	var cands []spath.Path
+	switch cfg.Strategy {
+	case dataset.TkDI:
+		if engine != nil {
+			cands, err = spath.TopKEngineCtx(ctx, engine, req.Src, req.Dst, cfg.K)
+		} else {
+			cands, err = spath.TopKCtx(ctx, r.Graph, req.Src, req.Dst, cfg.K, weight)
+		}
+	case dataset.DTkDI:
+		probe := cfg.MaxProbe
+		if probe <= 0 {
+			probe = 10 * cfg.K
+		}
+		sim := pathsim.WeightedJaccardSim(r.Graph)
+		if engine != nil {
+			cands, err = spath.DiversifiedTopKEngineCtx(ctx, engine, req.Src, req.Dst, cfg.K, sim, cfg.Threshold, probe)
+		} else {
+			cands, err = spath.DiversifiedTopKCtx(ctx, r.Graph, req.Src, req.Dst, cfg.K, weight, sim, cfg.Threshold, probe)
+		}
+	default:
+		return nil, stats, rankErrf(api.CodeInvalid, "unknown candidate strategy %d", cfg.Strategy)
+	}
+	if err != nil {
+		return nil, stats, fmt.Errorf("pathrank: candidate generation %d->%d: %w", req.Src, req.Dst, err)
+	}
+	stats.Candidates = len(cands)
+	return cands, stats, nil
+}
+
+// Rank is the core query entry point: it generates candidates for req
+// under ctx and returns them with model scores, best first. With a
+// zero-valued override set the ranking is bit-identical to
+// Ranker.Query(req.Src, req.Dst); canceling ctx stops an in-flight
+// enumeration and returns ctx's error (ErrorCodeOf maps it to a deadline
+// or cancellation code).
+func (r *Ranker) Rank(ctx context.Context, req RankRequest) (RankResponse, error) {
+	genStart := time.Now()
+	cands, stats, err := r.CandidatesFor(ctx, req)
+	if err != nil {
+		return RankResponse{}, err
+	}
+	stats.GenNanos = time.Since(genStart).Nanoseconds()
+	scoreStart := time.Now()
+	ranked := r.Model.Rank(cands)
+	stats.ScoreNanos = time.Since(scoreStart).Nanoseconds()
+	return RankResponse{Paths: ranked, Stats: stats}, nil
+}

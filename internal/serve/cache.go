@@ -9,11 +9,23 @@ import (
 )
 
 // queryKey identifies one rank query for caching and in-flight collapsing.
-// The candidate-set size is part of the key because a request may override
-// the artifact's default k.
+// Every per-request override of the candidate regime is part of the key;
+// buildQuery normalizes overrides equal to the snapshot's defaults to zero
+// values, so a default-k v1 query, an explicit-k v2 query, and a v2 query
+// naming the snapshot's own strategy all share one cache entry and one
+// in-flight computation.
 type queryKey struct {
 	src, dst roadnet.VertexID
 	k        int
+	// strategy/weight/engine are normalized pathrank choice enums
+	// (0 = snapshot default).
+	strategy uint8
+	weight   uint8
+	engine   uint8
+	// thrBits is math.Float64bits of an overriding D-TkDI threshold
+	// (0 = snapshot default); maxProbe overrides the probe budget.
+	thrBits  uint64
+	maxProbe int
 }
 
 // lruCache is a mutex-guarded LRU map from query to ranked result. Cached

@@ -492,7 +492,7 @@ func TestSingleflightCollapses(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		_, _, shared := g.do(key, func() ([]pathrank.Ranked, error) {
+		_, _, shared := g.do(context.Background(), key, func() ([]pathrank.Ranked, error) {
 			calls++
 			close(started)
 			<-gate
@@ -505,7 +505,7 @@ func TestSingleflightCollapses(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			val, err, shared := g.do(key, func() ([]pathrank.Ranked, error) {
+			val, err, shared := g.do(context.Background(), key, func() ([]pathrank.Ranked, error) {
 				t.Error("duplicate in-flight computation")
 				return nil, nil
 			})
@@ -552,7 +552,7 @@ func TestSingleflightSurvivesPanic(t *testing.T) {
 				t.Error("leader panic was swallowed")
 			}
 		}()
-		_, _, _ = g.do(key, func() ([]pathrank.Ranked, error) {
+		_, _, _ = g.do(context.Background(), key, func() ([]pathrank.Ranked, error) {
 			close(started)
 			<-release
 			panic("query invariant broken")
@@ -560,7 +560,7 @@ func TestSingleflightSurvivesPanic(t *testing.T) {
 	}()
 	<-started
 	go func() {
-		_, err, _ := g.do(key, func() ([]pathrank.Ranked, error) {
+		_, err, _ := g.do(context.Background(), key, func() ([]pathrank.Ranked, error) {
 			return nil, nil
 		})
 		waiterDone <- err
@@ -578,7 +578,7 @@ func TestSingleflightSurvivesPanic(t *testing.T) {
 	}
 
 	// The key must be usable again.
-	val, err, _ := g.do(key, func() ([]pathrank.Ranked, error) {
+	val, err, _ := g.do(context.Background(), key, func() ([]pathrank.Ranked, error) {
 		return []pathrank.Ranked{{Score: 0.9}}, nil
 	})
 	if err != nil || len(val) != 1 {

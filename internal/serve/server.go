@@ -1,13 +1,23 @@
 // Package serve exposes a trained PathRank artifact as an online ranking
 // service over HTTP.
 //
-// The server answers concurrent POST /v1/rank queries with the exact
-// rankings an in-process Ranker.Query would produce: candidate generation
-// runs on pooled spath workspaces, an LRU cache short-circuits repeated
-// (src, dst, k) queries, a singleflight group collapses duplicate in-flight
-// queries so a thundering herd costs one computation, and an optional
-// micro-batcher coalesces the NN scoring of requests that arrive within a
-// short window into one parallel sweep.
+// The server answers concurrent ranking queries with the exact rankings an
+// in-process Ranker.Query would produce: candidate generation runs on
+// pooled spath workspaces, an LRU cache short-circuits repeated queries, a
+// singleflight group collapses duplicate in-flight queries so a thundering
+// herd costs one computation, and an optional micro-batcher coalesces the
+// NN scoring of requests that arrive within a short window into one
+// parallel sweep.
+//
+// Two API versions share one core. POST /v2/rank is the primary surface:
+// a single query or a batch, per-request overrides of the candidate regime
+// (k, strategy, diversity threshold, weight metric, engine), per-item
+// errors in batches with one NN sweep across the whole batch, explain
+// stats, and a server-side deadline (timeout_ms) that cancels an in-flight
+// Yen enumeration mid-search. Failures carry typed codes (internal/api)
+// mapped onto statuses: 400 invalid, 404 unroutable, 408 canceled, 504
+// deadline, 503 backlog with Retry-After. POST /v1/rank remains as a thin
+// adapter over the same core with byte-compatible responses.
 //
 // The artifact is not fixed for the server's lifetime: the serving state
 // lives in an atomically swappable snapshot (see snapshot.go). POST
@@ -38,9 +48,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pathrank/internal/api"
 	"pathrank/internal/geo"
 	"pathrank/internal/pathrank"
-	"pathrank/internal/roadnet"
 	"pathrank/internal/spath"
 	"pathrank/internal/traj"
 )
@@ -74,6 +84,16 @@ type Config struct {
 	BatchMaxPaths int
 	// MaxK caps the per-request candidate-set override (default 32).
 	MaxK int
+	// MaxBatch caps the queries per /v2/rank batch request (default 64).
+	MaxBatch int
+	// MaxInFlight caps concurrently executing rank requests (v1 + v2);
+	// requests over the cap are shed immediately with 503 backlog +
+	// Retry-After instead of queuing unboundedly. 0 (the default)
+	// disables shedding.
+	MaxInFlight int
+	// MaxTimeout caps a request's timeout_ms deadline (default 30s);
+	// longer requests are clamped, not rejected.
+	MaxTimeout time.Duration
 	// Engine selects the shortest-path backend for candidate generation:
 	// "ch" (default), "alt", or "dijkstra". The structure persisted in the
 	// artifact is used when it matches; otherwise it is built once at
@@ -161,6 +181,12 @@ func New(art *pathrank.Artifact, cfg Config) (*Server, error) {
 	}
 	if cfg.MaxK <= 0 {
 		cfg.MaxK = 32
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 30 * time.Second
 	}
 	if cfg.ShutdownTimeout <= 0 {
 		cfg.ShutdownTimeout = 5 * time.Second
@@ -311,6 +337,7 @@ func (s *Server) Close() {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/rank", s.handleRank)
+	mux.HandleFunc("POST /v2/rank", s.handleRankV2)
 	mux.HandleFunc("POST /v1/reload", s.handleReload)
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -397,15 +424,9 @@ type RankRequest struct {
 	K int `json:"k,omitempty"`
 }
 
-// RankedPath is one entry of a rank response, best first.
-type RankedPath struct {
-	Rank     int     `json:"rank"`
-	Score    float64 `json:"score"`
-	LengthM  float64 `json:"length_m"`
-	TimeS    float64 `json:"time_s"`
-	Hops     int     `json:"hops"`
-	Vertices []int64 `json:"vertices"`
-}
+// RankedPath is one entry of a rank response, best first. It is the same
+// wire shape in both API versions.
+type RankedPath = api.RankedPath
 
 // RankResponse is the body of a successful POST /v1/rank.
 type RankResponse struct {
@@ -421,12 +442,20 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// decodeJSON decodes a bounded JSON body, mapping an exceeded size limit to
-// 413 and any other decoding failure to 400. It reports whether decoding
-// succeeded; on failure the error response has already been written.
-func decodeJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+// newBoundedDecoder wraps the request body in a size limit and a strict
+// JSON decoder; shared by the v1 and v2 body readers.
+func newBoundedDecoder(w http.ResponseWriter, r *http.Request, limit int64) *json.Decoder {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
+	return dec
+}
+
+// decodeJSON decodes a bounded JSON body, mapping an exceeded size limit to
+// 413 and any other decoding failure to 400. It reports whether decoding
+// succeeded; on failure the error response has already been written in the
+// v1 shape.
+func decodeJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	dec := newBoundedDecoder(w, r, limit)
 	if err := dec.Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -440,11 +469,24 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) bool
 	return true
 }
 
+// handleRank answers POST /v1/rank. It is a thin adapter over the v2 core
+// (buildQuery/execQuery): a v1 request is exactly a v2 query with only the
+// k override, and the response rendering below reproduces the v1 wire
+// format byte for byte. Client-caused failures map through the typed error
+// model (400 invalid, 404 unroutable, 408/504 context expiry) instead of
+// blanket 500s; the v1 error body shape is unchanged.
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	s.reqTotal.Add(1)
 	s.inFlightGauge.Add(1)
 	defer s.inFlightGauge.Add(-1)
 	startReq := time.Now()
+
+	if s.overloaded() {
+		s.rankErrors.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: backlogMessage})
+		return
+	}
 
 	var req RankRequest
 	if !decodeJSON(w, r, maxRankBody, &req) {
@@ -457,106 +499,29 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	snap := s.acquire()
 	defer snap.release()
 
-	n := int64(snap.art.Graph.NumVertices())
-	if req.Src < 0 || req.Src >= n || req.Dst < 0 || req.Dst >= n {
+	cq, apiErr := s.buildQuery(snap, api.RankQuery{Src: req.Src, Dst: req.Dst, K: req.K})
+	if apiErr != nil {
 		s.rankErrors.Add(1)
-		writeJSON(w, http.StatusBadRequest,
-			errorResponse{Error: fmt.Sprintf("src/dst must be in [0,%d)", n)})
-		return
-	}
-	if req.K < 0 || req.K > s.cfg.MaxK {
-		s.rankErrors.Add(1)
-		writeJSON(w, http.StatusBadRequest,
-			errorResponse{Error: fmt.Sprintf("k must be in [0,%d]", s.cfg.MaxK)})
+		writeJSON(w, apiErr.Status, errorResponse{Error: apiErr.Message})
 		return
 	}
 
-	// Normalize an explicit k equal to the artifact's configured K to the
-	// default (0): the queries are identical, so they must share one cache
-	// entry and one in-flight computation.
-	reqK := req.K
-	if reqK == snap.ranker.Candidates.K {
-		reqK = 0
-	}
-	key := queryKey{src: roadnet.VertexID(req.Src), dst: roadnet.VertexID(req.Dst), k: reqK}
-	resp := RankResponse{Src: req.Src, Dst: req.Dst, K: req.K}
-
-	ranked, ok := snap.cache.get(key)
-	if ok {
-		s.cacheHits.Add(1)
-		resp.Cached = true
-	} else {
-		s.cacheMisses.Add(1)
-		var err error
-		var shared bool
-		ranked, err, shared = snap.flight.do(key, func() ([]pathrank.Ranked, error) {
-			return rankQuery(snap, key)
-		})
-		if shared {
-			s.flightShared.Add(1)
-			resp.Shared = true
-		}
-		if err != nil {
-			s.rankErrors.Add(1)
-			status := http.StatusInternalServerError
-			if errors.Is(err, spath.ErrNoPath) {
-				status = http.StatusNotFound
-			}
-			writeJSON(w, status, errorResponse{Error: err.Error()})
-			return
-		}
-		if !shared {
-			snap.cache.add(key, ranked)
-		}
+	out := s.execQuery(r.Context(), snap, cq)
+	if out.err != nil {
+		s.rankErrors.Add(1)
+		e := apiErrorFrom(out.err)
+		writeJSON(w, e.Status, errorResponse{Error: out.err.Error()})
+		return
 	}
 
-	resp.Paths = make([]RankedPath, len(ranked))
-	for i, rk := range ranked {
-		verts := make([]int64, len(rk.Path.Vertices))
-		for j, v := range rk.Path.Vertices {
-			verts[j] = int64(v)
-		}
-		resp.Paths[i] = RankedPath{
-			Rank:     i + 1,
-			Score:    rk.Score,
-			LengthM:  rk.Path.Length(snap.art.Graph),
-			TimeS:    rk.Path.Time(snap.art.Graph),
-			Hops:     rk.Path.Len(),
-			Vertices: verts,
-		}
+	resp := RankResponse{
+		Src: req.Src, Dst: req.Dst, K: req.K,
+		Cached: out.cached, Shared: out.shared,
+		Paths: rankedPaths(snap, out.ranked),
 	}
 	s.rankOK.Add(1)
 	s.latencyNanos.Add(time.Since(startReq).Nanoseconds())
 	writeJSON(w, http.StatusOK, resp)
-}
-
-// rankQuery computes one uncached query against a pinned snapshot:
-// candidate generation on the pooled spath workspaces, NN scoring
-// (micro-batched when enabled), and the same stable ordering Ranker.Query
-// uses — so results are bit-identical to an in-process query.
-func rankQuery(snap *snapshot, key queryKey) ([]pathrank.Ranked, error) {
-	rk := *snap.ranker
-	// An explicit k equal to the configured K must not change anything —
-	// the query is semantically identical to the default-k one. A genuine
-	// override scales a configured D-TkDI probe bound proportionally so
-	// the probe-to-k ratio the artifact was built with is preserved.
-	if key.k > 0 && key.k != rk.Candidates.K {
-		if rk.Candidates.MaxProbe > 0 && rk.Candidates.K > 0 {
-			rk.Candidates.MaxProbe = rk.Candidates.MaxProbe * key.k / rk.Candidates.K
-		}
-		rk.Candidates.K = key.k
-	}
-	cands, err := rk.CandidatePaths(key.src, key.dst)
-	if err != nil {
-		return nil, err
-	}
-	var scores []float64
-	if snap.batch != nil {
-		scores = snap.batch.score(cands)
-	} else {
-		scores = snap.art.Model.ScoreBatch(cands)
-	}
-	return pathrank.RankScored(cands, scores), nil
 }
 
 // ReloadRequest is the (optional) body of POST /v1/reload.
@@ -577,8 +542,11 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	info, err := s.Reload(req.Artifact)
 	if err != nil {
+		// A failure to read an artifact the client itself named is a
+		// client error (bad path, corrupt upload), not a server fault;
+		// only failures of the server's own configured bundle are 500s.
 		status := http.StatusInternalServerError
-		if req.Artifact == "" && s.cfg.ArtifactPath == "" {
+		if req.Artifact != "" || s.cfg.ArtifactPath == "" {
 			status = http.StatusBadRequest
 		}
 		writeJSON(w, status, errorResponse{Error: err.Error()})
@@ -645,21 +613,22 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 }
 
 type healthResponse struct {
-	Status        string  `json:"status"`
-	UptimeS       float64 `json:"uptime_s"`
-	Vertices      int     `json:"vertices"`
-	Edges         int     `json:"edges"`
-	ModelParams   int     `json:"model_params"`
-	CacheSize     int     `json:"cache_entries"`
-	Batching      bool    `json:"batching"`
-	Engine        string  `json:"engine"`
-	PrepEmbedded  bool    `json:"prep_embedded"`
-	Fingerprint   string  `json:"fingerprint"`
-	Generation    int     `json:"generation"`
-	ParentModel   string  `json:"parent_fingerprint,omitempty"`
-	Swaps         int64   `json:"swaps"`
-	SnapshotAgeS  float64 `json:"snapshot_age_s"`
-	IngestEnabled bool    `json:"ingest_enabled"`
+	Status        string   `json:"status"`
+	APIVersions   []string `json:"api_versions"`
+	UptimeS       float64  `json:"uptime_s"`
+	Vertices      int      `json:"vertices"`
+	Edges         int      `json:"edges"`
+	ModelParams   int      `json:"model_params"`
+	CacheSize     int      `json:"cache_entries"`
+	Batching      bool     `json:"batching"`
+	Engine        string   `json:"engine"`
+	PrepEmbedded  bool     `json:"prep_embedded"`
+	Fingerprint   string   `json:"fingerprint"`
+	Generation    int      `json:"generation"`
+	ParentModel   string   `json:"parent_fingerprint,omitempty"`
+	Swaps         int64    `json:"swaps"`
+	SnapshotAgeS  float64  `json:"snapshot_age_s"`
+	IngestEnabled bool     `json:"ingest_enabled"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -668,6 +637,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	defer snap.release()
 	writeJSON(w, http.StatusOK, healthResponse{
 		Status:        "ok",
+		APIVersions:   []string{"v1", "v2"},
 		UptimeS:       time.Since(s.start).Seconds(),
 		Vertices:      snap.art.Graph.NumVertices(),
 		Edges:         snap.art.Graph.NumEdges(),

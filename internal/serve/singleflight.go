@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"sync"
 
@@ -18,9 +19,9 @@ type flightGroup struct {
 }
 
 type flightCall struct {
-	wg  sync.WaitGroup
-	val []pathrank.Ranked
-	err error
+	done chan struct{} // closed when val/err are final
+	val  []pathrank.Ranked
+	err  error
 }
 
 func newFlightGroup() *flightGroup {
@@ -28,25 +29,32 @@ func newFlightGroup() *flightGroup {
 }
 
 // do invokes fn once per concurrent set of callers with the same key.
-// shared reports whether the caller received another goroutine's result.
+// shared reports whether the caller received (or abandoned waiting for)
+// another goroutine's computation. A waiter honors its own context: when
+// ctx expires before the leader finishes, the waiter returns ctx's error
+// immediately instead of outliving its deadline on someone else's
+// computation — the leader keeps running for the callers still waiting.
 // A panic in fn is re-raised in the leader after the call is unregistered
 // and waiters are released (they observe errFlightPanic), so one panicking
 // query cannot poison its key forever.
-func (g *flightGroup) do(key queryKey, fn func() ([]pathrank.Ranked, error)) (val []pathrank.Ranked, err error, shared bool) {
+func (g *flightGroup) do(ctx context.Context, key queryKey, fn func() ([]pathrank.Ranked, error)) (val []pathrank.Ranked, err error, shared bool) {
 	g.mu.Lock()
 	if c, ok := g.m[key]; ok {
 		g.mu.Unlock()
-		c.wg.Wait()
-		return c.val, c.err, true
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
 	}
-	c := new(flightCall)
-	c.wg.Add(1)
+	c := &flightCall{done: make(chan struct{})}
 	c.err = errFlightPanic // overwritten on normal return
 	g.m[key] = c
 	g.mu.Unlock()
 
 	defer func() {
-		c.wg.Done()
+		close(c.done)
 		g.mu.Lock()
 		delete(g.m, key)
 		g.mu.Unlock()

@@ -1,0 +1,617 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pathrank/internal/api"
+	"pathrank/internal/dataset"
+	"pathrank/internal/geo"
+	"pathrank/internal/pathrank"
+	"pathrank/internal/roadnet"
+)
+
+// postV2 posts a raw v2 body and decodes the response into out when the
+// status is 200.
+func postV2(t testing.TB, url, body string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/v2/rank", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode v2 response: %v", err)
+		}
+	}
+	return resp
+}
+
+// decodeV2Error reads a non-200 v2 response's typed error envelope.
+func decodeV2Error(t testing.TB, url, body string) (*http.Response, *api.Error) {
+	t.Helper()
+	resp, err := http.Post(url+"/v2/rank", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env api.ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("decode v2 error envelope: %v", err)
+	}
+	if env.Error == nil {
+		t.Fatal("error response without error body")
+	}
+	return resp, env.Error
+}
+
+// TestV2SingleMatchesV1AndInProcess is the version-compatibility
+// acceptance test: one query answered over /v2/rank equals both the
+// /v1/rank response and an in-process Ranker.Query, path for path and
+// score for score.
+func TestV2SingleMatchesV1AndInProcess(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	art := loadedTestArtifact(t)
+	src, dst := int64(0), int64(art.Graph.NumVertices()-1)
+
+	var v2 api.RankResult
+	resp := postV2(t, ts.URL, fmt.Sprintf(`{"src":%d,"dst":%d}`, src, dst), &v2)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("v2 status %d", resp.StatusCode)
+	}
+	_, v1 := postRank(t, ts.URL, RankRequest{Src: src, Dst: dst})
+
+	if len(v2.Paths) == 0 || len(v2.Paths) != len(v1.Paths) {
+		t.Fatalf("v2 %d paths vs v1 %d", len(v2.Paths), len(v1.Paths))
+	}
+	for i := range v2.Paths {
+		a, b := v2.Paths[i], v1.Paths[i]
+		if a.Score != b.Score || a.LengthM != b.LengthM || len(a.Vertices) != len(b.Vertices) {
+			t.Fatalf("path %d differs between v1 and v2", i)
+		}
+	}
+
+	ranker := art.NewRanker()
+	want, err := ranker.Query(roadnet.VertexID(src), roadnet.VertexID(dst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(v2.Paths) {
+		t.Fatalf("in-process %d paths vs v2 %d", len(want), len(v2.Paths))
+	}
+	for i := range want {
+		if want[i].Score != v2.Paths[i].Score {
+			t.Fatalf("score %d: in-process %v vs v2 %v", i, want[i].Score, v2.Paths[i].Score)
+		}
+	}
+}
+
+// TestV2CacheSharedAcrossVersions: a v1 query warms the cache for the
+// equivalent v2 query and vice versa — the normalized key makes the two
+// versions one cache population.
+func TestV2CacheSharedAcrossVersions(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	art := loadedTestArtifact(t)
+	src, dst := int64(1), int64(art.Graph.NumVertices()-2)
+
+	_, v1 := postRank(t, ts.URL, RankRequest{Src: src, Dst: dst})
+	if v1.Cached {
+		t.Fatal("first v1 query cannot be cached")
+	}
+	var v2 api.RankResult
+	postV2(t, ts.URL, fmt.Sprintf(`{"src":%d,"dst":%d}`, src, dst), &v2)
+	if !v2.Cached {
+		t.Fatal("v2 query after identical v1 query should hit the shared cache")
+	}
+	// Naming the snapshot defaults explicitly still hits the same entry.
+	k := art.Candidates.K
+	var v2b api.RankResult
+	postV2(t, ts.URL, fmt.Sprintf(`{"src":%d,"dst":%d,"k":%d,"strategy":"dtkdi","weight":"length"}`, src, dst, k), &v2b)
+	if !v2b.Cached {
+		t.Fatal("explicit defaults should normalize onto the cached entry")
+	}
+}
+
+// TestV2Overrides: per-request k and strategy change the result; explain
+// returns resolved stats.
+func TestV2Overrides(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	art := loadedTestArtifact(t)
+	src, dst := int64(0), int64(art.Graph.NumVertices()-1)
+
+	var small api.RankResult
+	postV2(t, ts.URL, fmt.Sprintf(`{"src":%d,"dst":%d,"k":2,"explain":true}`, src, dst), &small)
+	if len(small.Paths) > 2 {
+		t.Fatalf("k=2 returned %d paths", len(small.Paths))
+	}
+	if small.Stats == nil || small.Stats.K != 2 {
+		t.Fatalf("explain stats missing or wrong: %+v", small.Stats)
+	}
+	if small.Stats.GenNs <= 0 || small.Stats.ScoreNs <= 0 {
+		t.Fatalf("explain stats missing timings: %+v", small.Stats)
+	}
+
+	var tk api.RankResult
+	postV2(t, ts.URL, fmt.Sprintf(`{"src":%d,"dst":%d,"strategy":"tkdi","explain":true}`, src, dst), &tk)
+	if tk.Stats == nil || tk.Stats.Strategy != "TkDI" {
+		t.Fatalf("strategy override stats: %+v", tk.Stats)
+	}
+
+	var tm api.RankResult
+	postV2(t, ts.URL, fmt.Sprintf(`{"src":%d,"dst":%d,"weight":"time","explain":true}`, src, dst), &tm)
+	if tm.Stats == nil || tm.Stats.Weight != "time" {
+		t.Fatalf("weight override stats: %+v", tm.Stats)
+	}
+}
+
+// TestV2BatchPerItemErrors: a mixed batch returns 200 with per-item typed
+// errors, and its successful items equal the corresponding single queries.
+func TestV2BatchPerItemErrors(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	art := loadedTestArtifact(t)
+	n := art.Graph.NumVertices()
+	src, dst := int64(0), int64(n-1)
+
+	body := fmt.Sprintf(`{"queries":[
+		{"src":%d,"dst":%d},
+		{"src":%d,"dst":1},
+		{"src":0,"dst":1,"k":%d},
+		{"src":2,"dst":%d,"strategy":"nope"}
+	]}`, src, dst, n, s.cfg.MaxK+1, dst)
+
+	var batch api.BatchResponse
+	resp := postV2(t, ts.URL, body, &batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d, want 200 with per-item errors", resp.StatusCode)
+	}
+	if len(batch.Results) != 4 || batch.Errors != 3 {
+		t.Fatalf("results=%d errors=%d, want 4/3", len(batch.Results), batch.Errors)
+	}
+	ok := batch.Results[0]
+	if ok.Error != nil || ok.Response == nil || len(ok.Response.Paths) == 0 {
+		t.Fatalf("item 0 should succeed: %+v", ok)
+	}
+	for i := 1; i <= 3; i++ {
+		it := batch.Results[i]
+		if it.Error == nil || it.Response != nil {
+			t.Fatalf("item %d should fail: %+v", i, it)
+		}
+		if it.Error.Code != api.CodeInvalid {
+			t.Fatalf("item %d code %q, want invalid", i, it.Error.Code)
+		}
+		if it.Index != i {
+			t.Fatalf("item %d reports index %d", i, it.Index)
+		}
+	}
+
+	// The batch's successful item matches a single v2 query bit for bit.
+	var single api.RankResult
+	postV2(t, ts.URL, fmt.Sprintf(`{"src":%d,"dst":%d}`, src, dst), &single)
+	if len(single.Paths) != len(ok.Response.Paths) {
+		t.Fatalf("batch item vs single: %d vs %d paths", len(ok.Response.Paths), len(single.Paths))
+	}
+	for i := range single.Paths {
+		if single.Paths[i].Score != ok.Response.Paths[i].Score {
+			t.Fatalf("batch item score %d differs from single query", i)
+		}
+	}
+}
+
+// TestV2BatchUnroutable: an unroutable pair inside a batch fails only its
+// item, with the unroutable code.
+func TestV2BatchUnroutable(t *testing.T) {
+	s := islandServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var batch api.BatchResponse
+	resp := postV2(t, ts.URL, `{"queries":[{"src":0,"dst":1},{"src":0,"dst":2}]}`, &batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if batch.Errors != 1 {
+		t.Fatalf("errors=%d, want 1", batch.Errors)
+	}
+	if batch.Results[0].Error != nil {
+		t.Fatalf("routable item failed: %+v", batch.Results[0].Error)
+	}
+	if e := batch.Results[1].Error; e == nil || e.Code != api.CodeUnroutable {
+		t.Fatalf("island item: %+v, want unroutable", e)
+	}
+}
+
+// islandServer serves a two-island graph (0-1 and 2-3 disconnected).
+func islandServer(t testing.TB) *Server {
+	t.Helper()
+	b := roadnet.NewBuilder(4, 4)
+	v0 := b.AddVertex(geo.Point{Lon: 10, Lat: 57})
+	v1 := b.AddVertex(geo.Point{Lon: 10.01, Lat: 57})
+	v2 := b.AddVertex(geo.Point{Lon: 10.02, Lat: 57})
+	v3 := b.AddVertex(geo.Point{Lon: 10.03, Lat: 57})
+	b.AddBidirectional(v0, v1, roadnet.Residential)
+	b.AddBidirectional(v2, v3, roadnet.Residential)
+	g := b.Build()
+	model, err := pathrank.New(g.NumVertices(), pathrank.Config{
+		EmbeddingDim: 4, Hidden: 4, Variant: pathrank.PRA2, Body: pathrank.GRUBody, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(&pathrank.Artifact{Graph: g, Model: model}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestV2TypedErrorStatuses: single-query failures carry the right status
+// and envelope.
+func TestV2TypedErrorStatuses(t *testing.T) {
+	s := islandServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, e := decodeV2Error(t, ts.URL, `{"src":0,"dst":2}`)
+	if resp.StatusCode != http.StatusNotFound || e.Code != api.CodeUnroutable {
+		t.Fatalf("unroutable: status=%d code=%q", resp.StatusCode, e.Code)
+	}
+	resp, e = decodeV2Error(t, ts.URL, `{"src":0,"dst":99}`)
+	if resp.StatusCode != http.StatusBadRequest || e.Code != api.CodeInvalid {
+		t.Fatalf("out of range: status=%d code=%q", resp.StatusCode, e.Code)
+	}
+	resp, e = decodeV2Error(t, ts.URL, `{"src":0,`)
+	if resp.StatusCode != http.StatusBadRequest || e.Code != api.CodeInvalid {
+		t.Fatalf("bad json: status=%d code=%q", resp.StatusCode, e.Code)
+	}
+	resp, e = decodeV2Error(t, ts.URL, `{"src":0,"dst":1,"engine":"alt"}`)
+	if resp.StatusCode != http.StatusBadRequest || e.Code != api.CodeInvalid {
+		t.Fatalf("unprepared engine: status=%d code=%q", resp.StatusCode, e.Code)
+	}
+}
+
+// slowArtifact builds a large network on which a huge-k TkDI query takes
+// long enough to observe deadlines and backpressure mid-computation.
+var (
+	slowArtOnce sync.Once
+	slowArt     *pathrank.Artifact
+	slowArtErr  error
+)
+
+func slowArtifact(t testing.TB) *pathrank.Artifact {
+	t.Helper()
+	slowArtOnce.Do(func() {
+		g, err := roadnet.Generate(roadnet.GenConfig{
+			Rows: 40, Cols: 40, SpacingM: 250, JitterFrac: 0.25,
+			RemoveFrac: 0.10, ArterialEvery: 5, Motorway: true,
+			Origin: geo.Point{Lon: 9.9187, Lat: 57.0488}, Seed: 3,
+		})
+		if err != nil {
+			slowArtErr = err
+			return
+		}
+		model, err := pathrank.New(g.NumVertices(), pathrank.Config{
+			EmbeddingDim: 4, Hidden: 4, Variant: pathrank.PRA2, Body: pathrank.GRUBody, Seed: 1,
+		})
+		if err != nil {
+			slowArtErr = err
+			return
+		}
+		slowArt = &pathrank.Artifact{
+			Graph: g, Model: model,
+			Candidates: dataset.Config{Strategy: dataset.TkDI, K: 4},
+		}
+	})
+	if slowArtErr != nil {
+		t.Fatal(slowArtErr)
+	}
+	return slowArt
+}
+
+// slowServer serves the slow artifact on the plain Dijkstra engine with
+// the given extra config knobs.
+func slowServer(t testing.TB, cfg Config) (*Server, *pathrank.Artifact) {
+	t.Helper()
+	art := slowArtifact(t)
+	cfg.Engine = "dijkstra"
+	if cfg.MaxK == 0 {
+		cfg.MaxK = 4096
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = -1
+	}
+	s, err := New(art, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s, art
+}
+
+// TestV2DeadlineMidYen is the acceptance test for server-side deadlines: a
+// slow enumeration under a 20ms timeout_ms returns 504 with the deadline
+// code, and the workspaces it abandoned mid-search go back to the pool
+// uncorrupted — the same query re-run without a deadline matches an
+// in-process ranker exactly.
+func TestV2DeadlineMidYen(t *testing.T) {
+	s, art := slowServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	src, dst := int64(0), int64(art.Graph.NumVertices()-1)
+
+	// k=3000 runs >1s uncanceled (see the spath cancellation tests); the
+	// 20ms deadline must cut it off mid-Yen.
+	start := time.Now()
+	resp, e := decodeV2Error(t, ts.URL,
+		fmt.Sprintf(`{"src":%d,"dst":%d,"k":3000,"timeout_ms":20}`, src, dst))
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusGatewayTimeout || e.Code != api.CodeDeadline {
+		t.Fatalf("deadline query: status=%d code=%q (elapsed %v), want 504/deadline", resp.StatusCode, e.Code, elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v to take effect", elapsed)
+	}
+
+	// Pool integrity: a modest query right after the aborted enumeration
+	// is bit-identical to a fresh in-process ranker.
+	var got api.RankResult
+	if r2 := postV2(t, ts.URL, fmt.Sprintf(`{"src":%d,"dst":%d}`, src, dst), &got); r2.StatusCode != http.StatusOK {
+		t.Fatalf("post-deadline query: status %d", r2.StatusCode)
+	}
+	ranker := art.NewRanker()
+	want, err := ranker.Query(roadnet.VertexID(src), roadnet.VertexID(dst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got.Paths) {
+		t.Fatalf("post-deadline: %d vs %d paths", len(got.Paths), len(want))
+	}
+	for i := range want {
+		if want[i].Score != got.Paths[i].Score {
+			t.Fatalf("post-deadline: score %d differs", i)
+		}
+	}
+}
+
+// TestV2EngineWeightContradiction: naming a prepared engine together with
+// the time metric is rejected over HTTP exactly as the in-process Rank
+// rejects it — even when the named engine is the snapshot's own (the
+// normalization must not fold the contradiction away).
+func TestV2EngineWeightContradiction(t *testing.T) {
+	_, ts := newTestServer(t, Config{}) // default engine: ch
+	resp, e := decodeV2Error(t, ts.URL, `{"src":0,"dst":1,"engine":"ch","weight":"time"}`)
+	if resp.StatusCode != http.StatusBadRequest || e.Code != api.CodeInvalid {
+		t.Fatalf("ch+time: status=%d code=%q, want 400/invalid", resp.StatusCode, e.Code)
+	}
+}
+
+// TestV2EmptyBatch: {"queries":[]} is an empty batch (answered as such),
+// not a src=0,dst=0 single query.
+func TestV2EmptyBatch(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var batch api.BatchResponse
+	resp := postV2(t, ts.URL, `{"queries":[]}`, &batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty batch: status %d", resp.StatusCode)
+	}
+	if batch.Results == nil || len(batch.Results) != 0 || batch.Errors != 0 {
+		t.Fatalf("empty batch: %+v, want zero results", batch)
+	}
+}
+
+// TestV2CachedExplainOmitsStats: explain on a cache hit omits stats (the
+// responding request generated nothing), per the documented contract.
+func TestV2CachedExplainOmitsStats(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	art := loadedTestArtifact(t)
+	body := fmt.Sprintf(`{"src":4,"dst":%d,"explain":true}`, art.Graph.NumVertices()-1)
+	var first, second api.RankResult
+	postV2(t, ts.URL, body, &first)
+	if first.Cached || first.Stats == nil {
+		t.Fatalf("first query: cached=%v stats=%v", first.Cached, first.Stats)
+	}
+	postV2(t, ts.URL, body, &second)
+	if !second.Cached || second.Stats != nil {
+		t.Fatalf("cached query: cached=%v stats=%+v, want cached with no stats", second.Cached, second.Stats)
+	}
+}
+
+// TestBuildQueryMaxProbePinning: an explicit max_probe equal to the
+// snapshot default must survive normalization when k is overridden —
+// a default probe budget scales with k, a pinned one does not.
+func TestBuildQueryMaxProbePinning(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	snap := s.snap.Load()
+	snap.ranker.Candidates.MaxProbe = 50
+	defK := snap.ranker.Candidates.K
+
+	cq, apiErr := s.buildQuery(snap, api.RankQuery{Src: 0, Dst: 1, K: defK * 2, MaxProbe: 50})
+	if apiErr != nil {
+		t.Fatal(apiErr)
+	}
+	if cq.req.MaxProbe != 50 {
+		t.Fatalf("explicit max_probe with k override normalized away: req.MaxProbe=%d", cq.req.MaxProbe)
+	}
+	// Without the k override the same explicit value IS the default.
+	cq, apiErr = s.buildQuery(snap, api.RankQuery{Src: 0, Dst: 1, MaxProbe: 50})
+	if apiErr != nil {
+		t.Fatal(apiErr)
+	}
+	if cq.req.MaxProbe != 0 {
+		t.Fatalf("default-equal max_probe not normalized: req.MaxProbe=%d", cq.req.MaxProbe)
+	}
+}
+
+// TestV2BacklogSheds: with MaxInFlight set, a request arriving while the
+// cap is occupied is shed with 503 + the backlog code + Retry-After on
+// both API versions, instead of queuing behind the slow computation.
+func TestV2BacklogSheds(t *testing.T) {
+	s, art := slowServer(t, Config{MaxInFlight: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	n := art.Graph.NumVertices()
+
+	slowDone := make(chan struct{})
+	go func() {
+		defer close(slowDone)
+		resp, err := http.Post(ts.URL+"/v2/rank", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"src":0,"dst":%d,"k":3000}`, n-1)))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	// Wait until the slow request is counted in flight.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.inFlightGauge.Value() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow request never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, e := decodeV2Error(t, ts.URL, `{"src":0,"dst":1}`)
+	if resp.StatusCode != http.StatusServiceUnavailable || e.Code != api.CodeBacklog {
+		t.Fatalf("overloaded v2: status=%d code=%q, want 503/backlog", resp.StatusCode, e.Code)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("backlog response missing Retry-After")
+	}
+	// v1 sheds too, in its own error shape.
+	r1, err := http.Post(ts.URL+"/v1/rank", "application/json", strings.NewReader(`{"src":0,"dst":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Body.Close()
+	if r1.StatusCode != http.StatusServiceUnavailable || r1.Header.Get("Retry-After") == "" {
+		t.Fatalf("overloaded v1: status=%d retry-after=%q", r1.StatusCode, r1.Header.Get("Retry-After"))
+	}
+	<-slowDone
+}
+
+// TestFlightWaiterHonorsDeadline: a request that joins another's in-flight
+// computation still times out on its own deadline instead of waiting the
+// leader out.
+func TestFlightWaiterHonorsDeadline(t *testing.T) {
+	g := newFlightGroup()
+	key := queryKey{src: 1, dst: 2}
+	leaderStarted := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_, _, _ = g.do(context.Background(), key, func() ([]pathrank.Ranked, error) {
+			close(leaderStarted)
+			<-release
+			return nil, nil
+		})
+	}()
+	<-leaderStarted
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err, shared := g.do(ctx, key, func() ([]pathrank.Ranked, error) {
+		t.Error("waiter must not recompute")
+		return nil, nil
+	})
+	if !shared || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("waiter: shared=%v err=%v, want shared deadline error", shared, err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("waiter blocked %v past its deadline", time.Since(start))
+	}
+	close(release)
+}
+
+// TestV2BatchDedupesDuplicates: identical queries inside one batch
+// compute once; followers get the same ranking marked shared.
+func TestV2BatchDedupesDuplicates(t *testing.T) {
+	s, ts := newTestServer(t, Config{CacheSize: -1})
+	art := loadedTestArtifact(t)
+	dst := art.Graph.NumVertices() - 1
+
+	misses := s.cacheMisses.Value()
+	var batch api.BatchResponse
+	body := fmt.Sprintf(`{"queries":[{"src":5,"dst":%d},{"src":5,"dst":%d},{"src":5,"dst":%d}]}`, dst, dst, dst)
+	resp := postV2(t, ts.URL, body, &batch)
+	if resp.StatusCode != http.StatusOK || batch.Errors != 0 {
+		t.Fatalf("status=%d errors=%d", resp.StatusCode, batch.Errors)
+	}
+	if got := s.cacheMisses.Value() - misses; got != 1 {
+		t.Fatalf("duplicate batch items caused %d computations, want 1", got)
+	}
+	lead := batch.Results[0].Response
+	for i := 1; i < 3; i++ {
+		f := batch.Results[i].Response
+		if f == nil || !f.Shared {
+			t.Fatalf("item %d: %+v, want shared follower", i, batch.Results[i])
+		}
+		if len(f.Paths) != len(lead.Paths) || f.Paths[0].Score != lead.Paths[0].Score {
+			t.Fatalf("item %d ranking differs from leader", i)
+		}
+	}
+}
+
+// TestV2BatchTooLarge: batches over MaxBatch are rejected whole.
+func TestV2BatchTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: 2})
+	resp, e := decodeV2Error(t, ts.URL, `{"queries":[{"src":0,"dst":1},{"src":0,"dst":2},{"src":0,"dst":3}]}`)
+	if resp.StatusCode != http.StatusBadRequest || e.Code != api.CodeInvalid {
+		t.Fatalf("oversized batch: status=%d code=%q", resp.StatusCode, e.Code)
+	}
+}
+
+// TestV1ReloadClientErrorIs400: a reload naming a nonexistent artifact is
+// the client's fault, not a 500.
+func TestV1ReloadClientErrorIs400(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"artifact":"/nonexistent/bundle.prart"}`
+	resp, err := http.Post(ts.URL+"/v1/reload", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("reload with bad client path: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestV2BatchScoringMatchesSingles runs a batch of distinct queries
+// (scored in one sweep) and checks every item equals its individually
+// served counterpart — the micro-batched scoring must be invisible.
+func TestV2BatchScoringMatchesSingles(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheSize: -1})
+	art := loadedTestArtifact(t)
+	n := art.Graph.NumVertices()
+
+	var qs []string
+	pairs := [][2]int64{{0, int64(n - 1)}, {1, int64(n - 2)}, {2, int64(n - 3)}, {3, int64(n - 4)}}
+	for _, p := range pairs {
+		qs = append(qs, fmt.Sprintf(`{"src":%d,"dst":%d}`, p[0], p[1]))
+	}
+	var batch api.BatchResponse
+	resp := postV2(t, ts.URL, `{"queries":[`+strings.Join(qs, ",")+`]}`, &batch)
+	if resp.StatusCode != http.StatusOK || batch.Errors != 0 {
+		t.Fatalf("batch: status=%d errors=%d", resp.StatusCode, batch.Errors)
+	}
+	for i, q := range qs {
+		var single api.RankResult
+		postV2(t, ts.URL, q, &single)
+		item := batch.Results[i].Response
+		if item == nil || len(item.Paths) != len(single.Paths) {
+			t.Fatalf("item %d: path count differs from single", i)
+		}
+		for j := range single.Paths {
+			if single.Paths[j].Score != item.Paths[j].Score {
+				t.Fatalf("item %d path %d: batch score differs from single", i, j)
+			}
+		}
+	}
+}

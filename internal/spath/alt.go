@@ -1,6 +1,7 @@
 package spath
 
 import (
+	"context"
 	"math"
 
 	"pathrank/internal/geo"
@@ -142,5 +143,14 @@ func (a *ALT) boundTo(dst roadnet.VertexID) func(roadnet.VertexID) float64 {
 func (a *ALT) Query(src, dst roadnet.VertexID) (Path, error) {
 	ws := GetWorkspace(a.g)
 	defer ws.Release()
+	return ws.AStarAux(a.g, src, dst, a.w, a.boundTo(dst))
+}
+
+// QueryCtx is Query honoring ctx; cancellation aborts the search and
+// returns ctx's error.
+func (a *ALT) QueryCtx(ctx context.Context, src, dst roadnet.VertexID) (Path, error) {
+	ws := GetWorkspace(a.g)
+	defer ws.Release()
+	ws.bindContext(ctx)
 	return ws.AStarAux(a.g, src, dst, a.w, a.boundTo(dst))
 }

@@ -1,6 +1,7 @@
 package spath
 
 import (
+	"context"
 	"math"
 	"sort"
 	"sync"
@@ -366,6 +367,10 @@ type chWorkspace struct {
 
 	// arcStack is reconstruction scratch.
 	arcStack []int32
+
+	// Cancellation state; the amortized-poll contract shared with
+	// Workspace (see ctxPoller in workspace.go).
+	ctxPoller
 }
 
 type chBucketEntry struct {
@@ -382,7 +387,10 @@ func getCHWorkspace(n int) *chWorkspace {
 	return ws
 }
 
-func (ws *chWorkspace) release() { chwsPool.Put(ws) }
+func (ws *chWorkspace) release() {
+	ws.clearContext() // do not retain request contexts in the pool
+	chwsPool.Put(ws)
+}
 
 func (ws *chWorkspace) ensure(n int) {
 	if len(ws.distF) < n {
@@ -438,11 +446,19 @@ func (ws *chWorkspace) addBucket(v int32, tgt int32, dist float64) {
 // into original edges. Costs equal Dijkstra's on the original graph. State
 // comes from a pooled workspace, so the query allocates only the result.
 func (ch *ContractionHierarchy) Query(src, dst roadnet.VertexID) (Path, error) {
+	return ch.QueryCtx(context.Background(), src, dst)
+}
+
+// QueryCtx is Query honoring ctx: cancellation aborts the bidirectional
+// search and returns ctx's error. The poll is amortized over heap pops, so
+// a never-canceled context leaves results and cost unchanged.
+func (ch *ContractionHierarchy) QueryCtx(ctx context.Context, src, dst roadnet.VertexID) (Path, error) {
 	if src == dst {
 		return Path{Vertices: []roadnet.VertexID{src}}, nil
 	}
 	ws := getCHWorkspace(ch.g.NumVertices())
 	defer ws.release()
+	ws.bindContext(ctx)
 	ws.begin()
 	gen := ws.gen
 
@@ -456,6 +472,9 @@ func (ch *ContractionHierarchy) Query(src, dst roadnet.VertexID) (Path, error) {
 	best := math.Inf(1)
 	meet := int32(-1)
 	for !ws.heapF.empty() || !ws.heapB.empty() {
+		if ws.canceled() {
+			return Path{}, ws.ctxErr
+		}
 		topF, topB := math.Inf(1), math.Inf(1)
 		if !ws.heapF.empty() {
 			topF = ws.heapF.topKey()

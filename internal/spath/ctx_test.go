@@ -1,0 +1,238 @@
+package spath
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"pathrank/internal/geo"
+	"pathrank/internal/roadnet"
+)
+
+// flipCtx is a context whose Err starts returning context.Canceled after
+// its nth poll — a deterministic way to cancel "mid-search" without
+// timers. Done returns a non-nil (never-closed) channel so bindContext
+// treats it as cancelable.
+type flipCtx struct {
+	context.Context
+	polls, after int
+	done         chan struct{}
+}
+
+func newFlipCtx(after int) *flipCtx {
+	return &flipCtx{Context: context.Background(), after: after, done: make(chan struct{})}
+}
+
+func (c *flipCtx) Done() <-chan struct{} { return c.done }
+
+func (c *flipCtx) Err() error {
+	c.polls++
+	if c.polls > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestCtxVariantsBitIdentical checks that the context-aware entry points
+// with a live (cancelable, never-canceled) context return exactly the
+// paths of their context-free counterparts across random queries — the
+// guarantee that lets the serving layer thread request contexts through
+// the hot path without re-validating rankings.
+func TestCtxVariantsBitIdentical(t *testing.T) {
+	g := workspaceTestGraph(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sim := func(a, b Path) float64 { return jaccard(a, b) }
+	rng := rand.New(rand.NewSource(5))
+	engines := []Engine{
+		NewDijkstraEngine(g, ByLength),
+		NewEngine(EngineALT, g, ByLength, EngineConfig{}),
+		NewEngine(EngineCH, g, ByLength, EngineConfig{}),
+	}
+	for i := 0; i < 30; i++ {
+		src := roadnet.VertexID(rng.Intn(g.NumVertices()))
+		dst := roadnet.VertexID(rng.Intn(g.NumVertices()))
+
+		want, errWant := TopK(g, src, dst, 5, ByLength)
+		got, errGot := TopKCtx(ctx, g, src, dst, 5, ByLength)
+		requireSamePaths(t, "TopKCtx", want, got, errWant, errGot)
+
+		want, errWant = DiversifiedTopK(g, src, dst, 4, ByLength, sim, 0.8, 40)
+		got, errGot = DiversifiedTopKCtx(ctx, g, src, dst, 4, ByLength, sim, 0.8, 40)
+		requireSamePaths(t, "DiversifiedTopKCtx", want, got, errWant, errGot)
+
+		for _, e := range engines {
+			want, errWant = TopKEngine(e, src, dst, 5)
+			got, errGot = TopKEngineCtx(ctx, e, src, dst, 5)
+			requireSamePaths(t, "TopKEngineCtx/"+e.Kind().String(), want, got, errWant, errGot)
+
+			pw, ew := e.Shortest(src, dst)
+			pg, eg := e.ShortestCtx(ctx, src, dst)
+			requireSamePaths(t, "ShortestCtx/"+e.Kind().String(), []Path{pw}, []Path{pg}, ew, eg)
+		}
+	}
+}
+
+func requireSamePaths(t *testing.T, what string, want, got []Path, errWant, errGot error) {
+	t.Helper()
+	if (errWant == nil) != (errGot == nil) {
+		t.Fatalf("%s: error mismatch: %v vs %v", what, errWant, errGot)
+	}
+	if errWant != nil {
+		return
+	}
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d vs %d paths", what, len(want), len(got))
+	}
+	for i := range want {
+		if !want[i].Equal(got[i]) || want[i].Cost != got[i].Cost {
+			t.Fatalf("%s: path %d differs", what, i)
+		}
+	}
+}
+
+// jaccard is a cheap unweighted edge-overlap similarity for tests.
+func jaccard(a, b Path) float64 {
+	seen := make(map[roadnet.EdgeID]bool, len(a.Edges))
+	for _, e := range a.Edges {
+		seen[e] = true
+	}
+	inter := 0
+	for _, e := range b.Edges {
+		if seen[e] {
+			inter++
+		}
+	}
+	union := len(a.Edges) + len(b.Edges) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// TestCtxPreCanceled checks that an already-canceled context fails every
+// entry point with the context's error.
+func TestCtxPreCanceled(t *testing.T) {
+	g := workspaceTestGraph(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	src, dst := roadnet.VertexID(0), roadnet.VertexID(g.NumVertices()-1)
+
+	if _, err := DijkstraCtx(ctx, g, src, dst, ByLength); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DijkstraCtx: err = %v, want Canceled", err)
+	}
+	if _, err := TopKCtx(ctx, g, src, dst, 5, ByLength); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TopKCtx: err = %v, want Canceled", err)
+	}
+	for _, kind := range []EngineKind{EngineDijkstra, EngineALT, EngineCH} {
+		e := NewEngine(kind, g, ByLength, EngineConfig{})
+		if _, err := e.ShortestCtx(ctx, src, dst); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s ShortestCtx: err = %v, want Canceled", kind, err)
+		}
+		if _, err := TopKEngineCtx(ctx, e, src, dst, 5); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s TopKEngineCtx: err = %v, want Canceled", kind, err)
+		}
+	}
+}
+
+// TestCtxCancelMidEnumerationLeavesPoolClean cancels a Yen enumeration
+// mid-flight (deterministically, after a fixed number of context polls)
+// and then re-runs the same query uncanceled on the shared pool: the
+// result must be bit-identical to a fresh workspace's, proving a canceled
+// search cannot corrupt pooled state.
+func TestCtxCancelMidEnumerationLeavesPoolClean(t *testing.T) {
+	g := workspaceTestGraph(t)
+	src, dst := roadnet.VertexID(0), roadnet.VertexID(g.NumVertices()-1)
+
+	want, err := TopK(g, src, dst, 8, ByLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canceledAtLeastOnce := false
+	// Flip after varying poll counts so cancellation lands in different
+	// phases of the enumeration (first Dijkstra, early spur, late spur).
+	for _, after := range []int{0, 1, 2, 3, 5, 8} {
+		_, err := TopKCtx(newFlipCtx(after), g, src, dst, 8, ByLength)
+		if err == nil {
+			// Enumeration finished before the flip; still a valid round.
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("after=%d: err = %v, want Canceled", after, err)
+		}
+		canceledAtLeastOnce = true
+		got, err := TopK(g, src, dst, 8, ByLength)
+		if err != nil {
+			t.Fatalf("after=%d: rerun: %v", after, err)
+		}
+		requireSamePaths(t, "post-cancel rerun", want, got, nil, nil)
+	}
+	if !canceledAtLeastOnce {
+		t.Fatal("no flip context canceled the enumeration; test shape broken")
+	}
+}
+
+// TestCtxCancelStopsSlowQuery is the wall-clock acceptance check: a
+// genuinely slow Yen enumeration on a large network returns promptly with
+// the context's error when the context is canceled mid-flight.
+func TestCtxCancelStopsSlowQuery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow-query cancellation test")
+	}
+	g, err := roadnet.Generate(roadnet.GenConfig{
+		Rows: 40, Cols: 40, SpacingM: 250, JitterFrac: 0.25,
+		RemoveFrac: 0.10, ArterialEvery: 5, Motorway: true,
+		Origin: geo.Point{Lon: 9.9187, Lat: 57.0488}, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := roadnet.VertexID(0), roadnet.VertexID(g.NumVertices()-1)
+	// k=3000 enumerates for >1.5s uncanceled on a fast machine; the
+	// cancellation at 20ms must cut that to near-nothing.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = TopKCtx(ctx, g, src, dst, 3000, ByLength)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v after %v, want Canceled (query completed too fast to observe cancellation?)", err, elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v to take effect", elapsed)
+	}
+}
+
+// TestCtxVariantAllocsMatch guards the zero-extra-alloc promise: TopKCtx
+// with a live cancelable context allocates exactly what TopK does.
+func TestCtxVariantAllocsMatch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under -race")
+	}
+	g := workspaceTestGraph(t)
+	src, dst := roadnet.VertexID(0), roadnet.VertexID(g.NumVertices()-1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	if _, err := TopK(g, src, dst, 5, ByLength); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	base := testing.AllocsPerRun(30, func() {
+		if _, err := TopK(g, src, dst, 5, ByLength); err != nil {
+			t.Fatal(err)
+		}
+	})
+	withCtx := testing.AllocsPerRun(30, func() {
+		if _, err := TopKCtx(ctx, g, src, dst, 5, ByLength); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if withCtx > base {
+		t.Fatalf("TopKCtx allocates %.1f/op vs TopK %.1f/op; ctx threading must not allocate", withCtx, base)
+	}
+}

@@ -1,6 +1,8 @@
 package spath
 
 import (
+	"context"
+
 	"pathrank/internal/roadnet"
 )
 
@@ -12,6 +14,17 @@ import (
 func Dijkstra(g *roadnet.Graph, src, dst roadnet.VertexID, w Weight) (Path, error) {
 	ws := GetWorkspace(g)
 	defer ws.Release()
+	return ws.Dijkstra(g, src, dst, w)
+}
+
+// DijkstraCtx is Dijkstra honoring ctx: cancellation aborts the search and
+// returns ctx's error. See Workspace.bindContext for the amortized-poll
+// contract (bit-identical results and no extra allocations when ctx is
+// never canceled).
+func DijkstraCtx(ctx context.Context, g *roadnet.Graph, src, dst roadnet.VertexID, w Weight) (Path, error) {
+	ws := GetWorkspace(g)
+	defer ws.Release()
+	ws.bindContext(ctx)
 	return ws.Dijkstra(g, src, dst, w)
 }
 

@@ -1,6 +1,7 @@
 package spath
 
 import (
+	"context"
 	"sort"
 
 	"pathrank/internal/roadnet"
@@ -26,6 +27,12 @@ type Similarity func(a, b Path) float64
 // enumerating all maxProbe paths first and filtering afterwards, because
 // the greedy filter never looks ahead.
 func DiversifiedTopK(g *roadnet.Graph, src, dst roadnet.VertexID, k int, w Weight, sim Similarity, threshold float64, maxProbe int) ([]Path, error) {
+	return DiversifiedTopKCtx(context.Background(), g, src, dst, k, w, sim, threshold, maxProbe)
+}
+
+// DiversifiedTopKCtx is DiversifiedTopK honoring ctx; see TopKCtx for the
+// cancellation contract.
+func DiversifiedTopKCtx(ctx context.Context, g *roadnet.Graph, src, dst roadnet.VertexID, k int, w Weight, sim Similarity, threshold float64, maxProbe int) ([]Path, error) {
 	if k <= 0 {
 		return nil, nil
 	}
@@ -34,6 +41,7 @@ func DiversifiedTopK(g *roadnet.Graph, src, dst roadnet.VertexID, k int, w Weigh
 	}
 	ws := GetWorkspace(g)
 	defer ws.Release()
+	ws.bindContext(ctx)
 	first, err := ws.Dijkstra(g, src, dst, w)
 	if err != nil {
 		return nil, err
@@ -41,12 +49,22 @@ func DiversifiedTopK(g *roadnet.Graph, src, dst roadnet.VertexID, k int, w Weigh
 	ws.fillWeights(g, w)
 	ws.setGoal(g, dst)
 	y := newYenEnum(g, ws, w, dst, first)
-	return diversify(y, k, sim, threshold, maxProbe), nil
+	accepted := diversify(y, k, sim, threshold, maxProbe)
+	if ws.ctxErr != nil {
+		return nil, ws.ctxErr
+	}
+	return accepted, nil
 }
 
 // DiversifiedTopKEngine is DiversifiedTopK running on a prepared Engine;
 // see TopKEngine for how the engine accelerates the enumeration.
 func DiversifiedTopKEngine(e Engine, src, dst roadnet.VertexID, k int, sim Similarity, threshold float64, maxProbe int) ([]Path, error) {
+	return DiversifiedTopKEngineCtx(context.Background(), e, src, dst, k, sim, threshold, maxProbe)
+}
+
+// DiversifiedTopKEngineCtx is DiversifiedTopKEngine honoring ctx; see
+// TopKCtx for the cancellation contract.
+func DiversifiedTopKEngineCtx(ctx context.Context, e Engine, src, dst roadnet.VertexID, k int, sim Similarity, threshold float64, maxProbe int) ([]Path, error) {
 	if k <= 0 {
 		return nil, nil
 	}
@@ -56,15 +74,20 @@ func DiversifiedTopKEngine(e Engine, src, dst roadnet.VertexID, k int, sim Simil
 	g := e.Graph()
 	ws := GetWorkspace(g)
 	defer ws.Release()
-	first, err := e.Shortest(src, dst)
+	first, err := e.ShortestCtx(ctx, src, dst)
 	if err != nil {
 		return nil, err
 	}
+	ws.bindContext(ctx)
 	w := e.Weight()
 	ws.fillWeights(g, w)
 	ws.setGoalAux(g, dst, e.spurHeuristic(dst))
 	y := newYenEnum(g, ws, w, dst, first)
-	return diversify(y, k, sim, threshold, maxProbe), nil
+	accepted := diversify(y, k, sim, threshold, maxProbe)
+	if ws.ctxErr != nil {
+		return nil, ws.ctxErr
+	}
+	return accepted, nil
 }
 
 // diversify pulls paths from the enumerator in Yen order, greedily

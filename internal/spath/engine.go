@@ -1,6 +1,7 @@
 package spath
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -77,6 +78,11 @@ type Engine interface {
 	Weight() Weight
 	// Shortest returns a minimum-cost path from src to dst, or ErrNoPath.
 	Shortest(src, dst roadnet.VertexID) (Path, error)
+	// ShortestCtx is Shortest honoring ctx: cancellation aborts the
+	// search and returns ctx's error. The check is amortized over heap
+	// pops, so a never-canceled context changes neither the result nor,
+	// measurably, the cost.
+	ShortestCtx(ctx context.Context, src, dst roadnet.VertexID) (Path, error)
 	// ManyToMany fills out[i][j] with the exact cost from sources[i] to
 	// targets[j] for every pair within bound; pairs farther than bound
 	// (and unreachable pairs) get +Inf. out must have len(sources) rows of
@@ -130,6 +136,10 @@ func (e *dijkstraEngine) Shortest(src, dst roadnet.VertexID) (Path, error) {
 	return Dijkstra(e.g, src, dst, e.w)
 }
 
+func (e *dijkstraEngine) ShortestCtx(ctx context.Context, src, dst roadnet.VertexID) (Path, error) {
+	return DijkstraCtx(ctx, e.g, src, dst, e.w)
+}
+
 func (e *dijkstraEngine) ManyToMany(sources, targets []roadnet.VertexID, bound float64, out [][]float64) {
 	boundedManyToMany(e.g, e.w, sources, targets, bound, out)
 }
@@ -165,6 +175,10 @@ func (e *altEngine) Shortest(src, dst roadnet.VertexID) (Path, error) {
 	return e.a.Query(src, dst)
 }
 
+func (e *altEngine) ShortestCtx(ctx context.Context, src, dst roadnet.VertexID) (Path, error) {
+	return e.a.QueryCtx(ctx, src, dst)
+}
+
 func (e *altEngine) ManyToMany(sources, targets []roadnet.VertexID, bound float64, out [][]float64) {
 	// Landmark bounds are goal-directed and do not compose across a target
 	// set, so many-to-many falls back to bounded multi-target Dijkstra.
@@ -194,7 +208,11 @@ func (e *chEngine) Graph() *roadnet.Graph { return e.g }
 func (e *chEngine) Weight() Weight        { return e.w }
 
 func (e *chEngine) Shortest(src, dst roadnet.VertexID) (Path, error) {
-	p, err := e.ch.Query(src, dst)
+	return e.ShortestCtx(context.Background(), src, dst)
+}
+
+func (e *chEngine) ShortestCtx(ctx context.Context, src, dst roadnet.VertexID) (Path, error) {
+	p, err := e.ch.QueryCtx(ctx, src, dst)
 	if err != nil {
 		return p, err
 	}

@@ -1,6 +1,7 @@
 package spath
 
 import (
+	"context"
 	"math"
 	"sync"
 
@@ -60,6 +61,73 @@ type Workspace struct {
 	// Target stamps for bounded multi-target searches.
 	tgtStamp []uint32
 	tgtGen   uint32
+
+	// Cancellation state shared with the CH query workspace.
+	ctxPoller
+}
+
+// ctxCheckEvery is the heap-pop interval between context polls; a power of
+// two so the check compiles to a mask test. 1024 pops is microseconds of
+// search work, far below any useful request deadline.
+const ctxCheckEvery = 1024
+
+// ctxPoller is the amortized cancellation check embedded in the search
+// workspaces (Workspace and chWorkspace). The bound ctx, when non-nil, is
+// polled every ctxCheckEvery heap pops across all searches bound to it;
+// once a poll observes cancellation, ctxErr latches the context's error
+// and every subsequent search on the workspace fails immediately until
+// the next bindContext. The amortized poll keeps the per-pop cost to a
+// counter increment and a mask test, so hot loops stay within the
+// zero-alloc and <2% time budget when ctx is never canceled.
+type ctxPoller struct {
+	ctx     context.Context
+	ctxErr  error
+	ctxTick uint32
+}
+
+// bindContext attaches ctx for subsequent searches. A nil context, or one
+// that can never be canceled (context.Background()), disables polling
+// entirely. One eager poll catches already-expired contexts even when the
+// query would finish under the amortized poll interval.
+func (p *ctxPoller) bindContext(ctx context.Context) {
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil
+	}
+	p.ctx = ctx
+	p.ctxErr = nil
+	p.ctxTick = 0
+	if ctx != nil {
+		p.ctxErr = ctx.Err()
+	}
+}
+
+// clearContext drops the bound context so pooled workspaces do not retain
+// request state.
+func (p *ctxPoller) clearContext() {
+	p.ctx = nil
+	p.ctxErr = nil
+}
+
+// canceled reports whether the bound context has been canceled, polling it
+// at most once every ctxCheckEvery calls. The tick counter deliberately
+// persists across the many short spur searches of one Yen enumeration, so
+// the poll interval is global to the query rather than per search.
+func (p *ctxPoller) canceled() bool {
+	if p.ctx == nil {
+		return false
+	}
+	if p.ctxErr != nil {
+		return true
+	}
+	p.ctxTick++
+	if p.ctxTick&(ctxCheckEvery-1) != 0 {
+		return false
+	}
+	if err := p.ctx.Err(); err != nil {
+		p.ctxErr = err
+		return true
+	}
+	return false
 }
 
 // NewWorkspace returns an empty workspace; its arrays are sized lazily to
@@ -82,6 +150,7 @@ func GetWorkspace(g *roadnet.Graph) *Workspace {
 // be used after Release.
 func (ws *Workspace) Release() {
 	ws.heurAux = nil // do not retain engine closures in the pool
+	ws.clearContext()
 	wsPool.Put(ws)
 }
 
@@ -238,6 +307,9 @@ func (ws *Workspace) Dijkstra(g *roadnet.Graph, src, dst roadnet.VertexID, w Wei
 	ws.reach[src] = gen
 	ws.heap.push(src, 0)
 	for !ws.heap.empty() {
+		if ws.canceled() {
+			return Path{}, ws.ctxErr
+		}
 		v, d := ws.heap.pop()
 		if v == dst {
 			return reconstruct(g, ws.parent, src, dst, d), nil
@@ -391,6 +463,9 @@ func (ws *Workspace) AStarAux(g *roadnet.Graph, src, dst roadnet.VertexID, w Wei
 	ws.reach[src] = gen
 	ws.heap.push(src, ws.heurTo(g, src))
 	for !ws.heap.empty() {
+		if ws.canceled() {
+			return Path{}, ws.ctxErr
+		}
 		v, _ := ws.heap.pop()
 		if v == dst {
 			return reconstruct(g, ws.parent, src, dst, ws.dist[dst]), nil
@@ -432,6 +507,9 @@ func (ws *Workspace) BidirectionalDijkstra(g *roadnet.Graph, src, dst roadnet.Ve
 	var meet roadnet.VertexID = -1
 
 	for !ws.heap.empty() || !ws.heapB.empty() {
+		if ws.canceled() {
+			return Path{}, ws.ctxErr
+		}
 		topF, topB := math.Inf(1), math.Inf(1)
 		if !ws.heap.empty() {
 			topF = ws.heap.topKey()
@@ -514,9 +592,10 @@ func (ws *Workspace) BidirectionalDijkstra(g *roadnet.Graph, src, dst roadnet.Ve
 // algorithm and relies on the weight cache and goal heuristic filled by the
 // enclosing query: the search is goal-directed A* toward the memoized goal,
 // which settles far fewer vertices than a full Dijkstra while returning the
-// same optimal cost.
+// same optimal cost. A canceled bound context makes it report "no path";
+// the enclosing enumeration distinguishes cancellation via ws.ctxErr.
 func (ws *Workspace) dijkstraConstrained(g *roadnet.Graph, src, dst roadnet.VertexID) (Path, bool) {
-	if ws.vertexBanned(src) || ws.vertexBanned(dst) {
+	if ws.ctxErr != nil || ws.vertexBanned(src) || ws.vertexBanned(dst) {
 		return Path{}, false
 	}
 	if src == dst {
@@ -528,6 +607,9 @@ func (ws *Workspace) dijkstraConstrained(g *roadnet.Graph, src, dst roadnet.Vert
 	ws.reach[src] = gen
 	ws.heap.push(src, 0)
 	for !ws.heap.empty() {
+		if ws.canceled() {
+			return Path{}, false
+		}
 		v, _ := ws.heap.pop()
 		if v == dst {
 			return reconstruct(g, ws.parent, src, dst, ws.dist[dst]), true

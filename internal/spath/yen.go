@@ -1,6 +1,7 @@
 package spath
 
 import (
+	"context"
 	"sort"
 
 	"pathrank/internal/roadnet"
@@ -38,8 +39,13 @@ func newYenEnum(g *roadnet.Graph, ws *Workspace, w Weight, dst roadnet.VertexID,
 }
 
 // next computes the cheapest loopless path after the ones already emitted,
-// reporting false when the path set is exhausted.
+// reporting false when the path set is exhausted or the workspace's bound
+// context has been canceled (the caller distinguishes the two via
+// ws.ctxErr).
 func (y *yenEnum) next() (Path, bool) {
+	if y.ws.ctxErr != nil {
+		return Path{}, false
+	}
 	prev := y.paths[len(y.paths)-1]
 	// Each vertex of the previous path except the last is a spur node.
 	for i := 0; i < len(prev.Vertices)-1; i++ {
@@ -86,11 +92,20 @@ func (y *yenEnum) next() (Path, bool) {
 // candidate-generation strategy ("top-k shortest paths w.r.t. distance").
 // It returns ErrNoPath if even the shortest path does not exist.
 func TopK(g *roadnet.Graph, src, dst roadnet.VertexID, k int, w Weight) ([]Path, error) {
+	return TopKCtx(context.Background(), g, src, dst, k, w)
+}
+
+// TopKCtx is TopK honoring ctx: cancellation stops the enumeration —
+// including a spur search in flight — and returns ctx's error. The check is
+// amortized over heap pops, so with a never-canceled (or Background)
+// context results are bit-identical to TopK at indistinguishable cost.
+func TopKCtx(ctx context.Context, g *roadnet.Graph, src, dst roadnet.VertexID, k int, w Weight) ([]Path, error) {
 	if k <= 0 {
 		return nil, nil
 	}
 	ws := GetWorkspace(g)
 	defer ws.Release()
+	ws.bindContext(ctx)
 
 	first, err := ws.Dijkstra(g, src, dst, w)
 	if err != nil {
@@ -106,6 +121,9 @@ func TopK(g *roadnet.Graph, src, dst roadnet.VertexID, k int, w Weight) ([]Path,
 			break
 		}
 	}
+	if ws.ctxErr != nil {
+		return nil, ws.ctxErr
+	}
 	return y.paths, nil
 }
 
@@ -115,6 +133,12 @@ func TopK(g *roadnet.Graph, src, dst roadnet.VertexID, k int, w Weight) ([]Path,
 // engine's admissible heuristic when it has one. Results equal TopK's —
 // distances are exact on every backend.
 func TopKEngine(e Engine, src, dst roadnet.VertexID, k int) ([]Path, error) {
+	return TopKEngineCtx(context.Background(), e, src, dst, k)
+}
+
+// TopKEngineCtx is TopKEngine honoring ctx; see TopKCtx for the
+// cancellation contract.
+func TopKEngineCtx(ctx context.Context, e Engine, src, dst roadnet.VertexID, k int) ([]Path, error) {
 	if k <= 0 {
 		return nil, nil
 	}
@@ -122,10 +146,11 @@ func TopKEngine(e Engine, src, dst roadnet.VertexID, k int) ([]Path, error) {
 	ws := GetWorkspace(g)
 	defer ws.Release()
 
-	first, err := e.Shortest(src, dst)
+	first, err := e.ShortestCtx(ctx, src, dst)
 	if err != nil {
 		return nil, err
 	}
+	ws.bindContext(ctx)
 	w := e.Weight()
 	ws.fillWeights(g, w)
 	ws.setGoalAux(g, dst, e.spurHeuristic(dst))
@@ -134,6 +159,9 @@ func TopKEngine(e Engine, src, dst roadnet.VertexID, k int) ([]Path, error) {
 		if _, ok := y.next(); !ok {
 			break
 		}
+	}
+	if ws.ctxErr != nil {
+		return nil, ws.ctxErr
 	}
 	return y.paths, nil
 }

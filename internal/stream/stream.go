@@ -277,14 +277,21 @@ func (s *Service) matchLoop(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case item := <-s.queue:
-			s.matchOne(item)
+			s.matchOne(ctx, item)
 		}
 	}
 }
 
-// matchOne map-matches one trajectory and folds it into the window.
-func (s *Service) matchOne(item ingestItem) {
-	path, err := s.matcher.Match(item.records)
+// matchOne map-matches one trajectory and folds it into the window. The
+// worker's shutdown context is threaded into the matcher, so canceling the
+// service aborts a Viterbi decode (and its engine queries) in flight
+// instead of draining it; the abandoned trajectory is not counted as a
+// match failure.
+func (s *Service) matchOne(ctx context.Context, item ingestItem) {
+	path, err := s.matcher.MatchCtx(ctx, item.records)
+	if err != nil && ctx.Err() != nil {
+		return // shutdown, not a bad trajectory
+	}
 	if err != nil || path.Len() < s.cfg.MinHops {
 		s.mu.Lock()
 		s.matchFailed++

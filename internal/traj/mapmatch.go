@@ -1,6 +1,7 @@
 package traj
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -162,6 +163,14 @@ func (m *Matcher) Engine() spath.Engine { return m.engine }
 // returned path starts and ends at the matched first and last samples. An
 // error is returned when the stream is empty or decoding fails.
 func (m *Matcher) Match(records []GPSRecord) (spath.Path, error) {
+	return m.MatchCtx(context.Background(), records)
+}
+
+// MatchCtx is Match honoring ctx: cancellation aborts the decode between
+// Viterbi steps and mid-stitch (the stitch segments run on the engine's
+// context-aware queries) and returns ctx's error. A Background context
+// decodes identically to Match.
+func (m *Matcher) MatchCtx(ctx context.Context, records []GPSRecord) (spath.Path, error) {
 	if len(records) == 0 {
 		return spath.Path{}, fmt.Errorf("traj: empty GPS stream")
 	}
@@ -208,6 +217,11 @@ func (m *Matcher) Match(records []GPSRecord) (spath.Path, error) {
 	routedBuf := make([]float64, maxC*maxC)
 	routed := make([][]float64, maxC)
 	for t := 1; t < len(samples); t++ {
+		// One cancellation check per Viterbi step: each step is one
+		// bounded many-to-many query, the natural abort granularity.
+		if err := ctx.Err(); err != nil {
+			return spath.Path{}, err
+		}
 		prevCands := cands[t-1]
 		curCands := cands[t]
 		next := make([]float64, len(curCands))
@@ -261,7 +275,7 @@ func (m *Matcher) Match(records []GPSRecord) (spath.Path, error) {
 			j = backs[t][j].prev
 		}
 	}
-	return m.stitch(seq)
+	return m.stitch(ctx, seq)
 }
 
 // subsample thins the GPS stream per StrideSec, always keeping the first
@@ -283,8 +297,8 @@ func (m *Matcher) subsample(records []GPSRecord) []GPSRecord {
 }
 
 // stitch connects the decoded vertex sequence with shortest-path segments,
-// skipping consecutive duplicates.
-func (m *Matcher) stitch(seq []roadnet.VertexID) (spath.Path, error) {
+// skipping consecutive duplicates. Segment queries honor ctx.
+func (m *Matcher) stitch(ctx context.Context, seq []roadnet.VertexID) (spath.Path, error) {
 	// Deduplicate consecutive repeats.
 	uniq := seq[:1]
 	for _, v := range seq[1:] {
@@ -297,8 +311,11 @@ func (m *Matcher) stitch(seq []roadnet.VertexID) (spath.Path, error) {
 	}
 	var edges []roadnet.EdgeID
 	for i := 1; i < len(uniq); i++ {
-		seg, err := m.engine.Shortest(uniq[i-1], uniq[i])
+		seg, err := m.engine.ShortestCtx(ctx, uniq[i-1], uniq[i])
 		if err != nil {
+			if ctx.Err() != nil {
+				return spath.Path{}, ctx.Err()
+			}
 			return spath.Path{}, fmt.Errorf("traj: stitch segment %d->%d: %w", uniq[i-1], uniq[i], err)
 		}
 		edges = append(edges, seg.Edges...)

@@ -1,0 +1,45 @@
+package traj
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"pathrank/internal/pathsim"
+	"pathrank/internal/roadnet"
+	"pathrank/internal/spath"
+)
+
+// TestMatchCtxCanceled: a canceled context aborts the decode with the
+// context's error, and MatchCtx with a background context decodes exactly
+// like Match.
+func TestMatchCtxCanceled(t *testing.T) {
+	g := testNet(t)
+	p, err := spath.Dijkstra(g, 5, roadnet.VertexID(g.NumVertices()-10), spath.ByLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := SampleGPS(g, p, GPSConfig{IntervalSec: 1, NoiseStdM: 0, Seed: 9})
+	m := NewMatcher(g, DefaultMatchConfig())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.MatchCtx(ctx, recs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled MatchCtx: err = %v, want Canceled", err)
+	}
+
+	want, err := m.Match(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.MatchCtx(context.Background(), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("MatchCtx(Background) differs from Match")
+	}
+	if sim := pathsim.WeightedJaccard(g, got, p); sim < 0.95 {
+		t.Fatalf("post-cancel match similarity %.3f, want >=0.95 (matcher state corrupted?)", sim)
+	}
+}

@@ -13,6 +13,16 @@
 //	ranker   := pathrank.NewRanker(g, pipe.Model)
 //	ranked, _ := ranker.Query(src, dst)
 //
+// Interactive queries go through the Query API v2: a first-class
+// RankRequest with per-request overrides of the candidate regime and full
+// context support (cancellation stops an in-flight enumeration), either in
+// process or over HTTP through the Client SDK:
+//
+//	resp, _ := ranker.Rank(ctx, pathrank.RankRequest{Src: src, Dst: dst, K: 8})
+//
+//	c := &pathrank.Client{BaseURL: "http://localhost:8080"}
+//	res, _ := c.Rank(ctx, pathrank.RankQuery{Src: 12, Dst: 431, Strategy: "dtkdi"})
+//
 // A trained pipeline can be persisted as a single versioned artifact bundle
 // and served over HTTP:
 //
@@ -22,13 +32,15 @@
 //
 // See README.md ("Architecture") for the full system inventory, README.md
 // ("Running the evaluation") for the reproduction of the paper's tables,
-// and README.md ("Serving") for the online ranking service and the artifact
-// format.
+// README.md ("Serving") for the online ranking service and the artifact
+// format, and README.md ("Query API v2") for the request/response schema,
+// typed error codes, and client examples.
 package pathrank
 
 import (
 	"io"
 
+	"pathrank/internal/api"
 	"pathrank/internal/dataset"
 	"pathrank/internal/metrics"
 	"pathrank/internal/node2vec"
@@ -245,6 +257,75 @@ func DefaultPipelineConfig(m int) PipelineConfig { return pathrank.DefaultPipeli
 
 // NewRanker wraps a trained model for query-time use.
 func NewRanker(g *Graph, m *Model) *Ranker { return pathrank.NewRanker(g, m) }
+
+// Query API v2: a first-class, context-aware request object.
+//
+// Ranker.Rank(ctx, RankRequest) is the core query entry point: every field
+// of the request except Src and Dst is optional, zero values select the
+// ranker's configured defaults, and a RankRequest{Src: s, Dst: d} ranking
+// is bit-identical to Ranker.Query(s, d). Canceling ctx stops an in-flight
+// candidate enumeration. The same request shape travels over HTTP as
+// POST /v2/rank (see Client).
+type (
+	// RankRequest is one origin-destination ranking query with optional
+	// per-request overrides (k, strategy, diversity threshold, weight
+	// metric, engine, explain).
+	RankRequest = pathrank.RankRequest
+	// RankResponse pairs the ranked paths with generation statistics.
+	RankResponse = pathrank.RankResponse
+	// RankStats describes how a ranking was produced.
+	RankStats = pathrank.RankStats
+	// RankError is a typed ranking failure; its Code is one of the Code*
+	// constants and maps onto an HTTP status in the serving layer.
+	RankError = pathrank.RankError
+	// StrategyChoice optionally overrides the candidate strategy.
+	StrategyChoice = pathrank.StrategyChoice
+	// WeightKind optionally overrides the edge metric.
+	WeightKind = pathrank.WeightKind
+	// EngineChoice optionally overrides the shortest-path backend.
+	EngineChoice = pathrank.EngineChoice
+)
+
+// Per-request override values; the *Auto zero values keep the ranker's
+// configured defaults.
+const (
+	StrategyAuto  = pathrank.StrategyAuto
+	StrategyTkDI  = pathrank.StrategyTkDI
+	StrategyDTkDI = pathrank.StrategyDTkDI
+
+	WeightAuto   = pathrank.WeightAuto
+	WeightLength = pathrank.WeightLength
+	WeightTime   = pathrank.WeightTime
+
+	EngineAuto     = pathrank.EngineAuto
+	EngineNone     = pathrank.EngineNone
+	EngineChoiceCH = pathrank.EngineCH
+	// EngineChoiceALT requires the ranker's prepared ALT engine.
+	EngineChoiceALT = pathrank.EngineALT
+)
+
+// Typed error codes of the query API; ErrorCodeOf classifies any error
+// returned by Rank or Client into one of them.
+const (
+	CodeInvalid    = api.CodeInvalid
+	CodeUnroutable = api.CodeUnroutable
+	CodeDeadline   = api.CodeDeadline
+	CodeCanceled   = api.CodeCanceled
+	CodeBacklog    = api.CodeBacklog
+	CodeInternal   = api.CodeInternal
+)
+
+// ErrorCodeOf classifies err into one of the Code* constants.
+func ErrorCodeOf(err error) string { return pathrank.ErrorCodeOf(err) }
+
+// ParseStrategyChoice parses "tkdi" or "dtkdi" ("", "auto" = default).
+func ParseStrategyChoice(s string) (StrategyChoice, error) { return pathrank.ParseStrategyChoice(s) }
+
+// ParseWeightKind parses "length" or "time" ("", "auto" = default).
+func ParseWeightKind(s string) (WeightKind, error) { return pathrank.ParseWeightKind(s) }
+
+// ParseEngineChoice parses "dijkstra", "alt" or "ch" ("", "auto" = default).
+func ParseEngineChoice(s string) (EngineChoice, error) { return pathrank.ParseEngineChoice(s) }
 
 // Artifact persistence: a complete trained pipeline (network, embeddings,
 // model) as one versioned, checksummed bundle.

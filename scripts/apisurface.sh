@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# apisurface.sh — the CI gate for the public facade: diff the full godoc
+# of the module-root `pathrank` package against the committed golden
+# surface file, so an accidental breaking change (removed symbol, changed
+# signature, altered doc contract) fails CI instead of shipping.
+#
+# Usage:
+#   scripts/apisurface.sh           check (exit 1 on drift)
+#   scripts/apisurface.sh -update   regenerate API_SURFACE.txt after an
+#                                   intentional API change
+#
+# Environment:
+#   APISURFACE_UPDATE=1   same as -update
+#
+# The golden file is the exact `go doc -all .` output: declarations AND
+# doc comments. Doc comments are deliberately part of the gate — for this
+# facade they carry behavioral contracts (bit-identical rankings, error
+# codes, cancellation semantics), and silently weakening one is as much a
+# break as removing a symbol. Intentional changes are one -update away.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+GOLDEN="API_SURFACE.txt"
+CURRENT="$(mktemp)"
+trap 'rm -f "$CURRENT"' EXIT
+
+go doc -all . > "$CURRENT"
+
+if [[ "${1:-}" == "-update" || "${APISURFACE_UPDATE:-}" == "1" ]]; then
+    cp "$CURRENT" "$GOLDEN"
+    echo "apisurface: updated $GOLDEN ($(wc -l < "$GOLDEN") lines)"
+    exit 0
+fi
+
+if [[ ! -f "$GOLDEN" ]]; then
+    echo "apisurface: missing $GOLDEN — run scripts/apisurface.sh -update and commit it" >&2
+    exit 2
+fi
+
+if ! diff -u "$GOLDEN" "$CURRENT"; then
+    cat >&2 <<'EOF'
+apisurface: FAIL — the public pathrank API surface drifted from the
+committed golden file. If the change is intentional, regenerate it with
+
+    scripts/apisurface.sh -update
+
+and commit API_SURFACE.txt together with the API change.
+EOF
+    exit 1
+fi
+echo "apisurface: OK"
