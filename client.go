@@ -89,6 +89,29 @@ func (c *Client) RankBatch(ctx context.Context, queries []RankQuery, timeout tim
 	return res.Results, nil
 }
 
+// Provenance reports the server's data-provenance state: the serving
+// generation's Merkle commitments and, when the server runs a trajectory
+// WAL, the health of the log.
+func (c *Client) Provenance(ctx context.Context) (ProvenanceInfo, error) {
+	var info ProvenanceInfo
+	if err := c.get(ctx, "/v1/provenance", &info); err != nil {
+		return ProvenanceInfo{}, err
+	}
+	return info, nil
+}
+
+// ProveTrajectory fetches the inclusion proof for ingested trajectory seq
+// in the serving generation's training batch. Verify it offline with
+// VerifyInclusionProof; a 404 (trajectory not in the committed batch, or
+// no live pipeline) arrives as an *APIError.
+func (c *Client) ProveTrajectory(ctx context.Context, seq int64) (InclusionProof, error) {
+	var proof InclusionProof
+	if err := c.get(ctx, "/v1/provenance?seq="+strconv.FormatInt(seq, 10), &proof); err != nil {
+		return InclusionProof{}, err
+	}
+	return proof, nil
+}
+
 // propagateDeadline fills q.TimeoutMs from ctx's deadline when the query
 // does not name its own timeout, so the server abandons work the client
 // will never read.
@@ -110,6 +133,17 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	if err != nil {
 		return fmt.Errorf("pathrank: encode request: %w", err)
 	}
+	return c.do(ctx, http.MethodPost, path, payload, out)
+}
+
+// get fetches path and decodes a 200 response into out, retrying transient
+// failures (all GET endpoints are read-only, so retrying is always safe).
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	return c.do(ctx, http.MethodGet, path, nil, out)
+}
+
+// do runs one request with the shared retry loop.
+func (c *Client) do(ctx context.Context, method, path string, payload []byte, out any) error {
 	hc := c.HTTP
 	if hc == nil {
 		hc = http.DefaultClient
@@ -125,11 +159,17 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(payload))
+		var body io.Reader
+		if payload != nil {
+			body = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 		if err != nil {
 			return fmt.Errorf("pathrank: build request: %w", err)
 		}
-		req.Header.Set("Content-Type", "application/json")
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
 
 		resp, err := hc.Do(req)
 		var retryAfter time.Duration

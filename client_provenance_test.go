@@ -1,0 +1,147 @@
+package pathrank_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pathrank"
+	"pathrank/internal/merkle"
+)
+
+// provenanceFixture builds a genuine Merkle batch over n fake trajectory
+// payloads and returns the server-side wire values for it.
+func provenanceFixture(t *testing.T, n int) (pathrank.ProvenanceInfo, []pathrank.InclusionProof) {
+	t.Helper()
+	b := merkle.NewBatcher(merkle.Hash{})
+	for i := 0; i < n; i++ {
+		b.Add([]byte(fmt.Sprintf("trajectory-%d", i)))
+	}
+	batch := b.Seal()
+	info := pathrank.ProvenanceInfo{
+		Generation: 1,
+		DataRoot:   batch.Root.Hex(),
+		ChainRoot:  batch.Chain.Hex(),
+		BatchSize:  n,
+	}
+	proofs := make([]pathrank.InclusionProof, n)
+	for i := 0; i < n; i++ {
+		p, err := batch.Prove(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := make([]string, len(p.Path))
+		for j, h := range p.Path {
+			path[j] = h.Hex()
+		}
+		proofs[i] = pathrank.InclusionProof{
+			Seq: int64(100 + i), Generation: 1, Index: i, BatchSize: n,
+			LeafHash: batch.Leaves[i].Hex(), Path: path,
+			DataRoot: info.DataRoot, ChainRoot: info.ChainRoot,
+		}
+	}
+	return info, proofs
+}
+
+func TestClientProvenance(t *testing.T) {
+	info, proofs := provenanceFixture(t, 5)
+	bySeq := make(map[string]pathrank.InclusionProof, len(proofs))
+	for _, p := range proofs {
+		bySeq[fmt.Sprint(p.Seq)] = p
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet || r.URL.Path != "/v1/provenance" {
+			http.NotFound(w, r)
+			return
+		}
+		seq := r.URL.Query().Get("seq")
+		if seq == "" {
+			json.NewEncoder(w).Encode(info)
+			return
+		}
+		p, ok := bySeq[seq]
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(map[string]any{"error": map[string]any{
+				"code": pathrank.CodeInvalid, "message": "no inclusion proof for that trajectory",
+			}})
+			return
+		}
+		json.NewEncoder(w).Encode(p)
+	}))
+	defer ts.Close()
+
+	c := &pathrank.Client{BaseURL: ts.URL}
+	got, err := c.Provenance(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DataRoot != info.DataRoot || got.BatchSize != info.BatchSize {
+		t.Fatalf("Provenance() = %+v, want %+v", got, info)
+	}
+
+	for _, want := range proofs {
+		proof, err := c.ProveTrajectory(context.Background(), want.Seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pathrank.VerifyInclusionProof(proof); err != nil {
+			t.Fatalf("fetched proof for seq %d: %v", want.Seq, err)
+		}
+	}
+
+	var apiErr *pathrank.APIError
+	if _, err := c.ProveTrajectory(context.Background(), 999); !errors.As(err, &apiErr) {
+		t.Fatalf("unknown seq: err = %v, want *APIError", err)
+	} else if apiErr.Status != http.StatusNotFound {
+		t.Fatalf("unknown seq: status %d, want 404", apiErr.Status)
+	}
+}
+
+func TestVerifyInclusionProofRejects(t *testing.T) {
+	_, proofs := provenanceFixture(t, 4)
+	good := proofs[2]
+	if err := pathrank.VerifyInclusionProof(good); err != nil {
+		t.Fatal(err)
+	}
+
+	// A tampered leaf must fail verification (flip one hex nibble).
+	tampered := good
+	tampered.LeafHash = flipNibble(good.LeafHash)
+	if err := pathrank.VerifyInclusionProof(tampered); err == nil {
+		t.Fatal("tampered leaf hash verified")
+	}
+
+	// A proof replayed at the wrong index must fail.
+	wrongIndex := good
+	wrongIndex.Index = 1
+	if err := pathrank.VerifyInclusionProof(wrongIndex); err == nil {
+		t.Fatal("proof at wrong index verified")
+	}
+
+	// Malformed hex is a parse error, not a panic.
+	badHex := good
+	badHex.DataRoot = "zz"
+	if err := pathrank.VerifyInclusionProof(badHex); err == nil || !strings.Contains(err.Error(), "data root") {
+		t.Fatalf("bad data-root hex: err = %v", err)
+	}
+	badPath := good
+	badPath.Path = append([]string{"nope"}, good.Path[1:]...)
+	if err := pathrank.VerifyInclusionProof(badPath); err == nil || !strings.Contains(err.Error(), "path[0]") {
+		t.Fatalf("bad path hex: err = %v", err)
+	}
+}
+
+// flipNibble changes the first hex character of s to a different digit.
+func flipNibble(s string) string {
+	c := byte('0')
+	if s[0] == c {
+		c = '1'
+	}
+	return string(c) + s[1:]
+}

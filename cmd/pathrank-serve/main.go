@@ -22,8 +22,16 @@
 //	POST /v1/rank    {"src": 12, "dst": 431, "k": 5}  -> ranked paths, best first (adapter over v2)
 //	POST /v1/ingest  {"records": [{"lon": 9.91, "lat": 57.04, "t": 0}, ...]} -> 202
 //	POST /v1/reload  {"artifact": "other.prart"}  (empty body = configured path)
-//	GET  /healthz    liveness, artifact shape, fingerprint, lineage
-//	GET  /metrics    expvar counters (requests, cache, singleflight, batching, swaps, ingest)
+//	GET  /v1/provenance        Merkle commitments of the serving generation + WAL health
+//	GET  /v1/provenance?seq=N  inclusion proof for ingested trajectory N
+//	GET  /healthz    liveness, artifact shape, fingerprint, lineage, provenance roots
+//	GET  /metrics    expvar counters (requests, cache, singleflight, batching, swaps, ingest, WAL)
+//
+// With -wal-dir the live pipeline becomes durable: every accepted
+// trajectory is logged before it can influence training, the observation
+// window survives restarts, and any logged generation can be reproduced
+// bit-for-bit with pathrank-train -replay. -wal-fsync trades ingest
+// latency for crash durability (always | batch | interval).
 //
 // /v2/rank errors are typed ({"error": {"code": "unroutable", ...}}): 400
 // invalid, 404 unroutable, 408 canceled, 504 deadline, 503 backlog with
@@ -71,6 +79,11 @@ func main() {
 	retrainEpochs := flag.Int("retrain-epochs", 3, "fine-tune epochs per retrain")
 	retrainLR := flag.Float64("retrain-lr", 0.001, "fine-tune learning rate")
 	retrainSeed := flag.Int64("retrain-seed", 1, "base seed for deterministic incremental training")
+	walDir := flag.String("wal-dir", "", "trajectory write-ahead-log directory (enables durable ingest + deterministic replay)")
+	walFsync := flag.String("wal-fsync", "batch", "WAL fsync policy: always (every record), batch (retrain boundaries), interval")
+	walSyncEvery := flag.Duration("wal-sync-interval", 200*time.Millisecond, "fsync cadence for -wal-fsync interval")
+	walSegBytes := flag.Int64("wal-segment-bytes", 4<<20, "WAL segment rotation threshold in bytes")
+	walRetain := flag.Int("wal-retain", 0, "sealed WAL segments to keep (0 keeps all; pruning limits replay depth)")
 	flag.Parse()
 
 	start := time.Now()
@@ -116,7 +129,10 @@ func main() {
 
 	var srv *serve.Server
 	var svc *stream.Service
-	if *retrainEvery > 0 {
+	// The live pipeline runs when periodic retraining is requested, or when
+	// a WAL directory is given (durable ingest with manual/replayed
+	// retraining still wants trajectories logged).
+	if *retrainEvery > 0 || *walDir != "" {
 		svc, err = stream.New(art, stream.Config{
 			QueueSize:       *ingestQueue,
 			Workers:         *ingestWorkers,
@@ -127,7 +143,12 @@ func main() {
 			Train: pathrank.TrainConfig{
 				Epochs: *retrainEpochs, LR: *retrainLR, ClipNorm: 5, Seed: *retrainSeed,
 			},
-			ArtifactPath: *artifactPath,
+			ArtifactPath:    *artifactPath,
+			WALDir:          *walDir,
+			WALFsync:        *walFsync,
+			WALSyncInterval: *walSyncEvery,
+			WALSegmentBytes: *walSegBytes,
+			WALRetain:       *walRetain,
 			Publish: func(a *pathrank.Artifact) error {
 				_, err := srv.Swap(a)
 				return err
@@ -137,7 +158,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		defer svc.Close()
 		cfg.Ingest = svc
+		cfg.Provenance = svc
 	}
 
 	srv, err = serve.New(art, cfg)

@@ -6,6 +6,14 @@
 // Usage:
 //
 //	pathrank-train -net net.gob -trips trips.gob -m 64 -strategy d-tkdi -out model.gob
+//
+// With -replay it instead re-executes the retrains recorded in a
+// trajectory write-ahead log (written by pathrank-serve -wal-dir) against
+// a base artifact, verifying that every reconstructed generation matches
+// the model fingerprint and Merkle roots the live run committed — exiting
+// non-zero on any divergence:
+//
+//	pathrank-train -replay wal/ -base base.prart -artifact rebuilt.prart
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"pathrank/internal/pathrank"
 	"pathrank/internal/roadnet"
 	"pathrank/internal/spath"
+	"pathrank/internal/stream"
 	"pathrank/internal/traj"
 )
 
@@ -53,7 +62,17 @@ func main() {
 	resume := flag.String("resume", "", "warm-start from this artifact bundle instead of training from scratch (incremental fine-tune; ignores -net/-m/-hidden/-variant)")
 	prep := flag.Bool("prep", true, "embed precomputed speedup structures (contraction hierarchy + ALT landmarks) in the artifact so pathrank-serve cold-starts without preprocessing")
 	prepLandmarks := flag.Int("prep-landmarks", 0, "ALT landmark count for -prep (0 = default)")
+	replay := flag.String("replay", "", "replay the trajectory WAL in this directory instead of training (requires -base)")
+	replayBase := flag.String("base", "", "base artifact the WAL's first replayed generation chains from (for -replay)")
+	replayGen := flag.Int("replay-gen", 0, "stop the replay after this generation (0 = replay the whole log)")
 	flag.Parse()
+
+	if *replay != "" {
+		if err := replayWAL(*replay, *replayBase, *replayGen, *artifactOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *resume != "" {
 		// -epochs/-lr default to the offline schedule, which is too hot for
@@ -161,6 +180,49 @@ func main() {
 		}
 		fmt.Printf("artifact -> %s (serve with: pathrank-serve -artifact %s)\n", *artifactOut, *artifactOut)
 	}
+}
+
+// replayWAL implements -replay: deterministically reconstruct the model
+// generations recorded in a trajectory WAL and verify them against the
+// fingerprints and Merkle roots the live run committed.
+func replayWAL(walDir, basePath string, targetGen int, artifactOut string) error {
+	if basePath == "" {
+		return fmt.Errorf("-replay requires -base <artifact> (the artifact the log's first generation was trained from)")
+	}
+	base, err := pathrank.LoadArtifactFile(basePath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replaying %s from gen %d artifact %s\n", walDir, base.Lineage.Generation, basePath)
+	start := time.Now()
+	res, err := stream.Replay(walDir, base, targetGen, func(format string, args ...any) {
+		fmt.Printf("  "+format+"\n", args...)
+	})
+	if err != nil {
+		return err
+	}
+	fp, err := res.Artifact.Model.FingerprintHex()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d generations (%d observations, %d markers skipped) in %v\n",
+		res.Generations, res.Observations, res.SkippedMarkers, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("final: gen %d fingerprint %s\n", res.Artifact.Lineage.Generation, fp)
+
+	if artifactOut != "" {
+		if err := pathrank.SaveArtifactFileAtomic(artifactOut, res.Artifact); err != nil {
+			return err
+		}
+		fmt.Printf("artifact -> %s\n", artifactOut)
+	}
+	if !res.Verified {
+		for _, m := range res.Mismatches {
+			fmt.Printf("MISMATCH: %s\n", m)
+		}
+		return fmt.Errorf("replay diverged from the live run in %d place(s): the WAL does not reproduce the committed generations", len(res.Mismatches))
+	}
+	fmt.Println("verified: every replayed generation matches its recorded fingerprint and Merkle roots bit-for-bit")
+	return nil
 }
 
 // buildPrep preprocesses the road network into the speedup structures the

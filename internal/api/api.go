@@ -170,3 +170,74 @@ type BatchResponse struct {
 	// Errors counts the items that failed.
 	Errors int `json:"errors"`
 }
+
+// WALStatus describes the trajectory write-ahead log behind a live
+// pipeline: segment inventory, append/sync frontier, and what crash
+// recovery found at startup. Embedded in ProvenanceInfo and in the
+// health response when the WAL is enabled.
+type WALStatus struct {
+	// Segments is the number of live segment files.
+	Segments int `json:"segments"`
+	// LastIndex is the highest record index appended; SyncedIndex is the
+	// highest known durable (fsynced). LastIndex-SyncedIndex records would
+	// be lost to a crash right now.
+	LastIndex   uint64 `json:"last_index"`
+	SyncedIndex uint64 `json:"synced_index"`
+	// FsyncPolicy is the configured durability mode ("always", "batch",
+	// "interval").
+	FsyncPolicy string `json:"fsync_policy"`
+	// Fsyncs counts fsync calls; FsyncMeanUs is their mean latency in
+	// microseconds (0 until the first fsync).
+	Fsyncs      int64   `json:"fsyncs"`
+	FsyncMeanUs float64 `json:"fsync_mean_us"`
+	// RecoveredRecords is how many records crash recovery replayed at
+	// startup; TornBytes is how many trailing bytes of a torn final write
+	// it discarded.
+	RecoveredRecords int   `json:"recovered_records"`
+	TornBytes        int64 `json:"torn_bytes"`
+	// AppendErrors counts observations dropped because their WAL append
+	// failed (durability could not be guaranteed).
+	AppendErrors int64 `json:"append_errors"`
+}
+
+// ProvenanceInfo is the body of GET /v1/provenance without a seq
+// parameter: the provenance commitments of the serving generation.
+type ProvenanceInfo struct {
+	// Generation is the lineage generation the roots belong to.
+	Generation int `json:"generation"`
+	// DataRoot is the hex Merkle root over the canonical encodings of the
+	// trajectories this generation trained on; empty before the first
+	// retrain (nothing committed yet).
+	DataRoot string `json:"data_root,omitempty"`
+	// ChainRoot chains every generation's DataRoot back to genesis; it
+	// changes whenever any trajectory in the model's entire history does.
+	ChainRoot string `json:"chain_root,omitempty"`
+	// BatchSize is the number of trajectories under DataRoot.
+	BatchSize int `json:"batch_size,omitempty"`
+	// WAL reports the trajectory log, when one is configured.
+	WAL *WALStatus `json:"wal,omitempty"`
+}
+
+// InclusionProof is the body of GET /v1/provenance?seq=N: a Merkle audit
+// path proving trajectory N is under the serving generation's DataRoot.
+// Verify with pathrank.VerifyInclusionProof.
+type InclusionProof struct {
+	// Seq is the ingest sequence number the proof covers.
+	Seq int64 `json:"seq"`
+	// Generation is the lineage generation whose training batch contains
+	// the trajectory.
+	Generation int `json:"generation"`
+	// Index is the leaf position and BatchSize the leaf count of the
+	// Merkle tree. BatchSize comes from the trusted lineage: an audit path
+	// alone does not bind the tree size.
+	Index     int `json:"index"`
+	BatchSize int `json:"batch_size"`
+	// LeafHash is the hex leaf hash of the trajectory's canonical WAL
+	// encoding; Path is the audit path, leaf-adjacent first.
+	LeafHash string   `json:"leaf_hash"`
+	Path     []string `json:"path"`
+	// DataRoot is the root the path must reproduce; ChainRoot ties it into
+	// the generation chain. Both must match the artifact's lineage.
+	DataRoot  string `json:"data_root"`
+	ChainRoot string `json:"chain_root"`
+}

@@ -1,0 +1,260 @@
+// Package merkle implements the binary Merkle tree that anchors PathRank's
+// data provenance: the trajectories a model generation was fine-tuned on
+// are hashed into leaves, the leaves into a batch root, and successive
+// batch roots into a chain root that is stamped into the artifact's
+// lineage. Any party holding a trajectory's canonical bytes and an
+// inclusion proof can then verify — against nothing but the served
+// lineage — that the trajectory really was in the generation's training
+// window, and the chain root commits the entire history of batches back
+// to the offline root model.
+//
+// The tree is the RFC 6962 (Certificate Transparency) construction:
+// leaves and interior nodes are domain-separated under SHA-256 (0x00 for
+// leaves, 0x01 for nodes), and a tree over n > 1 leaves splits at the
+// largest power of two strictly less than n. Unlike the duplicate-last-
+// leaf construction, this shape admits no second preimage built from a
+// different leaf multiset.
+package merkle
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// HashSize is the byte length of every hash in the package.
+const HashSize = sha256.Size
+
+// Hash is a SHA-256 digest: a leaf hash, an interior node, a batch root,
+// or a chain root.
+type Hash [HashSize]byte
+
+// Hex returns the lowercase hex form used on the wire and in lineage.
+func (h Hash) Hex() string { return hex.EncodeToString(h[:]) }
+
+// ParseHash decodes the hex form produced by Hash.Hex.
+func ParseHash(s string) (Hash, error) {
+	var h Hash
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return h, fmt.Errorf("merkle: bad hash %q: %w", s, err)
+	}
+	if len(b) != HashSize {
+		return h, fmt.Errorf("merkle: hash %q has %d bytes, want %d", s, len(b), HashSize)
+	}
+	copy(h[:], b)
+	return h, nil
+}
+
+// Domain-separation prefixes (RFC 6962 §2.1) plus a third domain for the
+// cross-batch chain, so a chain root can never be confused with a tree
+// node over the same bytes.
+const (
+	leafPrefix  = 0x00
+	nodePrefix  = 0x01
+	chainPrefix = 0x02
+)
+
+// LeafHash hashes one record's canonical bytes into a leaf.
+func LeafHash(data []byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{leafPrefix})
+	h.Write(data)
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// nodeHash combines two subtree hashes.
+func nodeHash(l, r Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{nodePrefix})
+	h.Write(l[:])
+	h.Write(r[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// ChainRoot extends the batch chain: the new chain root commits to both
+// the previous chain root and the new batch root. The zero Hash is the
+// chain's genesis (an offline generation with no ingested data).
+func ChainRoot(prev, batchRoot Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{chainPrefix})
+	h.Write(prev[:])
+	h.Write(batchRoot[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// splitPoint returns the largest power of two strictly less than n (n >= 2).
+func splitPoint(n int) int {
+	k := 1
+	for k*2 < n {
+		k *= 2
+	}
+	return k
+}
+
+// Root computes the RFC 6962 tree root over the leaf hashes. The root of
+// zero leaves is the hash of the empty string under the leaf domain, so an
+// empty batch still has a well-defined, non-zero commitment.
+func Root(leaves []Hash) Hash {
+	switch len(leaves) {
+	case 0:
+		return LeafHash(nil)
+	case 1:
+		return leaves[0]
+	}
+	k := splitPoint(len(leaves))
+	return nodeHash(Root(leaves[:k]), Root(leaves[k:]))
+}
+
+// Proof is an inclusion proof: the audit path from one leaf to the root of
+// a tree with Leaves leaves. Verify recomputes the root from the leaf hash
+// and the path.
+type Proof struct {
+	// Index is the leaf's position in the batch, 0-based.
+	Index int
+	// Leaves is the batch size the proof was built against.
+	Leaves int
+	// Path holds the sibling subtree hashes, leaf-adjacent first.
+	Path []Hash
+}
+
+// Prove builds the inclusion proof for leaves[index].
+func Prove(leaves []Hash, index int) (Proof, error) {
+	if index < 0 || index >= len(leaves) {
+		return Proof{}, fmt.Errorf("merkle: index %d out of range for %d leaves", index, len(leaves))
+	}
+	p := Proof{Index: index, Leaves: len(leaves)}
+	p.Path = auditPath(leaves, index, p.Path)
+	return p, nil
+}
+
+// auditPath appends the sibling hashes for leaves[index], leaf-adjacent
+// first (recursion appends on the way back up).
+func auditPath(leaves []Hash, index int, path []Hash) []Hash {
+	if len(leaves) <= 1 {
+		return path
+	}
+	k := splitPoint(len(leaves))
+	if index < k {
+		path = auditPath(leaves[:k], index, path)
+		return append(path, Root(leaves[k:]))
+	}
+	path = auditPath(leaves[k:], index-k, path)
+	return append(path, Root(leaves[:k]))
+}
+
+// Verify reports whether the proof connects leaf to root: leaf is at
+// p.Index in a tree of p.Leaves leaves whose root is root.
+func (p Proof) Verify(leaf, root Hash) bool {
+	if p.Index < 0 || p.Leaves <= 0 || p.Index >= p.Leaves {
+		return false
+	}
+	// Walk back up the recursion of auditPath: at each level the leaf sits
+	// in a subtree of size n at offset index; the sibling covers the rest.
+	h, err := rollUp(leaf, p.Index, p.Leaves, p.Path)
+	if err != nil {
+		return false
+	}
+	return h == root
+}
+
+// rollUp recomputes the subtree root over n leaves containing the target
+// leaf at index, consuming path entries from the end (the recursion in
+// auditPath appends the outermost sibling last).
+func rollUp(leaf Hash, index, n int, path []Hash) (Hash, error) {
+	if n == 1 {
+		if len(path) != 0 {
+			return Hash{}, errors.New("merkle: proof path too long")
+		}
+		return leaf, nil
+	}
+	if len(path) == 0 {
+		return Hash{}, errors.New("merkle: proof path too short")
+	}
+	k := splitPoint(n)
+	sib := path[len(path)-1]
+	rest := path[:len(path)-1]
+	if index < k {
+		l, err := rollUp(leaf, index, k, rest)
+		if err != nil {
+			return Hash{}, err
+		}
+		return nodeHash(l, sib), nil
+	}
+	r, err := rollUp(leaf, index-k, n-k, rest)
+	if err != nil {
+		return Hash{}, err
+	}
+	return nodeHash(sib, r), nil
+}
+
+// Batch is a sealed set of records: the leaf hashes in batch order, their
+// tree root, and the chain root extending the previous batch. It can mint
+// inclusion proofs for any of its leaves.
+type Batch struct {
+	// Leaves are the leaf hashes in batch order.
+	Leaves []Hash
+	// Root is the Merkle root over Leaves.
+	Root Hash
+	// Chain is ChainRoot(prev, Root) for the prev handed to the Batcher.
+	Chain Hash
+	// HashNs and SealNs record where the batching time went (the per-stage
+	// timing idiom of the audit-log exemplar): leaf hashing during Add vs
+	// tree construction during Seal.
+	HashNs int64
+	SealNs int64
+}
+
+// Prove builds the inclusion proof for the i-th record of the batch.
+func (b *Batch) Prove(i int) (Proof, error) {
+	return Prove(b.Leaves, i)
+}
+
+// Batcher accumulates records and seals them into a chained Batch. It is
+// not safe for concurrent use; the stream retrainer drives it from a
+// single goroutine per seal.
+type Batcher struct {
+	prev   Hash
+	leaves []Hash
+	hashNs int64
+}
+
+// NewBatcher starts a batch chained onto prev (the previous generation's
+// chain root; the zero Hash for a generation-0 ancestor).
+func NewBatcher(prev Hash) *Batcher {
+	return &Batcher{prev: prev}
+}
+
+// Add hashes one record's canonical bytes into the batch and returns its
+// leaf index.
+func (b *Batcher) Add(data []byte) int {
+	start := time.Now()
+	b.leaves = append(b.leaves, LeafHash(data))
+	b.hashNs += time.Since(start).Nanoseconds()
+	return len(b.leaves) - 1
+}
+
+// Len returns the number of records added so far.
+func (b *Batcher) Len() int { return len(b.leaves) }
+
+// Seal computes the root and chain root over everything added and returns
+// the finished Batch. The Batcher must not be reused afterwards.
+func (b *Batcher) Seal() *Batch {
+	start := time.Now()
+	root := Root(b.leaves)
+	return &Batch{
+		Leaves: b.leaves,
+		Root:   root,
+		Chain:  ChainRoot(b.prev, root),
+		HashNs: b.hashNs,
+		SealNs: time.Since(start).Nanoseconds(),
+	}
+}

@@ -62,6 +62,19 @@ type Lineage struct {
 	TotalObserved int
 	// Note is a free-form provenance annotation ("offline", "stream", …).
 	Note string
+	// DataRoot is the hex Merkle root (internal/merkle, RFC 6962 shape)
+	// over the canonical WAL encodings of the trajectory observations this
+	// generation was fine-tuned on, in training (ingest-sequence) order.
+	// Together with a per-trajectory inclusion proof it makes the training
+	// set verifiable; empty for offline generations and pre-provenance
+	// artifacts. Like Lineage itself, the field is a gob-compatible wire
+	// addition: older readers ignore it, older files decode it empty.
+	DataRoot string
+	// ChainRoot is the hex chained commitment over the whole generation
+	// history: merkle.ChainRoot(parent ChainRoot, DataRoot), with the zero
+	// hash as genesis. Two artifacts with equal ChainRoot were trained on
+	// byte-identical data histories.
+	ChainRoot string
 }
 
 // Child returns the lineage of an artifact fine-tuned from a model with
@@ -322,7 +335,11 @@ func checkModelShape(numVertices int, cfg Config, paramsLen int) error {
 	return nil
 }
 
-// SaveArtifactFile writes the artifact to the named file.
+// SaveArtifactFile writes the artifact to the named file. The write is
+// NOT atomic and not fsynced: a crash mid-write leaves a truncated file
+// (rejected by the checksum on load), and a concurrent reader can observe
+// it. Publishing into a path a live server watches or power-loss-sensitive
+// deployments must use SaveArtifactFileAtomic.
 func SaveArtifactFile(path string, a *Artifact) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -343,7 +360,12 @@ func SaveArtifactFile(path string, a *Artifact) error {
 // SaveArtifactFileAtomic writes the artifact to a temporary file in the
 // destination directory and renames it into place, so concurrent readers —
 // in particular the serve layer's artifact-file watcher — never observe a
-// partially written bundle.
+// partially written bundle. The publish is also durable: the temp file is
+// fsynced before the rename and the parent directory after it, so a power
+// loss cannot leave the path pointing at a bundle whose bytes never
+// reached stable storage (rename-before-data is the classic hole: the
+// metadata journal commits the new name while the data pages are still
+// dirty, and the "published" artifact is garbage after the crash).
 func SaveArtifactFileAtomic(path string, a *Artifact) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
@@ -362,6 +384,11 @@ func SaveArtifactFileAtomic(path string, a *Artifact) error {
 		os.Remove(tmp)
 		return fmt.Errorf("pathrank: flush %s: %w", tmp, err)
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("pathrank: fsync %s: %w", tmp, err)
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("pathrank: close %s: %w", tmp, err)
@@ -369,6 +396,13 @@ func SaveArtifactFileAtomic(path string, a *Artifact) error {
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("pathrank: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		derr := d.Sync()
+		d.Close()
+		if derr != nil {
+			return fmt.Errorf("pathrank: fsync %s: %w", dir, derr)
+		}
 	}
 	return nil
 }

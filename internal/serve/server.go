@@ -44,6 +44,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,6 +69,18 @@ const (
 // queue, which the client should retry later).
 type Ingestor interface {
 	IngestGPS(records []traj.GPSRecord) error
+}
+
+// ProvenanceSource reports data-provenance state for GET /v1/provenance:
+// the Merkle commitments of the serving generation, WAL health, and
+// per-trajectory inclusion proofs. The streaming pipeline in
+// internal/stream implements it; like Ingestor, the interface keeps this
+// package from importing the pipeline. An error from ProveTrajectory
+// means no proof exists for that sequence number in the current batch
+// (reported to the client as 404).
+type ProvenanceSource interface {
+	Provenance() api.ProvenanceInfo
+	ProveTrajectory(seq int64) (api.InclusionProof, error)
 }
 
 // Config parameterizes a Server.
@@ -110,6 +123,11 @@ type Config struct {
 	WatchInterval time.Duration
 	// Ingest, when non-nil, enables POST /v1/ingest.
 	Ingest Ingestor
+	// Provenance, when non-nil, backs GET /v1/provenance with live
+	// pipeline state (WAL health, inclusion proofs). Without it the
+	// endpoint still serves the lineage commitments of the serving
+	// artifact, but cannot issue proofs.
+	Provenance ProvenanceSource
 	// MaxIngestRecords caps the GPS records accepted per trajectory
 	// (default 20000, ~5.5 h at 1 Hz). Together with the bounded ingest
 	// queue this bounds the bytes a client can park behind 202 responses;
@@ -218,6 +236,12 @@ func New(art *pathrank.Artifact, cfg Config) (*Server, error) {
 	s.vars.Set("reload_errors", &s.reloadErrors)
 	s.vars.Set("ingest_accepted", &s.ingestAccepted)
 	s.vars.Set("ingest_rejected", &s.ingestRejected)
+	if cfg.Provenance != nil {
+		// Live gauges, not counters: /metrics re-reads the pipeline's
+		// provenance state (WAL segment inventory, sync frontier, fsync
+		// latency, current Merkle roots) on every scrape.
+		s.vars.Set("provenance", expvar.Func(func() any { return cfg.Provenance.Provenance() }))
+	}
 	return s, nil
 }
 
@@ -340,6 +364,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v2/rank", s.handleRankV2)
 	mux.HandleFunc("POST /v1/reload", s.handleReload)
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("GET /v1/provenance", s.handleProvenance)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -612,6 +637,47 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, IngestResponse{Queued: len(req.Records)})
 }
 
+// handleProvenance answers GET /v1/provenance. Without a seq parameter it
+// reports the provenance commitments of the serving generation (plus WAL
+// health when a live pipeline backs the server); with ?seq=N it issues a
+// Merkle inclusion proof for the trajectory with that ingest sequence
+// number, or 404 when the trajectory is not in the current training batch.
+func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal.Add(1)
+	if seqStr := r.URL.Query().Get("seq"); seqStr != "" {
+		if s.cfg.Provenance == nil {
+			writeJSON(w, http.StatusNotFound,
+				errorResponse{Error: "no live pipeline on this server: inclusion proofs unavailable"})
+			return
+		}
+		seq, err := strconv.ParseInt(seqStr, 10, 64)
+		if err != nil || seq <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "seq must be a positive integer"})
+			return
+		}
+		proof, err := s.cfg.Provenance.ProveTrajectory(seq)
+		if err != nil {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, proof)
+		return
+	}
+	if s.cfg.Provenance != nil {
+		writeJSON(w, http.StatusOK, s.cfg.Provenance.Provenance())
+		return
+	}
+	// No pipeline: the artifact's lineage still carries the commitments.
+	snap := s.acquire()
+	defer snap.release()
+	writeJSON(w, http.StatusOK, api.ProvenanceInfo{
+		Generation: snap.art.Lineage.Generation,
+		DataRoot:   snap.art.Lineage.DataRoot,
+		ChainRoot:  snap.art.Lineage.ChainRoot,
+		BatchSize:  snap.art.Lineage.TrainedOn,
+	})
+}
+
 type healthResponse struct {
 	Status        string   `json:"status"`
 	APIVersions   []string `json:"api_versions"`
@@ -629,13 +695,19 @@ type healthResponse struct {
 	Swaps         int64    `json:"swaps"`
 	SnapshotAgeS  float64  `json:"snapshot_age_s"`
 	IngestEnabled bool     `json:"ingest_enabled"`
+	// DataRoot and ChainRoot surface the serving artifact's provenance
+	// commitments; WAL reports the trajectory log when a live pipeline
+	// backs the server.
+	DataRoot  string         `json:"data_root,omitempty"`
+	ChainRoot string         `json:"chain_root,omitempty"`
+	WAL       *api.WALStatus `json:"wal,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.reqTotal.Add(1)
 	snap := s.acquire()
 	defer snap.release()
-	writeJSON(w, http.StatusOK, healthResponse{
+	resp := healthResponse{
 		Status:        "ok",
 		APIVersions:   []string{"v1", "v2"},
 		UptimeS:       time.Since(s.start).Seconds(),
@@ -652,7 +724,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Swaps:         s.swapsTotal.Value(),
 		SnapshotAgeS:  time.Since(snap.loaded).Seconds(),
 		IngestEnabled: s.cfg.Ingest != nil,
-	})
+		DataRoot:      snap.art.Lineage.DataRoot,
+		ChainRoot:     snap.art.Lineage.ChainRoot,
+	}
+	if s.cfg.Provenance != nil {
+		resp.WAL = s.cfg.Provenance.Provenance().WAL
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleMetrics exports the server's expvar map alongside the runtime's

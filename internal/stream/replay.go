@@ -1,0 +1,226 @@
+// Deterministic WAL replay: reconstructing model generations from the
+// trajectory log alone. Replay reads every observation and retrain marker
+// out of a WAL directory and re-executes each marked retrain against the
+// base artifact — same observations (pinned by the marker's seq list, so
+// the live window's eviction policy is irrelevant), same training order,
+// same effective fine-tune configuration, same seed. Because the live
+// pipeline is deterministic, the reconstructed model of every generation
+// must match the marker's recorded fingerprint bit-for-bit; Replay
+// verifies that, along with the Merkle data and chain roots, and reports
+// any divergence instead of silently producing a different model.
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"pathrank/internal/dataset"
+	"pathrank/internal/merkle"
+	"pathrank/internal/pathrank"
+	"pathrank/internal/traj"
+	"pathrank/internal/wal"
+)
+
+// ReplayResult summarizes a deterministic replay.
+type ReplayResult struct {
+	// Artifact is the last generation reconstructed (the base artifact if
+	// the log held no replayable markers).
+	Artifact *pathrank.Artifact
+	// Generations is how many retrain steps were re-executed.
+	Generations int
+	// Observations is how many observation records the log held.
+	Observations int
+	// SkippedMarkers counts markers that could not be chained onto the
+	// replay state (generations below the base artifact's, or duplicates
+	// from a run that restarted against a stale artifact).
+	SkippedMarkers int
+	// Verified is true when every reconstructed generation reproduced its
+	// marker's model fingerprint and Merkle roots exactly.
+	Verified bool
+	// Mismatches describes each divergence (empty when Verified).
+	Mismatches []string
+}
+
+// Replay reconstructs model generations from the WAL in walDir, starting
+// from base. Markers for generations at or below base's are skipped (they
+// were trained before base existed); replay stops after targetGen when
+// targetGen > 0, otherwise it runs to the end of the log. base is not
+// mutated. An error means replay could not proceed at all (unreadable or
+// corrupt log, missing observations, wrong base artifact); a fingerprint
+// divergence is reported through Verified/Mismatches instead, with the
+// reconstructed chain still returned.
+func Replay(walDir string, base *pathrank.Artifact, targetGen int, logf func(format string, args ...any)) (*ReplayResult, error) {
+	if base == nil || base.Graph == nil || base.Model == nil {
+		return nil, fmt.Errorf("stream: replay needs a base artifact with a graph and a model")
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	// One pass over the log: observations keyed by seq, markers in order.
+	obs := make(map[int64]observation)
+	var markers []retrainMarker
+	err := wal.ReplayDir(walDir, func(idx uint64, payload []byte) error {
+		if len(payload) == 0 {
+			return fmt.Errorf("stream: WAL record %d is empty", idx)
+		}
+		switch payload[0] {
+		case walRecObservation:
+			o, err := decodeObservation(payload)
+			if err != nil {
+				return fmt.Errorf("stream: WAL record %d: %w", idx, err)
+			}
+			if err := validateObservation(o, base.Graph); err != nil {
+				return fmt.Errorf("stream: WAL record %d: %w (wrong base artifact?)", idx, err)
+			}
+			obs[o.seq] = o
+		case walRecRetrain:
+			m, err := decodeRetrainMarker(payload)
+			if err != nil {
+				return fmt.Errorf("stream: WAL record %d: %w", idx, err)
+			}
+			markers = append(markers, m)
+		default:
+			return fmt.Errorf("stream: WAL record %d has unknown type 0x%02x", idx, payload[0])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	logf("replay: %d observations, %d retrain markers in %s", len(obs), len(markers), walDir)
+
+	res := &ReplayResult{Artifact: base, Observations: len(obs), Verified: true}
+	chain := merkle.Hash{}
+	if base.Lineage.ChainRoot != "" {
+		if chain, err = merkle.ParseHash(base.Lineage.ChainRoot); err != nil {
+			return nil, fmt.Errorf("stream: base artifact lineage ChainRoot: %w", err)
+		}
+	}
+	cur := base
+	for _, m := range markers {
+		if targetGen > 0 && m.Generation > targetGen {
+			break
+		}
+		if m.Generation != cur.Lineage.Generation+1 {
+			// Below or equal to the current generation: trained before the
+			// base artifact (already embodied in its weights) or a duplicate
+			// from a restart against a stale artifact. Ahead by more than
+			// one: a marker in between is missing and the chain cannot
+			// continue.
+			if m.Generation > cur.Lineage.Generation+1 {
+				return res, fmt.Errorf("stream: replay reached generation %d but the next marker is for generation %d (segment pruned by retention?)",
+					cur.Lineage.Generation, m.Generation)
+			}
+			res.SkippedMarkers++
+			logf("replay: skipping marker for generation %d (already at %d)", m.Generation, cur.Lineage.Generation)
+			continue
+		}
+		next, err := replayStep(cur, m, obs, chain, res)
+		if err != nil {
+			return res, err
+		}
+		chainHex := next.Lineage.ChainRoot
+		if chainHex != "" {
+			chain, _ = merkle.ParseHash(chainHex)
+		}
+		cur = next
+		res.Artifact = cur
+		res.Generations++
+		logf("replay: generation %d reconstructed (fingerprint %.12s…)", m.Generation, m.Result)
+	}
+	return res, nil
+}
+
+// replayStep re-executes one marked retrain: cur + marker → the next
+// generation's artifact, verifying fingerprints and Merkle roots against
+// the marker as it goes. Divergences that indicate nondeterminism (wrong
+// result fingerprint, wrong roots) are recorded in res; conditions that
+// make replay impossible (missing observation, wrong parent) are errors.
+func replayStep(cur *pathrank.Artifact, m retrainMarker, obs map[int64]observation, chain merkle.Hash, res *ReplayResult) (*pathrank.Artifact, error) {
+	parent, err := cur.Model.FingerprintHex()
+	if err != nil {
+		return nil, fmt.Errorf("stream: fingerprint parent: %w", err)
+	}
+	if parent != m.Parent {
+		return nil, fmt.Errorf("stream: marker for generation %d was trained from parent %.12s… but replay is at %.12s… (wrong base artifact?)",
+			m.Generation, m.Parent, parent)
+	}
+
+	// Pin the training set from the marker, not from any window
+	// reconstruction: the seq list is the window the live retrain saw.
+	window := make([]observation, len(m.WindowSeqs))
+	for i, seq := range m.WindowSeqs {
+		o, ok := obs[seq]
+		if !ok {
+			return nil, fmt.Errorf("stream: generation %d trained on observation %d which is not in the log (segment pruned by retention?)", m.Generation, seq)
+		}
+		window[i] = o
+	}
+	// The marker stores seqs in training order (sorted); sorting again is a
+	// no-op on a well-formed marker and reproduces the live ordering on any
+	// other.
+	sort.Slice(window, func(a, b int) bool { return window[a].seq < window[b].seq })
+
+	trips := make([]traj.Trip, len(window))
+	batcher := merkle.NewBatcher(chain)
+	for i, o := range window {
+		trips[i] = traj.Trip{Path: o.path}
+		batcher.Add(encodeObservation(o))
+	}
+	batch := batcher.Seal()
+	if got := batch.Root.Hex(); got != m.DataRoot {
+		res.Verified = false
+		res.Mismatches = append(res.Mismatches,
+			fmt.Sprintf("generation %d: data root %s, marker recorded %s", m.Generation, got, m.DataRoot))
+	}
+	if got := batch.Chain.Hex(); got != m.ChainRoot {
+		res.Verified = false
+		res.Mismatches = append(res.Mismatches,
+			fmt.Sprintf("generation %d: chain root %s, marker recorded %s", m.Generation, got, m.ChainRoot))
+	}
+
+	dcfg := cur.Candidates
+	if dcfg.K <= 0 {
+		dcfg = dataset.DefaultConfig()
+	}
+	queries, err := dataset.Generate(cur.Graph, trips, dcfg)
+	if err != nil {
+		return nil, fmt.Errorf("stream: label generation %d window: %w", m.Generation, err)
+	}
+	model, err := cur.Model.Clone()
+	if err != nil {
+		return nil, fmt.Errorf("stream: clone model: %w", err)
+	}
+	tcfg := pathrank.TrainConfig{
+		Epochs:   m.Epochs,
+		LR:       m.LR,
+		ClipNorm: m.ClipNorm,
+		LRDecay:  m.LRDecay,
+		Seed:     m.Seed,
+	}
+	if _, err := model.FineTune(queries, tcfg); err != nil {
+		return nil, fmt.Errorf("stream: fine-tune generation %d: %w", m.Generation, err)
+	}
+	result, err := model.FingerprintHex()
+	if err != nil {
+		return nil, fmt.Errorf("stream: fingerprint generation %d: %w", m.Generation, err)
+	}
+	if result != m.Result {
+		res.Verified = false
+		res.Mismatches = append(res.Mismatches,
+			fmt.Sprintf("generation %d: model fingerprint %s, marker recorded %s", m.Generation, result, m.Result))
+	}
+
+	lin := cur.Lineage.Child(parent, len(window), "stream")
+	lin.DataRoot = batch.Root.Hex()
+	lin.ChainRoot = batch.Chain.Hex()
+	return &pathrank.Artifact{
+		Graph:      cur.Graph,
+		Embeddings: cur.Embeddings,
+		Model:      model,
+		Candidates: cur.Candidates,
+		Prep:       cur.Prep,
+		Lineage:    lin,
+	}, nil
+}

@@ -10,10 +10,23 @@
 // layer's watcher picks it up) and/or pushed directly through a publish
 // hook (the serve layer's hot swap).
 //
+// Durability and provenance. With Config.WALDir set, every accepted
+// observation is appended to a segmented write-ahead log (internal/wal)
+// before it is folded into the training window, and each committed
+// generation writes a retrain marker recording exactly which observations
+// it trained on and with what configuration. A restarted service rebuilds
+// its window from the log, and Replay reconstructs any logged generation
+// bit-for-bit from the log plus the base artifact. Independently of the
+// WAL, every retrain seals its training window into a Merkle batch
+// (internal/merkle): the batch root and a chained root over all
+// generations are stamped into the artifact's lineage, and ProveTrajectory
+// issues inclusion proofs against the current generation's root.
+//
 // The package deliberately does not import internal/serve: the server
 // consumes a Service through the serve.Ingestor interface, and the Service
 // reaches the server through the Publish callback, so either side can be
-// run and tested without the other.
+// run and tested without the other. Provenance crosses the same boundary
+// through the wire types of the leaf package internal/api.
 package stream
 
 import (
@@ -24,10 +37,13 @@ import (
 	"sync"
 	"time"
 
+	"pathrank/internal/api"
 	"pathrank/internal/dataset"
+	"pathrank/internal/merkle"
 	"pathrank/internal/pathrank"
 	"pathrank/internal/spath"
 	"pathrank/internal/traj"
+	"pathrank/internal/wal"
 )
 
 // ErrBacklog reports a full ingest queue; the caller should retry later.
@@ -79,6 +95,24 @@ type Config struct {
 	Publish func(*pathrank.Artifact) error
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+
+	// WALDir, when set, enables the trajectory write-ahead log in that
+	// directory: accepted observations are logged before they enter the
+	// window, the window is rebuilt from the log on startup, and each
+	// retrain writes a marker that makes the generation replayable.
+	WALDir string
+	// WALFsync selects the log's fsync policy: "batch" (default; fsync at
+	// retrain boundaries and rotation), "always" (fsync every record), or
+	// "interval" (background fsync every WALSyncInterval).
+	WALFsync string
+	// WALSyncInterval is the "interval" policy cadence (default 200ms).
+	WALSyncInterval time.Duration
+	// WALSegmentBytes is the segment rotation threshold (default 4 MiB).
+	WALSegmentBytes int64
+	// WALRetain, when positive, caps the sealed segments kept on disk.
+	// Retention trades replay depth for space: pruned observations cannot
+	// be replayed, so leave it 0 when full-history replay matters.
+	WALRetain int
 }
 
 // observation is one map-matched trajectory. seq is the ingest sequence
@@ -102,6 +136,11 @@ type Stats struct {
 	Generation    int
 	Retrains      int64
 	RetrainErrors int64
+	// WALErrors counts observations discarded because their WAL append
+	// failed; Recovered is how many observations the startup window
+	// rebuild replayed from the WAL. Both stay 0 with the WAL disabled.
+	WALErrors int64
+	Recovered int
 }
 
 // Service is the live pipeline: ingest queue, map-matching workers, and
@@ -116,9 +155,13 @@ type Service struct {
 	// from the same parent and race to publish.
 	retrainMu sync.Mutex
 
+	// log is the trajectory WAL; nil when Config.WALDir is empty.
+	log *wal.Log
+
 	mu            sync.Mutex
 	art           *pathrank.Artifact
-	window        []observation
+	window        []observation // ring buffer once it reaches cfg.Window
+	winHead       int           // oldest element when the ring is full
 	seq           int64
 	pending       int // new observations since last retrain
 	received      int64
@@ -127,6 +170,43 @@ type Service struct {
 	matchFailed   int64
 	retrains      int64
 	retrainErrors int64
+	walErrors     int64
+	recovered     int // observations replayed from the WAL at startup
+
+	// Provenance of the current generation: chain is the running chained
+	// root (zero before any committed batch), batch the sealed Merkle
+	// batch of the latest retrain, batchSeqs the ingest seq of each leaf
+	// in training order. batch and batchSeqs are nil until the first
+	// retrain (or after a restart: proofs cover live batches only).
+	chain     merkle.Hash
+	batch     *merkle.Batch
+	batchSeqs []int64
+}
+
+// windowAddLocked appends o to the window, evicting the oldest
+// observation in O(1) once the window is at capacity: the slice becomes a
+// ring and the head slot — necessarily the oldest append — is overwritten
+// in place. Callers hold s.mu. Retraining sorts its window copy by seq, so
+// the ring's rotation never reaches the training set order.
+func (s *Service) windowAddLocked(o observation) {
+	if len(s.window) < s.cfg.Window {
+		s.window = append(s.window, o)
+		return
+	}
+	s.window[s.winHead] = o
+	s.winHead++
+	if s.winHead == len(s.window) {
+		s.winHead = 0
+	}
+}
+
+// windowSnapshotLocked copies the window out of the ring. Callers hold
+// s.mu.
+func (s *Service) windowSnapshotLocked() []observation {
+	out := make([]observation, 0, len(s.window))
+	out = append(out, s.window[s.winHead:]...)
+	out = append(out, s.window[:s.winHead]...)
+	return out
 }
 
 type ingestItem struct {
@@ -189,12 +269,120 @@ func New(art *pathrank.Artifact, cfg Config) (*Service, error) {
 	if engine == nil {
 		engine = spath.NewEngine(kind, art.Graph, spath.ByLength, spath.EngineConfig{})
 	}
-	return &Service{
+	s := &Service{
 		cfg:     cfg,
 		matcher: traj.NewMatcherEngine(art.Graph, cfg.Match, engine),
 		queue:   make(chan ingestItem, cfg.QueueSize),
 		art:     art,
-	}, nil
+	}
+	// The provenance chain resumes from the artifact's lineage: the
+	// persisted artifact is the authoritative record of what has been
+	// committed. A blank ChainRoot (pre-provenance artifact, or genesis)
+	// starts the chain from the zero hash.
+	if art.Lineage.ChainRoot != "" {
+		h, err := merkle.ParseHash(art.Lineage.ChainRoot)
+		if err != nil {
+			return nil, fmt.Errorf("stream: artifact lineage ChainRoot: %w", err)
+		}
+		s.chain = h
+	}
+	if cfg.WALDir != "" {
+		if cfg.Train.Validation != nil {
+			// Validation-driven early stopping depends on a query set a WAL
+			// record cannot capture, so such a run would not be replayable.
+			return nil, fmt.Errorf("stream: Train.Validation is incompatible with the WAL (replay could not reproduce early stopping)")
+		}
+		if err := s.openWAL(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// openWAL opens (or creates) the trajectory log and rebuilds the
+// in-memory window from it: every intact observation record is replayed
+// through the same eviction policy as live ingest, the ingest sequence
+// resumes after the highest logged seq, and the pending count restarts
+// from the records logged after the last retrain marker.
+func (s *Service) openWAL() error {
+	pol := wal.SyncBatch
+	if s.cfg.WALFsync != "" {
+		var err error
+		if pol, err = wal.ParseSyncPolicy(s.cfg.WALFsync); err != nil {
+			return fmt.Errorf("stream: %w", err)
+		}
+	}
+	log, err := wal.Open(s.cfg.WALDir, wal.Options{
+		SegmentBytes: s.cfg.WALSegmentBytes,
+		Sync:         pol,
+		SyncEvery:    s.cfg.WALSyncInterval,
+		Retain:       s.cfg.WALRetain,
+	})
+	if err != nil {
+		return fmt.Errorf("stream: open WAL: %w", err)
+	}
+	var lastMarker *retrainMarker
+	replayErr := log.Replay(func(idx uint64, payload []byte) error {
+		if len(payload) == 0 {
+			return fmt.Errorf("stream: WAL record %d is empty", idx)
+		}
+		switch payload[0] {
+		case walRecObservation:
+			o, err := decodeObservation(payload)
+			if err != nil {
+				return fmt.Errorf("stream: WAL record %d: %w", idx, err)
+			}
+			if err := validateObservation(o, s.art.Graph); err != nil {
+				return fmt.Errorf("stream: WAL record %d: %w", idx, err)
+			}
+			s.windowAddLocked(o)
+			if o.seq > s.seq {
+				s.seq = o.seq
+			}
+			s.recovered++
+			s.pending++
+		case walRecRetrain:
+			m, err := decodeRetrainMarker(payload)
+			if err != nil {
+				return fmt.Errorf("stream: WAL record %d: %w", idx, err)
+			}
+			lastMarker = &m
+			s.pending = 0
+		default:
+			return fmt.Errorf("stream: WAL record %d has unknown type 0x%02x", idx, payload[0])
+		}
+		return nil
+	})
+	if replayErr != nil {
+		log.Close()
+		return replayErr
+	}
+	s.log = log
+	if rec := log.Recovery(); (rec.TornBytes > 0 || s.recovered > 0) && s.cfg.Logf != nil {
+		s.cfg.Logf("wal: recovered %d observations into the window (%d records total, torn tail %d bytes)",
+			len(s.window), rec.Records, rec.TornBytes)
+	}
+	// The artifact normally matches the last marker (the marker is written
+	// only after the artifact is durably persisted). A marker ahead of the
+	// artifact means the caller restarted from an older artifact: training
+	// continues from what was handed in, and the divergence is surfaced
+	// rather than guessed around — Replay can still reconstruct the logged
+	// chain.
+	if lastMarker != nil && lastMarker.Generation > s.art.Lineage.Generation && s.cfg.Logf != nil {
+		s.cfg.Logf("wal: log has retrain markers through generation %d but the artifact is generation %d; continuing from the artifact",
+			lastMarker.Generation, s.art.Lineage.Generation)
+	}
+	return nil
+}
+
+// Close releases the service's write-ahead log (flushing any unsynced
+// tail). It does not stop Run — cancel its context first. Safe to call
+// when the WAL is disabled, and at most once.
+func (s *Service) Close() error {
+	if s.log == nil {
+		return nil
+	}
+	return s.log.Close()
 }
 
 // IngestGPS enqueues one raw trajectory for asynchronous map matching. It
@@ -244,6 +432,8 @@ func (s *Service) Stats() Stats {
 		Generation:    s.art.Lineage.Generation,
 		Retrains:      s.retrains,
 		RetrainErrors: s.retrainErrors,
+		WALErrors:     s.walErrors,
+		Recovered:     s.recovered,
 	}
 }
 
@@ -301,21 +491,26 @@ func (s *Service) matchOne(ctx context.Context, item ingestItem) {
 		}
 		return
 	}
+	o := observation{seq: item.seq, path: path}
+	if s.log != nil {
+		// Write-ahead: the observation must be in the log before it can
+		// influence training, or a crash could yield a generation trained
+		// on data the log never saw. On append failure the observation is
+		// discarded — the window must stay a subset of the log.
+		if _, err := s.log.Append(encodeObservation(o)); err != nil {
+			s.mu.Lock()
+			s.walErrors++
+			s.mu.Unlock()
+			if s.cfg.Logf != nil {
+				s.cfg.Logf("wal: append trajectory %d: %v (observation discarded)", item.seq, err)
+			}
+			return
+		}
+	}
 	s.mu.Lock()
 	s.matched++
 	s.pending++
-	s.window = append(s.window, observation{seq: item.seq, path: path})
-	if len(s.window) > s.cfg.Window {
-		// Evict the oldest observation (smallest sequence number).
-		oldest := 0
-		for i := range s.window {
-			if s.window[i].seq < s.window[oldest].seq {
-				oldest = i
-			}
-		}
-		s.window[oldest] = s.window[len(s.window)-1]
-		s.window = s.window[:len(s.window)-1]
-	}
+	s.windowAddLocked(o)
 	s.mu.Unlock()
 }
 
@@ -343,44 +538,70 @@ func (s *Service) retrainLoop(ctx context.Context) {
 }
 
 // RetrainNow fine-tunes the current model on the accumulated observation
-// window and installs the result as the next generation: lineage bumped,
-// persisted atomically to cfg.ArtifactPath (when set), and pushed through
-// cfg.Publish (when set). The serving model is never touched — training
-// runs on a clone — and the step is deterministic: the window is sorted
-// into ingest order and the fine-tune is seeded with Train.Seed+generation.
-// On any error the previous generation stays current.
+// window and installs the result as the next generation: lineage bumped
+// and stamped with the window's Merkle roots, persisted atomically to
+// cfg.ArtifactPath (when set), recorded in the WAL (when enabled), and
+// pushed through cfg.Publish (when set). The serving model is never
+// touched — training runs on a clone — and the step is deterministic: the
+// window is sorted into ingest order and the fine-tune is seeded with
+// Train.Seed+generation. On any error the previous generation stays
+// current.
+//
+// Commit order under the WAL: the log is synced before training (no
+// generation may cite observations that could vanish in a crash), the
+// artifact is persisted, and only then is the retrain marker appended and
+// synced. A crash between persist and marker therefore loses the marker,
+// never the artifact — the restarted service resumes from the persisted
+// generation and simply re-trains the unmarked window.
 func (s *Service) RetrainNow() (*pathrank.Artifact, error) {
 	s.retrainMu.Lock()
 	defer s.retrainMu.Unlock()
 
 	s.mu.Lock()
 	base := s.art
-	obs := make([]observation, len(s.window))
-	copy(obs, s.window)
+	obs := s.windowSnapshotLocked()
+	prev := s.chain
 	s.mu.Unlock()
 
-	art, err := s.retrain(base, obs)
-	if err != nil {
+	fail := func(err error) (*pathrank.Artifact, error) {
 		s.mu.Lock()
 		s.retrainErrors++
 		s.mu.Unlock()
 		return nil, err
 	}
 
+	if s.log != nil {
+		if err := s.log.Sync(); err != nil {
+			return fail(fmt.Errorf("stream: sync WAL before retrain: %w", err))
+		}
+	}
+
+	out, err := s.retrain(base, obs, prev)
+	if err != nil {
+		return fail(err)
+	}
+	art := out.art
+
 	if s.cfg.ArtifactPath != "" {
 		if err := pathrank.SaveArtifactFileAtomic(s.cfg.ArtifactPath, art); err != nil {
-			s.mu.Lock()
-			s.retrainErrors++
-			s.mu.Unlock()
-			return nil, err
+			return fail(err)
+		}
+	}
+	if s.log != nil {
+		payload, err := encodeRetrainMarker(out.marker)
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := s.log.Append(payload); err != nil {
+			return fail(fmt.Errorf("stream: log retrain marker: %w", err))
+		}
+		if err := s.log.Sync(); err != nil {
+			return fail(fmt.Errorf("stream: sync retrain marker: %w", err))
 		}
 	}
 	if s.cfg.Publish != nil {
 		if err := s.cfg.Publish(art); err != nil {
-			s.mu.Lock()
-			s.retrainErrors++
-			s.mu.Unlock()
-			return nil, fmt.Errorf("stream: publish generation %d: %w", art.Lineage.Generation, err)
+			return fail(fmt.Errorf("stream: publish generation %d: %w", art.Lineage.Generation, err))
 		}
 	}
 
@@ -388,24 +609,46 @@ func (s *Service) RetrainNow() (*pathrank.Artifact, error) {
 	s.art = art
 	s.pending = 0
 	s.retrains++
+	s.chain = out.batch.Chain
+	s.batch = out.batch
+	s.batchSeqs = out.seqs
 	s.mu.Unlock()
 	if s.cfg.Logf != nil {
-		s.cfg.Logf("retrained: generation %d on %d observations", art.Lineage.Generation, len(obs))
+		s.cfg.Logf("retrained: generation %d on %d observations (data root %s)",
+			art.Lineage.Generation, len(obs), art.Lineage.DataRoot)
 	}
 	return art, nil
 }
 
-// retrain produces the next-generation artifact from base and the window.
-func (s *Service) retrain(base *pathrank.Artifact, obs []observation) (*pathrank.Artifact, error) {
+// retrainOutcome bundles what one retrain produced: the artifact, the
+// sealed Merkle batch over its training window, the window's ingest seqs
+// in training order, and the WAL marker describing the step.
+type retrainOutcome struct {
+	art    *pathrank.Artifact
+	batch  *merkle.Batch
+	seqs   []int64
+	marker retrainMarker
+}
+
+// retrain produces the next-generation artifact from base and the window,
+// chaining its provenance onto prev.
+func (s *Service) retrain(base *pathrank.Artifact, obs []observation, prev merkle.Hash) (*retrainOutcome, error) {
 	if len(obs) == 0 {
 		return nil, fmt.Errorf("stream: no observations to retrain on")
 	}
-	// Ingest order, not worker-completion order: determinism.
+	// Ingest order, not worker-completion order: determinism. The Merkle
+	// leaves are sealed in the same order, so a leaf index is also a
+	// training-set position.
 	sort.Slice(obs, func(a, b int) bool { return obs[a].seq < obs[b].seq })
 	trips := make([]traj.Trip, len(obs))
+	seqs := make([]int64, len(obs))
+	batcher := merkle.NewBatcher(prev)
 	for i, o := range obs {
 		trips[i] = traj.Trip{Path: o.path}
+		seqs[i] = o.seq
+		batcher.Add(encodeObservation(o))
 	}
+	batch := batcher.Seal()
 	dcfg := base.Candidates
 	if dcfg.K <= 0 {
 		dcfg = dataset.DefaultConfig()
@@ -429,7 +672,14 @@ func (s *Service) retrain(base *pathrank.Artifact, obs []observation) (*pathrank
 	if err != nil {
 		return nil, fmt.Errorf("stream: fingerprint parent: %w", err)
 	}
-	return &pathrank.Artifact{
+	result, err := model.FingerprintHex()
+	if err != nil {
+		return nil, fmt.Errorf("stream: fingerprint result: %w", err)
+	}
+	lin := base.Lineage.Child(parent, len(obs), "stream")
+	lin.DataRoot = batch.Root.Hex()
+	lin.ChainRoot = batch.Chain.Hex()
+	art := &pathrank.Artifact{
 		Graph:      base.Graph,
 		Embeddings: base.Embeddings,
 		Model:      model,
@@ -439,6 +689,114 @@ func (s *Service) retrain(base *pathrank.Artifact, obs []observation) (*pathrank
 		// them instead of re-preprocessing, and the serve layer's snapshot
 		// reuses the same engine across the hot swap.
 		Prep:    base.Prep,
-		Lineage: base.Lineage.Child(parent, len(obs), "stream"),
+		Lineage: lin,
+	}
+	return &retrainOutcome{
+		art:   art,
+		batch: batch,
+		seqs:  seqs,
+		marker: retrainMarker{
+			Generation: lin.Generation,
+			Parent:     parent,
+			Result:     result,
+			DataRoot:   lin.DataRoot,
+			ChainRoot:  lin.ChainRoot,
+			WindowSeqs: seqs,
+			Epochs:     tcfg.Epochs,
+			LR:         tcfg.LR,
+			ClipNorm:   tcfg.ClipNorm,
+			LRDecay:    tcfg.LRDecay,
+			Seed:       tcfg.Seed,
+		},
+	}, nil
+}
+
+// Provenance reports the provenance commitments of the current generation
+// and, when the WAL is enabled, the state of the trajectory log.
+func (s *Service) Provenance() api.ProvenanceInfo {
+	s.mu.Lock()
+	info := api.ProvenanceInfo{
+		Generation: s.art.Lineage.Generation,
+		DataRoot:   s.art.Lineage.DataRoot,
+		ChainRoot:  s.art.Lineage.ChainRoot,
+	}
+	if s.batch != nil {
+		info.BatchSize = len(s.batchSeqs)
+	}
+	walErrors := s.walErrors
+	s.mu.Unlock()
+	if s.log != nil {
+		st := s.log.Stats()
+		ws := &api.WALStatus{
+			Segments:         st.Segments,
+			LastIndex:        st.LastIndex,
+			SyncedIndex:      st.SyncedIndex,
+			FsyncPolicy:      s.walPolicy().String(),
+			Fsyncs:           st.Syncs,
+			RecoveredRecords: st.Recovered,
+			TornBytes:        st.TornBytes,
+			AppendErrors:     walErrors,
+		}
+		if st.Syncs > 0 {
+			ws.FsyncMeanUs = float64(st.SyncNanos) / float64(st.Syncs) / 1e3
+		}
+		info.WAL = ws
+	}
+	return info
+}
+
+// walPolicy resolves the configured fsync policy (Config validation in
+// openWAL guarantees it parses).
+func (s *Service) walPolicy() wal.SyncPolicy {
+	if s.cfg.WALFsync == "" {
+		return wal.SyncBatch
+	}
+	p, err := wal.ParseSyncPolicy(s.cfg.WALFsync)
+	if err != nil {
+		return wal.SyncBatch
+	}
+	return p
+}
+
+// ErrNoProof reports that no inclusion proof is available for a sequence
+// number: the trajectory is not in the current generation's training
+// batch (not yet trained on, evicted before the batch sealed, or the
+// batch predates this process — proofs cover live batches only).
+var ErrNoProof = errors.New("stream: no inclusion proof for that trajectory in the current generation")
+
+// ProveTrajectory issues a Merkle inclusion proof that the observation
+// with ingest sequence seq is in the current generation's training batch.
+func (s *Service) ProveTrajectory(seq int64) (api.InclusionProof, error) {
+	s.mu.Lock()
+	batch := s.batch
+	seqs := s.batchSeqs
+	gen := s.art.Lineage.Generation
+	s.mu.Unlock()
+	if batch == nil {
+		return api.InclusionProof{}, ErrNoProof
+	}
+	// batchSeqs is sorted ascending (training order), so the leaf index is
+	// a binary search away.
+	i := sort.Search(len(seqs), func(i int) bool { return seqs[i] >= seq })
+	if i >= len(seqs) || seqs[i] != seq {
+		return api.InclusionProof{}, ErrNoProof
+	}
+	proof, err := batch.Prove(i)
+	if err != nil {
+		return api.InclusionProof{}, err
+	}
+	path := make([]string, len(proof.Path))
+	for j, h := range proof.Path {
+		path[j] = h.Hex()
+	}
+	return api.InclusionProof{
+		Seq:        seq,
+		Generation: gen,
+		Index:      proof.Index,
+		BatchSize:  proof.Leaves,
+		LeafHash:   batch.Leaves[i].Hex(),
+		Path:       path,
+		DataRoot:   batch.Root.Hex(),
+		ChainRoot:  batch.Chain.Hex(),
 	}, nil
 }

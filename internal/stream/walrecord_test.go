@@ -1,0 +1,94 @@
+package stream
+
+import (
+	"testing"
+
+	"pathrank/internal/roadnet"
+	"pathrank/internal/spath"
+)
+
+func TestObservationCodecRoundTrip(t *testing.T) {
+	o := observation{
+		seq: 42,
+		path: spath.Path{
+			Vertices: []roadnet.VertexID{3, 7, 1, 9},
+			Edges:    []roadnet.EdgeID{11, 5, 2},
+			Cost:     1234.5625,
+		},
+	}
+	enc := encodeObservation(o)
+	got, err := decodeObservation(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.seq != o.seq || !pathEqual(got.path, o.path) {
+		t.Fatalf("round trip mismatch: %+v != %+v", got, o)
+	}
+	// Canonical: encoding the decoded observation reproduces the bytes.
+	if string(encodeObservation(got)) != string(enc) {
+		t.Fatal("re-encoding is not canonical")
+	}
+}
+
+func TestObservationCodecRejectsMalformed(t *testing.T) {
+	o := observation{
+		seq:  7,
+		path: spath.Path{Vertices: []roadnet.VertexID{1, 2}, Edges: []roadnet.EdgeID{0}, Cost: 5},
+	}
+	enc := encodeObservation(o)
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       enc[:obsHeaderSize-1],
+		"wrong type":  append([]byte{walRecRetrain}, enc[1:]...),
+		"truncated":   enc[:len(enc)-1],
+		"extra bytes": append(append([]byte{}, enc...), 0),
+	}
+	for name, data := range cases {
+		if _, err := decodeObservation(data); err == nil {
+			t.Errorf("%s: decode accepted malformed record", name)
+		}
+	}
+	// Edge/vertex count relation: nv must be ne+1.
+	bad := append([]byte{}, enc...)
+	bad[24]++ // bump ne
+	if _, err := decodeObservation(bad); err == nil {
+		t.Error("decode accepted ne != nv-1")
+	}
+}
+
+func TestRetrainMarkerRoundTrip(t *testing.T) {
+	m := retrainMarker{
+		Generation: 3,
+		Parent:     "aa11",
+		Result:     "bb22",
+		DataRoot:   "cc33",
+		ChainRoot:  "dd44",
+		WindowSeqs: []int64{1, 2, 5, 9},
+		Epochs:     2,
+		LR:         0.004,
+		ClipNorm:   5,
+		LRDecay:    0.9,
+		Seed:       17,
+	}
+	enc, err := encodeRetrainMarker(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc[0] != walRecRetrain {
+		t.Fatalf("marker type byte = 0x%02x", enc[0])
+	}
+	got, err := decodeRetrainMarker(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Generation != m.Generation || got.Result != m.Result || got.Seed != m.Seed ||
+		len(got.WindowSeqs) != len(m.WindowSeqs) || got.WindowSeqs[3] != 9 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, err := decodeRetrainMarker(enc[:1]); err == nil {
+		t.Error("decode accepted truncated marker")
+	}
+	if _, err := decodeRetrainMarker([]byte{walRecObservation}); err == nil {
+		t.Error("decode accepted wrong type byte")
+	}
+}

@@ -38,10 +38,12 @@
 package pathrank
 
 import (
+	"fmt"
 	"io"
 
 	"pathrank/internal/api"
 	"pathrank/internal/dataset"
+	"pathrank/internal/merkle"
 	"pathrank/internal/metrics"
 	"pathrank/internal/node2vec"
 	"pathrank/internal/pathrank"
@@ -357,6 +359,49 @@ func SaveArtifactFile(path string, a *Artifact) error { return pathrank.SaveArti
 
 // LoadArtifactFile reads an artifact from the named file.
 func LoadArtifactFile(path string) (*Artifact, error) { return pathrank.LoadArtifactFile(path) }
+
+// Data provenance: the live pipeline (pathrank-serve -wal-dir) commits
+// every training batch into an RFC 6962 Merkle tree and chains the batch
+// roots across generations; the serving artifact's lineage carries both
+// commitments and the server hands out per-trajectory inclusion proofs.
+type (
+	// ProvenanceInfo describes the serving generation's data commitments
+	// and, when a WAL is configured, the health of the trajectory log.
+	ProvenanceInfo = api.ProvenanceInfo
+	// InclusionProof proves that one ingested trajectory is part of the
+	// training batch committed by a generation's DataRoot.
+	InclusionProof = api.InclusionProof
+	// WALStatus reports trajectory write-ahead-log health.
+	WALStatus = api.WALStatus
+)
+
+// VerifyInclusionProof checks p offline: it parses the hex-encoded leaf
+// hash, audit path, and data root, and verifies that the leaf at p.Index
+// rolls up to p.DataRoot in a batch of p.BatchSize leaves. A nil return
+// means the trajectory is provably part of the committed training batch;
+// the caller is responsible for trusting p.DataRoot (e.g. matching it
+// against the lineage reported by /healthz or GET /v1/provenance).
+func VerifyInclusionProof(p InclusionProof) error {
+	leaf, err := merkle.ParseHash(p.LeafHash)
+	if err != nil {
+		return fmt.Errorf("pathrank: inclusion proof leaf hash: %w", err)
+	}
+	root, err := merkle.ParseHash(p.DataRoot)
+	if err != nil {
+		return fmt.Errorf("pathrank: inclusion proof data root: %w", err)
+	}
+	path := make([]merkle.Hash, len(p.Path))
+	for i, s := range p.Path {
+		if path[i], err = merkle.ParseHash(s); err != nil {
+			return fmt.Errorf("pathrank: inclusion proof path[%d]: %w", i, err)
+		}
+	}
+	proof := merkle.Proof{Index: p.Index, Leaves: p.BatchSize, Path: path}
+	if !proof.Verify(leaf, root) {
+		return fmt.Errorf("pathrank: inclusion proof for trajectory %d does not verify against data root %.12s", p.Seq, p.DataRoot)
+	}
+	return nil
+}
 
 // EmbedNetwork trains node2vec embeddings for g.
 func EmbedNetwork(g *Graph, wc node2vec.WalkConfig, tc node2vec.TrainConfig) *Embeddings {
