@@ -1,0 +1,419 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"pathrank"
+)
+
+// hdrHist is a log-bucketed latency histogram in the spirit of HDR
+// histograms: values share an octave (power of two) split into subCount
+// linear sub-buckets, bounding the relative error of any recorded value —
+// and so of any reported quantile — to 1/subCount. That keeps p999 honest
+// without storing every sample.
+type hdrHist struct {
+	counts []uint64
+	total  uint64
+	sum    float64
+	max    float64
+}
+
+const (
+	histOctaves  = 40 // covers 1ns .. ~4.8 hours in nanoseconds
+	histSubBits  = 5
+	histSubCount = 1 << histSubBits // 32 sub-buckets: <= ~3% relative error
+)
+
+func newHdrHist() *hdrHist {
+	return &hdrHist{counts: make([]uint64, histOctaves*histSubCount)}
+}
+
+// bucketOf maps a nanosecond value onto its bucket index.
+func bucketOf(ns uint64) int {
+	if ns < histSubCount {
+		return int(ns) // the first octaves are exact
+	}
+	octave := bits.Len64(ns) - histSubBits // >= 1
+	sub := ns >> uint(octave-1)            // top histSubBits+1 bits; high bit set
+	idx := octave*histSubCount + int(sub) - histSubCount
+	if idx >= len(bucketMids) {
+		idx = len(bucketMids) - 1
+	}
+	return idx
+}
+
+// bucketMids caches each bucket's representative value (its midpoint).
+var bucketMids = func() []float64 {
+	mids := make([]float64, histOctaves*histSubCount)
+	for i := range mids {
+		lo, hi := bucketBounds(i)
+		mids[i] = (lo + hi) / 2
+	}
+	return mids
+}()
+
+// bucketBounds returns the [lo, hi) nanosecond range of bucket i.
+func bucketBounds(i int) (lo, hi float64) {
+	if i < histSubCount {
+		return float64(i), float64(i + 1)
+	}
+	octave := i / histSubCount
+	sub := i % histSubCount
+	width := math.Exp2(float64(octave - 1)) // sub-bucket width in this octave
+	lo = (float64(histSubCount) + float64(sub)) * width
+	return lo, lo + width
+}
+
+// observe records one latency.
+func (h *hdrHist) observe(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	h.counts[bucketOf(ns)]++
+	h.total++
+	h.sum += float64(ns)
+	if f := float64(ns); f > h.max {
+		h.max = f
+	}
+}
+
+// quantile returns the q-quantile (0 < q <= 1) in nanoseconds, 0 when
+// empty.
+func (h *hdrHist) quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			return bucketMids[i]
+		}
+	}
+	return h.max
+}
+
+// mean returns the mean latency in nanoseconds.
+func (h *hdrHist) mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// genConfig parameterizes one load run.
+type genConfig struct {
+	BaseURL  string
+	Rate     float64 // target arrival rate in requests/second
+	Duration time.Duration
+	Seed     int64
+	Vertices int64 // OD pairs are sampled uniformly from [0, Vertices)
+
+	K          int
+	Strategies []string // sampled uniformly per request; empty = server default
+	Engines    []string // sampled uniformly per request; empty = server default
+
+	V1Ratio    float64 // fraction of requests sent to the legacy /v1/rank
+	BatchRatio float64 // fraction of v2 requests that are batches
+	BatchSize  int
+
+	Timeout     time.Duration // per-request deadline
+	MaxInFlight int           // arrivals past this many open requests are dropped, not delayed
+
+	HTTP *http.Client // nil uses http.DefaultClient
+}
+
+// report is the machine-readable outcome of one load run.
+type report struct {
+	TargetRate  float64 `json:"target_rate"`
+	DurationS   float64 `json:"duration_s"`
+	Requests    int64   `json:"requests"`
+	Queries     int64   `json:"queries"` // batch requests count each query
+	AchievedRPS float64 `json:"achieved_rps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	// Dropped counts arrivals discarded because MaxInFlight requests were
+	// already open. Dropping — instead of delaying the arrival process —
+	// keeps the generator open-loop: a slow server cannot slow the clock
+	// down and flatter its own latency numbers (coordinated omission).
+	Dropped int64            `json:"dropped_arrivals"`
+	Errors  map[string]int64 `json:"errors,omitempty"` // by typed api code
+	Latency latencyReport    `json:"latency_ms"`
+}
+
+type latencyReport struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Max  float64 `json:"max"`
+}
+
+// outcome is one completed request as seen by the collector.
+type outcome struct {
+	latency time.Duration
+	queries int64
+	errors  map[string]int64
+}
+
+// runLoad drives an open-loop Poisson arrival process against the server
+// until cfg.Duration elapses or ctx is canceled, then waits for in-flight
+// requests and reports. Arrivals are scheduled from a seeded source —
+// inter-arrival gaps are exponential with mean 1/Rate — and each request
+// runs in its own goroutine, so server latency never feeds back into the
+// arrival clock.
+func runLoad(ctx context.Context, cfg genConfig) (*report, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("rate must be positive, got %v", cfg.Rate)
+	}
+	if cfg.Vertices < 2 {
+		return nil, fmt.Errorf("need at least 2 vertices to sample OD pairs, got %d", cfg.Vertices)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 8
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 256
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	// MaxRetries -1 really means zero attempts after the first: a load
+	// generator must report backlog and timeouts, not paper over them.
+	client := &pathrank.Client{BaseURL: cfg.BaseURL, HTTP: cfg.HTTP, MaxRetries: -1}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	results := make(chan outcome, cfg.MaxInFlight)
+	sem := make(chan struct{}, cfg.MaxInFlight)
+
+	rep := &report{TargetRate: cfg.Rate, Errors: make(map[string]int64)}
+	hist := newHdrHist()
+	var collect sync.WaitGroup
+	collect.Add(1)
+	go func() {
+		defer collect.Done()
+		for o := range results {
+			rep.Requests++
+			rep.Queries += o.queries
+			hist.observe(o.latency)
+			for code, n := range o.errors {
+				rep.Errors[code] += n
+			}
+		}
+	}()
+
+	var inflight sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	next := start
+	for {
+		// Exponential inter-arrival gap: a Poisson process in the limit.
+		next = next.Add(time.Duration(rng.ExpFloat64() / cfg.Rate * float64(time.Second)))
+		if next.After(deadline) {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-ctx.Done():
+			case <-time.After(d):
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		// The mix is decided on the scheduler goroutine with the seeded
+		// source, so a given seed always produces the same request sequence.
+		spec := nextSpec(rng, cfg)
+		select {
+		case sem <- struct{}{}:
+		default:
+			rep.Dropped++
+			continue
+		}
+		inflight.Add(1)
+		go func() {
+			defer inflight.Done()
+			defer func() { <-sem }()
+			results <- execute(ctx, client, cfg, spec)
+		}()
+	}
+	inflight.Wait()
+	close(results)
+	collect.Wait()
+
+	elapsed := time.Since(start).Seconds()
+	rep.DurationS = elapsed
+	if elapsed > 0 {
+		rep.AchievedRPS = float64(rep.Requests) / elapsed
+		rep.AchievedQPS = float64(rep.Queries) / elapsed
+	}
+	if len(rep.Errors) == 0 {
+		rep.Errors = nil
+	}
+	ms := func(ns float64) float64 { return ns / 1e6 }
+	rep.Latency = latencyReport{
+		Mean: ms(hist.mean()),
+		P50:  ms(hist.quantile(0.50)),
+		P90:  ms(hist.quantile(0.90)),
+		P95:  ms(hist.quantile(0.95)),
+		P99:  ms(hist.quantile(0.99)),
+		P999: ms(hist.quantile(0.999)),
+		Max:  ms(hist.max),
+	}
+	return rep, nil
+}
+
+// requestSpec is one scheduled request, fully decided before dispatch.
+type requestSpec struct {
+	queries []pathrank.RankQuery
+	v1      bool // send to /v1/rank instead of /v2/rank
+	batch   bool
+}
+
+// nextSpec samples the next request from the configured mix.
+func nextSpec(rng *rand.Rand, cfg genConfig) requestSpec {
+	spec := requestSpec{}
+	if rng.Float64() < cfg.V1Ratio {
+		spec.v1 = true
+	} else if rng.Float64() < cfg.BatchRatio {
+		spec.batch = true
+	}
+	n := 1
+	if spec.batch {
+		n = cfg.BatchSize
+	}
+	spec.queries = make([]pathrank.RankQuery, n)
+	for i := range spec.queries {
+		q := pathrank.RankQuery{K: cfg.K}
+		q.Src = rng.Int63n(cfg.Vertices)
+		q.Dst = rng.Int63n(cfg.Vertices - 1)
+		if q.Dst >= q.Src { // uniform over pairs with src != dst
+			q.Dst++
+		}
+		if len(cfg.Strategies) > 0 {
+			q.Strategy = cfg.Strategies[rng.Intn(len(cfg.Strategies))]
+		}
+		if len(cfg.Engines) > 0 {
+			q.Engine = cfg.Engines[rng.Intn(len(cfg.Engines))]
+		}
+		spec.queries[i] = q
+	}
+	return spec
+}
+
+// execute runs one request and classifies its outcome. Latency is wall
+// time of the whole HTTP exchange, including a batch's every query.
+func execute(ctx context.Context, client *pathrank.Client, cfg genConfig, spec requestSpec) outcome {
+	rctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	defer cancel()
+	o := outcome{queries: int64(len(spec.queries))}
+	start := time.Now()
+	switch {
+	case spec.v1:
+		o.errors = execV1(rctx, client, cfg, spec.queries[0])
+	case spec.batch:
+		items, err := client.RankBatch(rctx, spec.queries, 0)
+		o.errors = classify(err)
+		for _, it := range items {
+			if it.Error != nil {
+				o.errors = addErr(o.errors, it.Error.Code)
+			}
+		}
+	default:
+		_, err := client.Rank(rctx, spec.queries[0])
+		o.errors = classify(err)
+	}
+	o.latency = time.Since(start)
+	return o
+}
+
+// execV1 posts the legacy v1 body directly — the SDK is v2-only, and the
+// point of the v1 share is exercising the adapter path.
+func execV1(ctx context.Context, client *pathrank.Client, cfg genConfig, q pathrank.RankQuery) map[string]int64 {
+	body, err := json.Marshal(map[string]any{"src": q.Src, "dst": q.Dst, "k": q.K})
+	if err != nil {
+		return addErr(nil, "transport")
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/v1/rank", bytes.NewReader(body))
+	if err != nil {
+		return addErr(nil, "transport")
+	}
+	req.Header.Set("Content-Type", "application/json")
+	hc := cfg.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return addErr(nil, "transport")
+	}
+	defer resp.Body.Close()
+	var sink [512]byte
+	for {
+		if _, err := resp.Body.Read(sink[:]); err != nil {
+			break
+		}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return addErr(nil, fmt.Sprintf("http_%d", resp.StatusCode))
+	}
+	return nil
+}
+
+// classify maps a request error onto an error-code key.
+func classify(err error) map[string]int64 {
+	if err == nil {
+		return nil
+	}
+	var apiErr *pathrank.APIError
+	if errors.As(err, &apiErr) {
+		return addErr(nil, apiErr.Code)
+	}
+	return addErr(nil, "transport")
+}
+
+func addErr(m map[string]int64, code string) map[string]int64 {
+	if m == nil {
+		m = make(map[string]int64)
+	}
+	m[code]++
+	return m
+}
+
+// text renders the report for humans, one stable line per fact.
+func (r *report) text() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "target      %.1f req/s for %.1fs\n", r.TargetRate, r.DurationS)
+	fmt.Fprintf(&b, "achieved    %.1f req/s (%.1f queries/s, %d requests)\n", r.AchievedRPS, r.AchievedQPS, r.Requests)
+	if r.Dropped > 0 {
+		fmt.Fprintf(&b, "dropped     %d arrivals (in-flight cap hit; raise -max-inflight or lower -rate)\n", r.Dropped)
+	}
+	if len(r.Errors) > 0 {
+		codes := make([]string, 0, len(r.Errors))
+		for c := range r.Errors {
+			codes = append(codes, c)
+		}
+		sort.Strings(codes)
+		for _, c := range codes {
+			fmt.Fprintf(&b, "errors      %-18s %d\n", c, r.Errors[c])
+		}
+	}
+	l := r.Latency
+	fmt.Fprintf(&b, "latency ms  mean %.3f  p50 %.3f  p90 %.3f  p95 %.3f  p99 %.3f  p999 %.3f  max %.3f\n",
+		l.Mean, l.P50, l.P90, l.P95, l.P99, l.P999, l.Max)
+	return b.String()
+}

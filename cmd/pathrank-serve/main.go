@@ -25,7 +25,8 @@
 //	GET  /v1/provenance        Merkle commitments of the serving generation + WAL health
 //	GET  /v1/provenance?seq=N  inclusion proof for ingested trajectory N
 //	GET  /healthz    liveness, artifact shape, fingerprint, lineage, provenance roots
-//	GET  /metrics    expvar counters (requests, cache, singleflight, batching, swaps, ingest, WAL)
+//	GET  /metrics    Prometheus text format (latency histograms, cache, batching, swaps, retrains, WAL)
+//	GET  /metrics.json  legacy expvar counters (compat alias)
 //
 // With -wal-dir the live pipeline becomes durable: every accepted
 // trajectory is logged before it can influence training, the observation
@@ -49,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"pathrank/internal/obsv"
 	"pathrank/internal/pathrank"
 	"pathrank/internal/serve"
 	"pathrank/internal/stream"
@@ -104,8 +106,13 @@ func main() {
 		art.Graph.NumVertices(), art.Graph.NumEdges(), art.Model.NumParams(),
 		art.Candidates.Strategy, art.Candidates.K, art.Lineage.Generation, fpHex, *engine, prepNote)
 
+	// One registry for the whole process: the server and the live pipeline
+	// both register on it, so GET /metrics is the single scrape surface.
+	registry := obsv.NewRegistry()
+
 	cfg := serve.Config{
 		Addr:             *addr,
+		Metrics:          registry,
 		CacheSize:        *cacheSize,
 		BatchWindow:      *batchWindow,
 		BatchMaxPaths:    *batchMax,
@@ -149,6 +156,7 @@ func main() {
 			WALSyncInterval: *walSyncEvery,
 			WALSegmentBytes: *walSegBytes,
 			WALRetain:       *walRetain,
+			Metrics:         registry,
 			Publish: func(a *pathrank.Artifact) error {
 				_, err := srv.Swap(a)
 				return err

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"runtime"
+	"time"
+
+	"pathrank/internal/obsv"
+)
+
+// Cache-event and ingest-status label values of the serve metric families.
+// Exported indirectly through docs/OPERATIONS.md; the label sets are fixed
+// so dashboards can enumerate them.
+const (
+	cacheHit    = "hit"
+	cacheMiss   = "miss"
+	cacheShared = "singleflight_shared"
+)
+
+// serveMetrics is the server's Prometheus-format instrumentation, layered
+// on top of the expvar counters (which remain as a compat alias at
+// /metrics.json). One instance per Server, registered on either the
+// caller-supplied registry (Config.Metrics — pathrank-serve shares one
+// registry between the server and the stream pipeline) or a private one.
+type serveMetrics struct {
+	reg *obsv.Registry
+
+	// requests counts every HTTP request by endpoint, including the
+	// non-rank endpoints, so a dashboard can see scrape and health traffic
+	// next to query traffic.
+	requests *obsv.CounterVec
+	// latency is the end-to-end request duration of the rank endpoints,
+	// labeled by endpoint and the serving snapshot's engine. Requests
+	// rejected before a snapshot is pinned (shed, undecodable body) are
+	// not observed here — they are visible in rankErrors/shed instead.
+	latency *obsv.HistogramVec
+	// rankErrors counts failed rank queries by typed api code (per item
+	// for batches).
+	rankErrors *obsv.CounterVec
+	// cacheEvents counts result-cache hits, misses, and singleflight-shared
+	// answers across both API versions.
+	cacheEvents *obsv.CounterVec
+	// shed counts requests rejected by the MaxInFlight load shedder.
+	shed obsv.Counter
+	// batchQueries is the distribution of queries per /v2/rank batch
+	// request (single-query requests are not observed).
+	batchQueries obsv.Histogram
+	// flushPaths is the distribution of paths per micro-batched NN scoring
+	// sweep; empty when batching is disabled.
+	flushPaths obsv.Histogram
+	// swaps/swapDuration instrument artifact hot swaps (snapshot build +
+	// install, excluding the retired snapshot's background drain).
+	swaps        obsv.Counter
+	swapDuration obsv.Histogram
+	// reloadErrors counts failed /v1/reload attempts.
+	reloadErrors obsv.Counter
+	// ingest counts trajectories by outcome: accepted into the pipeline or
+	// rejected (no pipeline, invalid body, over limits, backlog).
+	ingest *obsv.CounterVec
+}
+
+// newServeMetrics registers the server's metric families on reg and wires
+// the scrape-time gauges to s.
+func newServeMetrics(reg *obsv.Registry, s *Server) *serveMetrics {
+	m := &serveMetrics{reg: reg}
+	m.requests = reg.Counter("pathrank_http_requests_total",
+		"HTTP requests received, by endpoint.", "endpoint")
+	m.latency = reg.Histogram("pathrank_request_duration_seconds",
+		"End-to-end rank request latency in seconds, by endpoint and serving engine.",
+		nil, "endpoint", "engine")
+	m.rankErrors = reg.Counter("pathrank_rank_errors_total",
+		"Failed rank queries by typed error code (per item for batches).", "code")
+	m.cacheEvents = reg.Counter("pathrank_cache_events_total",
+		"Result-cache lookups by outcome: hit, miss, or singleflight_shared.", "event")
+	m.shed = reg.Counter("pathrank_load_shed_total",
+		"Rank requests rejected immediately because MaxInFlight was exceeded.").With()
+	m.batchQueries = reg.Histogram("pathrank_batch_queries",
+		"Queries per /v2/rank batch request.", obsv.DefSizeBuckets).With()
+	m.flushPaths = reg.Histogram("pathrank_score_batch_paths",
+		"Paths per micro-batched NN scoring sweep.", obsv.DefSizeBuckets).With()
+	m.swaps = reg.Counter("pathrank_swaps_total",
+		"Artifact hot swaps installed.").With()
+	m.swapDuration = reg.Histogram("pathrank_swap_duration_seconds",
+		"Hot-swap latency in seconds: snapshot build through install.", nil).With()
+	m.reloadErrors = reg.Counter("pathrank_reload_errors_total",
+		"Failed artifact reload attempts.").With()
+	m.ingest = reg.Counter("pathrank_ingest_trajectories_total",
+		"Ingested GPS trajectories by outcome: accepted or rejected.", "status")
+
+	reg.GaugeFunc("pathrank_in_flight_requests",
+		"Rank requests currently executing.",
+		func() float64 { return float64(s.inFlightGauge.Value()) })
+	reg.GaugeFunc("pathrank_cache_entries",
+		"Entries in the serving snapshot's result cache.",
+		func() float64 { return float64(s.snap.Load().cache.len()) })
+	reg.GaugeFunc("pathrank_snapshot_age_seconds",
+		"Age of the serving snapshot (resets on every hot swap).",
+		func() float64 { return time.Since(s.snap.Load().loaded).Seconds() })
+	reg.GaugeFunc("pathrank_model_generation",
+		"Lineage generation of the serving artifact.",
+		func() float64 { return float64(s.snap.Load().art.Lineage.Generation) })
+	reg.GaugeFunc("process_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("go_goroutines",
+		"Live goroutines in the process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_memstats_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.Alloc)
+		})
+	return m
+}
+
+// observeLatency records one completed rank request (success or typed
+// failure) against its endpoint and the snapshot's engine.
+func (m *serveMetrics) observeLatency(endpoint string, snap *snapshot, start time.Time) {
+	m.latency.With(endpoint, snap.engine.Kind().String()).Observe(time.Since(start).Seconds())
+}

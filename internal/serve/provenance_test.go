@@ -89,8 +89,8 @@ func TestProvenanceEndpointWithPipeline(t *testing.T) {
 	getJSON(t, ts.URL+"/v1/provenance?seq=zero", http.StatusBadRequest, nil)
 	getJSON(t, ts.URL+"/v1/provenance?seq=-4", http.StatusBadRequest, nil)
 
-	// The health response carries the WAL block, and /metrics exports the
-	// live provenance gauge.
+	// The health response carries the WAL block, and /metrics.json exports
+	// the live provenance gauge.
 	var health struct {
 		WAL *api.WALStatus `json:"wal"`
 	}
@@ -98,7 +98,7 @@ func TestProvenanceEndpointWithPipeline(t *testing.T) {
 	if health.WAL == nil || health.WAL.Segments != 2 || health.WAL.TornBytes != 3 {
 		t.Fatalf("healthz wal block: %+v", health.WAL)
 	}
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -452,7 +452,7 @@ func TestServeHealthzAndMetrics(t *testing.T) {
 	}
 
 	postRank(t, ts.URL, RankRequest{Src: 0, Dst: 8})
-	resp, err = http.Get(ts.URL + "/metrics")
+	resp, err = http.Get(ts.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -29,9 +29,11 @@
 // the loop with the streaming retrainer in internal/stream. POST /v1/ingest
 // forwards raw GPS trajectories to a pluggable Ingestor.
 //
-// GET /healthz reports liveness, artifact shape, and lineage; GET /metrics
-// exports the server's expvar counters together with the Go runtime's
-// memstats.
+// GET /healthz reports liveness, artifact shape, and lineage. GET /metrics
+// exports the server's instrumentation (latency histograms, cache and shed
+// counters, typed error counts, swap timings — see internal/obsv and
+// docs/OPERATIONS.md) in the Prometheus text format; the pre-existing
+// expvar counters remain at GET /metrics.json.
 package serve
 
 import (
@@ -51,6 +53,7 @@ import (
 
 	"pathrank/internal/api"
 	"pathrank/internal/geo"
+	"pathrank/internal/obsv"
 	"pathrank/internal/pathrank"
 	"pathrank/internal/spath"
 	"pathrank/internal/traj"
@@ -133,6 +136,11 @@ type Config struct {
 	// queue this bounds the bytes a client can park behind 202 responses;
 	// without it, maximal bodies times the queue depth is gigabytes.
 	MaxIngestRecords int
+	// Metrics, when non-nil, is the registry the server registers its
+	// Prometheus-format metric families on — pathrank-serve passes one
+	// shared registry here and to the stream pipeline so GET /metrics
+	// exports both. nil gives the server a private registry.
+	Metrics *obsv.Registry
 	// Logf, when non-nil, receives operational log lines (swaps, watcher
 	// errors).
 	Logf func(format string, args ...any)
@@ -157,6 +165,8 @@ type Server struct {
 	// reloadMu serializes Swap/Reload so concurrent /v1/reload requests
 	// cannot interleave snapshot construction and installation.
 	reloadMu sync.Mutex
+
+	obs *serveMetrics
 
 	vars           *expvar.Map
 	reqTotal       expvar.Int
@@ -218,6 +228,14 @@ func New(art *pathrank.Artifact, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.snap.Store(snap)
+	// The Prometheus registry: per-server unless the caller shares one.
+	// Registered after the snapshot is installed, because the scrape-time
+	// gauges read it.
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obsv.NewRegistry()
+	}
+	s.obs = newServeMetrics(reg, s)
 	// The map is intentionally not expvar.Published: tests run many servers
 	// in one process and Publish panics on duplicate names. The /metrics
 	// handler serves it directly instead.
@@ -253,12 +271,19 @@ func (s *Server) buildSnapshot(art *pathrank.Artifact, prev *snapshot) (*snapsho
 		return nil, err
 	}
 	if snap.batch != nil {
-		snap.batch.onFlush = func(reqs, paths int) {
-			s.batchFlushes.Add(1)
-			s.batchPaths.Add(int64(paths))
-		}
+		snap.batch.onFlush = s.onBatchFlush
 	}
 	return snap, nil
+}
+
+// onBatchFlush observes one micro-batch scoring sweep in both metric
+// surfaces.
+func (s *Server) onBatchFlush(reqs, paths int) {
+	s.batchFlushes.Add(1)
+	s.batchPaths.Add(int64(paths))
+	if s.obs != nil {
+		s.obs.flushPaths.Observe(float64(paths))
+	}
 }
 
 // acquire returns the current snapshot with a reference held; the caller
@@ -295,6 +320,7 @@ type SwapInfo struct {
 func (s *Server) Swap(art *pathrank.Artifact) (SwapInfo, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
+	swapStart := time.Now()
 	old := s.snap.Load()
 	next, err := s.buildSnapshot(art, old)
 	if err != nil {
@@ -305,6 +331,10 @@ func (s *Server) Swap(art *pathrank.Artifact) (SwapInfo, error) {
 	s.snapMu.Unlock()
 	old.retire()
 	s.swapsTotal.Add(1)
+	if s.obs != nil {
+		s.obs.swaps.Inc()
+		s.obs.swapDuration.Observe(time.Since(swapStart).Seconds())
+	}
 	info := SwapInfo{
 		Fingerprint:    next.fpHex,
 		Previous:       old.fpHex,
@@ -331,11 +361,13 @@ func (s *Server) Reload(path string) (SwapInfo, error) {
 	art, err := pathrank.LoadArtifactFile(path)
 	if err != nil {
 		s.reloadErrors.Add(1)
+		s.obs.reloadErrors.Inc()
 		return SwapInfo{}, err
 	}
 	info, err := s.Swap(art)
 	if err != nil {
 		s.reloadErrors.Add(1)
+		s.obs.reloadErrors.Inc()
 	}
 	return info, err
 }
@@ -367,7 +399,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/provenance", s.handleProvenance)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics.json", s.handleMetricsExpvar)
 	return mux
+}
+
+// Metrics returns the server's Prometheus registry (the one behind GET
+// /metrics): cfg.Metrics when one was supplied, a private registry
+// otherwise.
+func (s *Server) Metrics() *obsv.Registry {
+	return s.obs.reg
 }
 
 // Run listens on cfg.Addr and serves until ctx is canceled, then drains
@@ -502,12 +542,15 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) bool
 // blanket 500s; the v1 error body shape is unchanged.
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	s.reqTotal.Add(1)
+	s.obs.requests.With("/v1/rank").Inc()
 	s.inFlightGauge.Add(1)
 	defer s.inFlightGauge.Add(-1)
 	startReq := time.Now()
 
 	if s.overloaded() {
 		s.rankErrors.Add(1)
+		s.obs.shed.Inc()
+		s.obs.rankErrors.With(api.CodeBacklog).Inc()
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: backlogMessage})
 		return
@@ -516,6 +559,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	var req RankRequest
 	if !decodeJSON(w, r, maxRankBody, &req) {
 		s.rankErrors.Add(1)
+		s.obs.rankErrors.With(api.CodeInvalid).Inc()
 		return
 	}
 
@@ -523,10 +567,12 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	// mid-request must not mix two models' state.
 	snap := s.acquire()
 	defer snap.release()
+	defer s.obs.observeLatency("/v1/rank", snap, startReq)
 
 	cq, apiErr := s.buildQuery(snap, api.RankQuery{Src: req.Src, Dst: req.Dst, K: req.K})
 	if apiErr != nil {
 		s.rankErrors.Add(1)
+		s.obs.rankErrors.With(apiErr.Code).Inc()
 		writeJSON(w, apiErr.Status, errorResponse{Error: apiErr.Message})
 		return
 	}
@@ -535,6 +581,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	if out.err != nil {
 		s.rankErrors.Add(1)
 		e := apiErrorFrom(out.err)
+		s.obs.rankErrors.With(e.Code).Inc()
 		writeJSON(w, e.Status, errorResponse{Error: out.err.Error()})
 		return
 	}
@@ -557,6 +604,7 @@ type ReloadRequest struct {
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	s.reqTotal.Add(1)
+	s.obs.requests.With("/v1/reload").Inc()
 	var req ReloadRequest
 	// An empty body means "reload the configured artifact".
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRankBody))
@@ -600,24 +648,29 @@ type IngestResponse struct {
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.reqTotal.Add(1)
-	if s.cfg.Ingest == nil {
+	s.obs.requests.With("/v1/ingest").Inc()
+	reject := func() {
 		s.ingestRejected.Add(1)
+		s.obs.ingest.With("rejected").Inc()
+	}
+	if s.cfg.Ingest == nil {
+		reject()
 		writeJSON(w, http.StatusServiceUnavailable,
 			errorResponse{Error: "ingestion is not enabled on this server"})
 		return
 	}
 	var req IngestRequest
 	if !decodeJSON(w, r, maxIngestBody, &req) {
-		s.ingestRejected.Add(1)
+		reject()
 		return
 	}
 	if len(req.Records) == 0 {
-		s.ingestRejected.Add(1)
+		reject()
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "trajectory has no records"})
 		return
 	}
 	if len(req.Records) > s.cfg.MaxIngestRecords {
-		s.ingestRejected.Add(1)
+		reject()
 		writeJSON(w, http.StatusBadRequest, errorResponse{
 			Error: fmt.Sprintf("trajectory has %d records, limit is %d — split long traces",
 				len(req.Records), s.cfg.MaxIngestRecords)})
@@ -628,12 +681,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		recs[i] = traj.GPSRecord{Point: geo.Point{Lon: sm.Lon, Lat: sm.Lat}, TimeOffset: sm.T}
 	}
 	if err := s.cfg.Ingest.IngestGPS(recs); err != nil {
-		s.ingestRejected.Add(1)
+		reject()
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 		return
 	}
 	s.ingestAccepted.Add(1)
+	s.obs.ingest.With("accepted").Inc()
 	writeJSON(w, http.StatusAccepted, IngestResponse{Queued: len(req.Records)})
 }
 
@@ -644,6 +698,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // number, or 404 when the trajectory is not in the current training batch.
 func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
 	s.reqTotal.Add(1)
+	s.obs.requests.With("/v1/provenance").Inc()
 	if seqStr := r.URL.Query().Get("seq"); seqStr != "" {
 		if s.cfg.Provenance == nil {
 			writeJSON(w, http.StatusNotFound,
@@ -705,6 +760,7 @@ type healthResponse struct {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.reqTotal.Add(1)
+	s.obs.requests.With("/healthz").Inc()
 	snap := s.acquire()
 	defer snap.release()
 	resp := healthResponse{
@@ -733,10 +789,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleMetrics exports the server's expvar map alongside the runtime's
-// standard expvar variables (memstats).
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics exports the server's metric registry in Prometheus text
+// exposition format. See docs/OPERATIONS.md for the metric reference.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reqTotal.Add(1)
+	s.obs.requests.With("/metrics").Inc()
+	s.obs.reg.ServeHTTP(w, r)
+}
+
+// handleMetricsExpvar exports the server's expvar map alongside the
+// runtime's standard expvar variables (memstats) — the pre-Prometheus
+// metrics surface, kept as a compat alias at GET /metrics.json.
+func (s *Server) handleMetricsExpvar(w http.ResponseWriter, _ *http.Request) {
+	s.reqTotal.Add(1)
+	s.obs.requests.With("/metrics.json").Inc()
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	fmt.Fprintf(w, "{\"serve\": %s", s.vars.String())
 	if mem := expvar.Get("memstats"); mem != nil {

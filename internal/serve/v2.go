@@ -149,9 +149,11 @@ type queryOutcome struct {
 func (s *Server) execQuery(ctx context.Context, snap *snapshot, cq coreQuery) queryOutcome {
 	if ranked, ok := snap.cache.get(cq.key); ok {
 		s.cacheHits.Add(1)
+		s.obs.cacheEvents.With(cacheHit).Inc()
 		return queryOutcome{ranked: ranked, cached: true}
 	}
 	s.cacheMisses.Add(1)
+	s.obs.cacheEvents.With(cacheMiss).Inc()
 	var stats pathrank.RankStats
 	ranked, err, shared := snap.flight.do(ctx, cq.key, func() ([]pathrank.Ranked, error) {
 		genStart := time.Now()
@@ -168,6 +170,7 @@ func (s *Server) execQuery(ctx context.Context, snap *snapshot, cq coreQuery) qu
 	})
 	if shared {
 		s.flightShared.Add(1)
+		s.obs.cacheEvents.With(cacheShared).Inc()
 	}
 	if err != nil {
 		return queryOutcome{err: err, shared: shared}
@@ -211,12 +214,15 @@ func (s *Server) requestContext(r *http.Request, timeoutMs int64) (context.Conte
 
 func (s *Server) handleRankV2(w http.ResponseWriter, r *http.Request) {
 	s.reqTotal.Add(1)
+	s.obs.requests.With("/v2/rank").Inc()
 	s.inFlightGauge.Add(1)
 	defer s.inFlightGauge.Add(-1)
 	startReq := time.Now()
 
 	if s.overloaded() {
 		s.rankErrors.Add(1)
+		s.obs.shed.Inc()
+		s.obs.rankErrors.With(api.CodeBacklog).Inc()
 		writeV2Error(w, &api.Error{
 			Status: http.StatusServiceUnavailable, Code: api.CodeBacklog, Message: backlogMessage,
 		})
@@ -226,6 +232,7 @@ func (s *Server) handleRankV2(w http.ResponseWriter, r *http.Request) {
 	var req api.RankRequest
 	if apiErr := decodeJSONErr(w, r, maxRankBody, &req); apiErr != nil {
 		s.rankErrors.Add(1)
+		s.obs.rankErrors.With(apiErr.Code).Inc()
 		writeV2Error(w, apiErr)
 		return
 	}
@@ -234,6 +241,7 @@ func (s *Server) handleRankV2(w http.ResponseWriter, r *http.Request) {
 	// hot swap installed mid-request must not mix two models' state.
 	snap := s.acquire()
 	defer snap.release()
+	defer s.obs.observeLatency("/v2/rank", snap, startReq)
 
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
@@ -252,13 +260,16 @@ func (s *Server) rankV2Single(ctx context.Context, w http.ResponseWriter, snap *
 	cq, apiErr := s.buildQuery(snap, q)
 	if apiErr != nil {
 		s.rankErrors.Add(1)
+		s.obs.rankErrors.With(apiErr.Code).Inc()
 		writeV2Error(w, apiErr)
 		return
 	}
 	out := s.execQuery(ctx, snap, cq)
 	if out.err != nil {
 		s.rankErrors.Add(1)
-		writeV2Error(w, apiErrorFrom(out.err))
+		apiErr := apiErrorFrom(out.err)
+		s.obs.rankErrors.With(apiErr.Code).Inc()
+		writeV2Error(w, apiErr)
 		return
 	}
 	s.rankOK.Add(1)
@@ -280,9 +291,11 @@ func (s *Server) rankV2Single(ctx context.Context, w http.ResponseWriter, snap *
 func (s *Server) rankV2Batch(ctx context.Context, w http.ResponseWriter, snap *snapshot, queries []api.RankQuery, startReq time.Time) {
 	if len(queries) > s.cfg.MaxBatch {
 		s.rankErrors.Add(1)
+		s.obs.rankErrors.With(api.CodeInvalid).Inc()
 		writeV2Error(w, invalidErrf("batch has %d queries, limit is %d", len(queries), s.cfg.MaxBatch))
 		return
 	}
+	s.obs.batchQueries.Observe(float64(len(queries)))
 	type pendingItem struct {
 		idx    int
 		cq     coreQuery
@@ -307,20 +320,26 @@ func (s *Server) rankV2Batch(ctx context.Context, w http.ResponseWriter, snap *s
 		cq, apiErr := s.buildQuery(snap, q)
 		if apiErr != nil {
 			s.rankErrors.Add(1)
+			s.obs.rankErrors.With(apiErr.Code).Inc()
 			items[i].Error = apiErr
 			nerr++
 			continue
 		}
 		if ranked, ok := snap.cache.get(cq.key); ok {
 			s.cacheHits.Add(1)
+			s.obs.cacheEvents.With(cacheHit).Inc()
 			items[i].Response = buildResult(snap, q, cq, queryOutcome{ranked: ranked, cached: true})
 			continue
 		}
 		if lead, ok := leaders[cq.key]; ok {
+			// A follower shares its leader's computation, the in-batch
+			// analogue of a singleflight-shared answer.
+			s.obs.cacheEvents.With(cacheShared).Inc()
 			followers = append(followers, follower{idx: i, leader: lead})
 			continue
 		}
 		s.cacheMisses.Add(1)
+		s.obs.cacheEvents.With(cacheMiss).Inc()
 		p := &pendingItem{idx: i, cq: cq}
 		leaders[cq.key] = p
 		pend = append(pend, p)
@@ -361,6 +380,7 @@ func (s *Server) rankV2Batch(ctx context.Context, w http.ResponseWriter, snap *s
 		if p.err != nil {
 			s.rankErrors.Add(1)
 			items[p.idx].Error = apiErrorFrom(p.err)
+			s.obs.rankErrors.With(items[p.idx].Error.Code).Inc()
 			nerr++
 			continue
 		}
@@ -391,6 +411,7 @@ func (s *Server) rankV2Batch(ctx context.Context, w http.ResponseWriter, snap *s
 		if f.leader.err != nil {
 			s.rankErrors.Add(1)
 			items[f.idx].Error = apiErrorFrom(f.leader.err)
+			s.obs.rankErrors.With(items[f.idx].Error.Code).Inc()
 			nerr++
 			continue
 		}

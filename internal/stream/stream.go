@@ -27,6 +27,12 @@
 // reaches the server through the Publish callback, so either side can be
 // run and tested without the other. Provenance crosses the same boundary
 // through the wire types of the leaf package internal/api.
+//
+// The pipeline instruments itself on an internal/obsv registry
+// (Config.Metrics; pathrank-serve passes the server's registry so one
+// GET /metrics scrape covers both): observation outcomes, retrain counts
+// and latency, queue/window/pending gauges, and WAL fsync health. See
+// docs/OPERATIONS.md for the metric reference.
 package stream
 
 import (
@@ -40,6 +46,7 @@ import (
 	"pathrank/internal/api"
 	"pathrank/internal/dataset"
 	"pathrank/internal/merkle"
+	"pathrank/internal/obsv"
 	"pathrank/internal/pathrank"
 	"pathrank/internal/spath"
 	"pathrank/internal/traj"
@@ -95,6 +102,11 @@ type Config struct {
 	Publish func(*pathrank.Artifact) error
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, is the registry the pipeline registers its
+	// Prometheus-format metric families on — pathrank-serve passes the
+	// same registry here and to the serve layer so GET /metrics exports
+	// both. nil gives the pipeline a private registry.
+	Metrics *obsv.Registry
 
 	// WALDir, when set, enables the trajectory write-ahead log in that
 	// directory: accepted observations are logged before they enter the
@@ -157,6 +169,10 @@ type Service struct {
 
 	// log is the trajectory WAL; nil when Config.WALDir is empty.
 	log *wal.Log
+
+	// obs is the pipeline's Prometheus instrumentation; always non-nil
+	// after New.
+	obs *streamMetrics
 
 	mu            sync.Mutex
 	art           *pathrank.Artifact
@@ -275,6 +291,11 @@ func New(art *pathrank.Artifact, cfg Config) (*Service, error) {
 		queue:   make(chan ingestItem, cfg.QueueSize),
 		art:     art,
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obsv.NewRegistry()
+	}
+	s.obs = newStreamMetrics(reg, s)
 	// The provenance chain resumes from the artifact's lineage: the
 	// persisted artifact is the authoritative record of what has been
 	// committed. A blank ChainRoot (pre-provenance artifact, or genesis)
@@ -317,6 +338,9 @@ func (s *Service) openWAL() error {
 		Sync:         pol,
 		SyncEvery:    s.cfg.WALSyncInterval,
 		Retain:       s.cfg.WALRetain,
+		OnSync: func(d time.Duration) {
+			s.obs.walFsync.Observe(d.Seconds())
+		},
 	})
 	if err != nil {
 		return fmt.Errorf("stream: open WAL: %w", err)
@@ -406,6 +430,7 @@ func (s *Service) IngestGPS(records []traj.GPSRecord) error {
 		s.mu.Lock()
 		s.dropped++
 		s.mu.Unlock()
+		s.obs.observations.With(obsDropped).Inc()
 		return ErrBacklog
 	}
 }
@@ -486,6 +511,7 @@ func (s *Service) matchOne(ctx context.Context, item ingestItem) {
 		s.mu.Lock()
 		s.matchFailed++
 		s.mu.Unlock()
+		s.obs.observations.With(obsMatchFailed).Inc()
 		if err != nil && s.cfg.Logf != nil {
 			s.cfg.Logf("match trajectory %d: %v", item.seq, err)
 		}
@@ -501,6 +527,7 @@ func (s *Service) matchOne(ctx context.Context, item ingestItem) {
 			s.mu.Lock()
 			s.walErrors++
 			s.mu.Unlock()
+			s.obs.observations.With(obsWALError).Inc()
 			if s.cfg.Logf != nil {
 				s.cfg.Logf("wal: append trajectory %d: %v (observation discarded)", item.seq, err)
 			}
@@ -512,6 +539,7 @@ func (s *Service) matchOne(ctx context.Context, item ingestItem) {
 	s.pending++
 	s.windowAddLocked(o)
 	s.mu.Unlock()
+	s.obs.observations.With(obsMatched).Inc()
 }
 
 // retrainLoop fires a retrain whenever the cadence elapses with at least
@@ -556,6 +584,7 @@ func (s *Service) retrainLoop(ctx context.Context) {
 func (s *Service) RetrainNow() (*pathrank.Artifact, error) {
 	s.retrainMu.Lock()
 	defer s.retrainMu.Unlock()
+	retrainStart := time.Now()
 
 	s.mu.Lock()
 	base := s.art
@@ -567,6 +596,7 @@ func (s *Service) RetrainNow() (*pathrank.Artifact, error) {
 		s.mu.Lock()
 		s.retrainErrors++
 		s.mu.Unlock()
+		s.obs.retrains.With("error").Inc()
 		return nil, err
 	}
 
@@ -613,6 +643,8 @@ func (s *Service) RetrainNow() (*pathrank.Artifact, error) {
 	s.batch = out.batch
 	s.batchSeqs = out.seqs
 	s.mu.Unlock()
+	s.obs.retrains.With("ok").Inc()
+	s.obs.retrainDuration.Observe(time.Since(retrainStart).Seconds())
 	if s.cfg.Logf != nil {
 		s.cfg.Logf("retrained: generation %d on %d observations (data root %s)",
 			art.Lineage.Generation, len(obs), art.Lineage.DataRoot)

@@ -129,6 +129,12 @@ type Options struct {
 	// until the cap holds. 0 keeps everything — required for full-history
 	// replay; see the README's retention trade-offs.
 	Retain int
+	// OnSync, when non-nil, observes the duration of every fsync batch as
+	// it completes. The stream layer wires it into a latency histogram so
+	// scrapes see the fsync distribution, not just the mean that Stats
+	// reports. The callback runs with the log's lock held: it must be fast
+	// and must not call back into the log.
+	OnSync func(d time.Duration)
 }
 
 // Recovery describes what Open found on disk.
@@ -462,9 +468,13 @@ func (l *Log) syncLocked() error {
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
-	l.syncNanos += time.Since(start).Nanoseconds()
+	d := time.Since(start)
+	l.syncNanos += d.Nanoseconds()
 	l.syncs++
 	l.synced = l.nextIndex - 1
+	if l.opts.OnSync != nil {
+		l.opts.OnSync(d)
+	}
 	return nil
 }
 

@@ -10,6 +10,13 @@
 # PATHRANK_BENCH_QUICK=1 selects the scaled-down experiment world so the
 # macro benchmarks (full paper tables) finish in seconds; unset it in the
 # environment-variable override below for paper-scale numbers.
+#
+# BENCHCOUNT=N repeats every benchmark N times (go test -count): each
+# metric is then recorded as its mean across the repeats plus a
+# "<metric>_std" sample standard deviation, so a single noisy iteration
+# can no longer masquerade as a regression (or an improvement). Baselines
+# recorded with BENCHCOUNT=1 simply carry no _std keys, which downstream
+# tooling treats as std 0.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,22 +26,32 @@ QUICK="${PATHRANK_BENCH_QUICK:-1}"
 # One iteration keeps the macro table benchmarks cheap; override with e.g.
 # BENCHTIME=1s for stable micro-benchmark numbers.
 BENCHTIME="${BENCHTIME:-1x}"
+BENCHCOUNT="${BENCHCOUNT:-1}"
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-PATHRANK_BENCH_QUICK="$QUICK" go test -run '^$' -bench "$PATTERN" -benchmem -benchtime="$BENCHTIME" ./... | tee "$RAW"
+PATHRANK_BENCH_QUICK="$QUICK" go test -run '^$' -bench "$PATTERN" -benchmem \
+    -benchtime="$BENCHTIME" -count="$BENCHCOUNT" ./... | tee "$RAW"
 
 awk -v quick="$QUICK" '
-BEGIN {
-    n = 0
+function record(name, key, val,    ck) {
+    ck = name SUBSEP key
+    if (!(ck in cnt)) {
+        keys[name, nkeys[name]++] = key
+    }
+    cnt[ck]++
+    sum[ck] += val
+    sumsq[ck] += val * val
 }
 /^Benchmark/ {
     name = $1
-    iters = $2
-    line = "    {\"name\": \"" name "\", \"iterations\": " iters
+    if (!(name in runs)) {
+        order[n++] = name
+    }
+    runs[name]++
+    record(name, "iterations", $2)
     for (i = 3; i + 1 <= NF; i += 2) {
-        val = $i
         unit = $(i + 1)
         key = unit
         if (unit == "ns/op") key = "ns_per_op"
@@ -42,17 +59,29 @@ BEGIN {
         else if (unit == "allocs/op") key = "allocs_per_op"
         else if (unit == "MB/s") key = "mb_per_s"
         gsub(/[^A-Za-z0-9_]/, "_", key)
-        line = line ", \"" key "\": " val
+        record(name, key, $i)
     }
-    line = line "}"
-    rows[n++] = line
 }
 END {
     print "{"
     print "  \"quick\": " (quick != "" ? "true" : "false") ","
     print "  \"benchmarks\": ["
     for (i = 0; i < n; i++) {
-        printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
+        name = order[i]
+        line = "    {\"name\": \"" name "\", \"runs\": " runs[name]
+        for (k = 0; k < nkeys[name]; k++) {
+            key = keys[name, k]
+            ck = name SUBSEP key
+            mean = sum[ck] / cnt[ck]
+            line = line ", \"" key "\": " sprintf("%.6g", mean)
+            if (cnt[ck] > 1) {
+                var = (sumsq[ck] - sum[ck] * sum[ck] / cnt[ck]) / (cnt[ck] - 1)
+                if (var < 0) var = 0
+                line = line ", \"" key "_std\": " sprintf("%.6g", sqrt(var))
+            }
+        }
+        line = line "}"
+        printf "%s%s\n", line, (i < n - 1 ? "," : "")
     }
     print "  ]"
     print "}"

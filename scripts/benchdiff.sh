@@ -22,6 +22,13 @@
 # the zero-alloc workspace or scratch-arena invariants from the perf PRs
 # shows up as an alloc regression. For same-machine A/B runs, add ns_per_op:
 #   BENCHDIFF_METRICS="allocs_per_op bytes_per_op ns_per_op" scripts/benchdiff.sh old.json
+#
+# Noise guard: when either file was recorded with repeats (bench.sh
+# BENCHCOUNT > 1), a metric only counts as regressed if it exceeds the
+# threshold AND the absolute delta is larger than the two runs' combined
+# sample standard deviations — a spread the repeats themselves produced
+# is not a verdict. Files without _std keys (single-run baselines) get
+# std 0 and behave exactly as before.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -106,10 +113,18 @@ BEGIN {
             bkey = name "." m
             if (!(bkey in base) || !(bkey in cur)) continue
             b = base[bkey]; c = cur[bkey]
+            bstd = ((bkey "_std") in base) ? base[bkey "_std"] : 0
+            cstd = ((bkey "_std") in cur) ? cur[bkey "_std"] : 0
             compared++
             if (b == 0) { delta = (c == 0 ? 0 : 1e9) } else { delta = (c - b) / b * 100 }
             verdict = ""
-            if (delta > threshold + 0) { verdict = "  REGRESSION"; fails++ }
+            if (delta > threshold + 0) {
+                if (c - b > bstd + cstd) {
+                    verdict = "  REGRESSION"; fails++
+                } else {
+                    verdict = "  within noise (std " sprintf("%g", bstd + cstd) ")"
+                }
+            }
             printf "%-34s %-16s %14g %14g %+8.1f%%%s\n", name, m, b, c, delta, verdict
         }
     }
