@@ -65,6 +65,7 @@ func main() {
 	cacheSize := flag.Int("cache", 4096, "LRU result-cache entries (negative disables)")
 	batchWindow := flag.Duration("batch-window", 0, "micro-batch gather window (0 disables batching)")
 	batchMax := flag.Int("batch-max-paths", 256, "max paths per micro-batched scoring sweep")
+	noFused := flag.Bool("no-fused-scoring", false, "score candidates per path instead of with the batched (fused) kernels; results are bit-identical")
 	maxK := flag.Int("max-k", 32, "largest per-request candidate-set override")
 	maxBatch := flag.Int("max-batch", 64, "largest /v2/rank batch in queries")
 	maxInFlight := flag.Int("max-inflight", 0, "concurrent rank-request cap; excess sheds with 503 backlog (0 = unlimited)")
@@ -111,21 +112,22 @@ func main() {
 	registry := obsv.NewRegistry()
 
 	cfg := serve.Config{
-		Addr:             *addr,
-		Metrics:          registry,
-		CacheSize:        *cacheSize,
-		BatchWindow:      *batchWindow,
-		BatchMaxPaths:    *batchMax,
-		MaxK:             *maxK,
-		MaxBatch:         *maxBatch,
-		MaxInFlight:      *maxInFlight,
-		MaxTimeout:       *maxTimeout,
-		Engine:           *engine,
-		ShutdownTimeout:  *drain,
-		ArtifactPath:     *artifactPath,
-		WatchInterval:    *watch,
-		MaxIngestRecords: *ingestMaxRecords,
-		Logf:             log.Printf,
+		Addr:                *addr,
+		Metrics:             registry,
+		CacheSize:           *cacheSize,
+		BatchWindow:         *batchWindow,
+		BatchMaxPaths:       *batchMax,
+		DisableFusedScoring: *noFused,
+		MaxK:                *maxK,
+		MaxBatch:            *maxBatch,
+		MaxInFlight:         *maxInFlight,
+		MaxTimeout:          *maxTimeout,
+		Engine:              *engine,
+		ShutdownTimeout:     *drain,
+		ArtifactPath:        *artifactPath,
+		WatchInterval:       *watch,
+		MaxIngestRecords:    *ingestMaxRecords,
+		Logf:                log.Printf,
 		OnListen: func(a net.Addr) {
 			log.Printf("listening on %s", a)
 		},

@@ -1,0 +1,272 @@
+package nn
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync/atomic"
+)
+
+// This file is the batched kernel layer: a packed row-major matrix type and
+// the matrix-matrix products that turn per-path MatVec loops into one GEMM
+// per scoring batch. The kernels are deliberately order-preserving: every
+// output element accumulates its inner products in ascending-k order, the
+// same association the scalar dotRows kernel uses, so a fused batched
+// forward pass is bit-identical to the per-path path it replaces (see the
+// reproducibility note above dotRows in mat.go). What batching buys is not
+// a different sum — it is instruction-level parallelism across *independent*
+// output elements (a register tile holds many concurrent dot chains) and
+// weight-row reuse across the batch, neither of which the per-path kernels
+// can have without changing the summation order.
+
+// Mat is a packed row-major matrix: element (i, j) lives at Data[i*Cols+j].
+// It is the batch-side operand type of the kernel layer; weights stay in
+// Param and are viewed via Param.AsMat without copying.
+type Mat struct {
+	Rows, Cols int
+	Data       Vec // len Rows*Cols
+}
+
+// NewMat allocates a zeroed rows x cols matrix.
+func NewMat(rows, cols int) Mat {
+	return Mat{Rows: rows, Cols: cols, Data: NewVec(rows * cols)}
+}
+
+// Row returns row i as a subslice (no copy).
+func (m Mat) Row(i int) Vec { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// View returns a matrix sharing m's storage restricted to the first rows
+// rows — the active-prefix view used by ragged batched recurrences.
+func (m Mat) View(rows int) Mat {
+	if rows < 0 || rows > m.Rows {
+		panic(fmt.Sprintf("nn: Mat.View rows %d out of range [0,%d]", rows, m.Rows))
+	}
+	return Mat{Rows: rows, Cols: m.Cols, Data: m.Data[:rows*m.Cols]}
+}
+
+// ZeroRows clears the first rows rows.
+func (m Mat) ZeroRows(rows int) {
+	d := m.Data[:rows*m.Cols]
+	for i := range d {
+		d[i] = 0
+	}
+}
+
+// AsMat views the parameter's weights as a packed matrix (no copy).
+func (p *Param) AsMat() Mat { return Mat{Rows: p.Rows, Cols: p.Cols, Data: p.W} }
+
+// Kernel is a pluggable batched matrix backend. The generic blocked kernel
+// is the default; alternative backends (SIMD, quantized) register under
+// their own names and slot in behind the same two products.
+//
+// Both products preserve per-element summation order: C[i,j] accumulates
+// its k-terms in ascending order. Gemm folds terms directly into C[i,j]
+// (C[i,j] ((+ t0) + t1) ...), matching a naive i-j-k triple loop; GemmNT
+// sums each dot in a fresh accumulator and adds it to C[i,j] once,
+// matching MatVec/MatVecAdd (y[r] += dot(W_r, x)).
+type Kernel interface {
+	// Name identifies the backend (the value of the selection knob).
+	Name() string
+	// Gemm computes C += A·B for A (M x K), B (K x N), C (M x N).
+	Gemm(C, A, B Mat)
+	// GemmNT computes C += A·Bᵀ for A (M x K), B (N x K), C (M x N) —
+	// the batched MatVecAdd: row i of C accumulates B·a_i.
+	GemmNT(C, A, B Mat)
+}
+
+var kernels = map[string]Kernel{
+	"blocked": blockedKernel{},
+	"naive":   naiveKernel{},
+}
+
+// kernelBox wraps the interface so atomic.Value sees one concrete type no
+// matter which backend is active.
+type kernelBox struct{ k Kernel }
+
+var activeKernel atomic.Value // kernelBox
+
+func init() {
+	k := kernels["blocked"]
+	// PATHRANK_NN_KERNEL selects the batched kernel backend at process
+	// start ("blocked" is the default; "naive" is the reference backend).
+	if name := os.Getenv("PATHRANK_NN_KERNEL"); name != "" {
+		if alt, ok := kernels[name]; ok {
+			k = alt
+		}
+	}
+	activeKernel.Store(kernelBox{k})
+}
+
+// SetKernel selects the batched kernel backend by name. It returns an error
+// naming the registered backends when name is unknown.
+func SetKernel(name string) error {
+	k, ok := kernels[name]
+	if !ok {
+		names := make([]string, 0, len(kernels))
+		for n := range kernels {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return fmt.Errorf("nn: unknown kernel %q (registered: %v)", name, names)
+	}
+	activeKernel.Store(kernelBox{k})
+	return nil
+}
+
+// KernelName reports the active backend.
+func KernelName() string { return activeKernel.Load().(kernelBox).k.Name() }
+
+// Gemm computes C += A·B on the active kernel.
+func Gemm(C, A, B Mat) { activeKernel.Load().(kernelBox).k.Gemm(C, A, B) }
+
+// GemmNT computes C += A·Bᵀ on the active kernel.
+func GemmNT(C, A, B Mat) { activeKernel.Load().(kernelBox).k.GemmNT(C, A, B) }
+
+// MatMulAdd computes Y += X·Wᵀ for a Rows x Cols parameter: row b of
+// Y (len Rows) accumulates W·x_b, the batched form of MatVecAdd over the
+// rows of X (each len Cols). Shapes are checked like the vector kernels.
+func (p *Param) MatMulAdd(X, Y Mat) {
+	if X.Cols != p.Cols || Y.Cols != p.Rows || X.Rows != Y.Rows {
+		panic(fmt.Sprintf("nn: MatMulAdd shape mismatch: %s is %dx%d, X=%dx%d Y=%dx%d",
+			p.Name, p.Rows, p.Cols, X.Rows, X.Cols, Y.Rows, Y.Cols))
+	}
+	activeKernel.Load().(kernelBox).k.GemmNT(Y, X, p.AsMat())
+}
+
+func checkGemm(C, A, B Mat, nt bool) {
+	bk, bn := B.Rows, B.Cols
+	if nt {
+		bk, bn = B.Cols, B.Rows
+	}
+	if A.Rows != C.Rows || A.Cols != bk || bn != C.Cols {
+		op := "Gemm"
+		if nt {
+			op = "GemmNT"
+		}
+		panic(fmt.Sprintf("nn: %s shape mismatch: C=%dx%d A=%dx%d B=%dx%d",
+			op, C.Rows, C.Cols, A.Rows, A.Cols, B.Rows, B.Cols))
+	}
+}
+
+// naiveKernel is the reference backend: textbook triple loops with the
+// documented accumulation order. It is the oracle of FuzzGemm and the
+// baseline of BenchmarkGemm; the blocked kernel must match it bitwise.
+type naiveKernel struct{}
+
+func (naiveKernel) Name() string { return "naive" }
+
+func (naiveKernel) Gemm(C, A, B Mat) {
+	checkGemm(C, A, B, false)
+	for i := 0; i < A.Rows; i++ {
+		ai, ci := A.Row(i), C.Row(i)
+		for j := 0; j < B.Cols; j++ {
+			for k := 0; k < A.Cols; k++ {
+				ci[j] += ai[k] * B.Data[k*B.Cols+j]
+			}
+		}
+	}
+}
+
+func (naiveKernel) GemmNT(C, A, B Mat) {
+	checkGemm(C, A, B, true)
+	for i := 0; i < A.Rows; i++ {
+		ai, ci := A.Row(i), C.Row(i)
+		for j := 0; j < B.Rows; j++ {
+			ci[j] += dotRows(B.Row(j), ai)
+		}
+	}
+}
+
+// blockedKernel is the generic cache-blocked backend.
+type blockedKernel struct{}
+
+func (blockedKernel) Name() string { return "blocked" }
+
+// gemmKC is the k-panel height of the blocked Gemm: a panel of B rows small
+// enough to stay cache-resident while every row of A streams across it.
+// Blocking over k does not reassociate anything, because each C element
+// accumulates directly in place and the panels are visited in ascending-k
+// order.
+const gemmKC = 64
+
+func (blockedKernel) Gemm(C, A, B Mat) {
+	checkGemm(C, A, B, false)
+	K := A.Cols
+	for kk := 0; kk < K; kk += gemmKC {
+		kmax := kk + gemmKC
+		if kmax > K {
+			kmax = K
+		}
+		for i := 0; i < A.Rows; i++ {
+			ai, ci := A.Row(i), C.Row(i)
+			for k := kk; k < kmax; k++ {
+				axpyUnrolled(ai[k], B.Row(k), ci)
+			}
+		}
+	}
+}
+
+// GemmNT is the fused-scoring workhorse. A 4x2 register tile runs eight
+// independent dot chains concurrently — the ILP a single dotRows cannot
+// have — while each chain keeps the serial ascending-k order that makes the
+// result bit-identical to eight scalar dots.
+func (blockedKernel) GemmNT(C, A, B Mat) {
+	checkGemm(C, A, B, true)
+	K := A.Cols
+	M, N := A.Rows, B.Rows
+	i := 0
+	for ; i+3 < M; i += 4 {
+		a0 := A.Row(i)[:K]
+		a1 := A.Row(i + 1)[:K]
+		a2 := A.Row(i + 2)[:K]
+		a3 := A.Row(i + 3)[:K]
+		c0, c1, c2, c3 := C.Row(i), C.Row(i+1), C.Row(i+2), C.Row(i+3)
+		j := 0
+		for ; j+1 < N; j += 2 {
+			b0 := B.Row(j)[:K]
+			b1 := B.Row(j + 1)[:K]
+			var s00, s01, s10, s11, s20, s21, s30, s31 float64
+			for k := 0; k < K; k++ {
+				bv0, bv1 := b0[k], b1[k]
+				av0, av1, av2, av3 := a0[k], a1[k], a2[k], a3[k]
+				s00 += av0 * bv0
+				s01 += av0 * bv1
+				s10 += av1 * bv0
+				s11 += av1 * bv1
+				s20 += av2 * bv0
+				s21 += av2 * bv1
+				s30 += av3 * bv0
+				s31 += av3 * bv1
+			}
+			c0[j] += s00
+			c0[j+1] += s01
+			c1[j] += s10
+			c1[j+1] += s11
+			c2[j] += s20
+			c2[j+1] += s21
+			c3[j] += s30
+			c3[j+1] += s31
+		}
+		for ; j < N; j++ {
+			bj := B.Row(j)[:K]
+			var s0, s1, s2, s3 float64
+			for k := 0; k < K; k++ {
+				bv := bj[k]
+				s0 += a0[k] * bv
+				s1 += a1[k] * bv
+				s2 += a2[k] * bv
+				s3 += a3[k] * bv
+			}
+			c0[j] += s0
+			c1[j] += s1
+			c2[j] += s2
+			c3[j] += s3
+		}
+	}
+	for ; i < M; i++ {
+		ai, ci := A.Row(i), C.Row(i)
+		for j := 0; j < N; j++ {
+			ci[j] += dotRows(B.Row(j), ai)
+		}
+	}
+}

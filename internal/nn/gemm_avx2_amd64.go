@@ -1,0 +1,120 @@
+package nn
+
+import (
+	"os"
+	"sync"
+)
+
+// This file registers the "avx2" batched backend on amd64 hosts whose CPU
+// and OS support AVX2. It vectorizes GemmNT across independent output
+// columns (see gemm_avx2_amd64.s for the bit-identity argument); Gemm
+// delegates to the generic blocked backend, whose accumulate-in-place
+// association a column-vectorized kernel cannot reproduce cheaply.
+
+//go:noescape
+func gemmNTAVX2(a, bt, c []float64, m, k, n int)
+
+//go:noescape
+func sigmoidVecAVX2(dst, x []float64) int
+
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+// cpuHasAVX2 reports AVX2 with OS-managed YMM state: OSXSAVE+AVX in
+// CPUID.1:ECX, XMM+YMM enabled in XCR0, and AVX2 in CPUID.7.0:EBX.
+func cpuHasAVX2() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuidex(1, 0)
+	const osxsaveAVX = 1<<27 | 1<<28
+	if c1&osxsaveAVX != osxsaveAVX {
+		return false
+	}
+	if lo, _ := xgetbv0(); lo&6 != 6 {
+		return false
+	}
+	_, b7, _, _ := cpuidex(7, 0)
+	return b7&(1<<5) != 0
+}
+
+// cpuHasFMA mirrors math's useFMA gate (HasAVX && HasFMA): the vectorized
+// sigmoid replicates math.Exp's FMA code path lane-wise, so it is only
+// bit-identical on hosts where scalar math.Exp takes that same path.
+func cpuHasFMA() bool {
+	_, _, c1, _ := cpuidex(1, 0)
+	const avxFMA = 1<<28 | 1<<12
+	return c1&avxFMA == avxFMA
+}
+
+// avx2MinRows gates the vector path: below this row count the per-call
+// transpose pack of B costs more than the vector arithmetic saves, so short
+// tails of the ragged batched recurrence fall back to the blocked tile
+// (bit-identical, so mixing backends by shape is safe).
+const avx2MinRows = 8
+
+type avx2Kernel struct {
+	pool sync.Pool // *[]float64, the Bᵀ panel scratch
+}
+
+func (*avx2Kernel) Name() string { return "avx2" }
+
+func (*avx2Kernel) Gemm(C, A, B Mat) { blockedKernel{}.Gemm(C, A, B) }
+
+func (k *avx2Kernel) GemmNT(C, A, B Mat) {
+	checkGemm(C, A, B, true)
+	M, K, N := A.Rows, A.Cols, B.Rows
+	if M < avx2MinRows || N < 4 || K == 0 {
+		blockedKernel{}.GemmNT(C, A, B)
+		return
+	}
+
+	p, _ := k.pool.Get().(*[]float64)
+	if p == nil {
+		p = new([]float64)
+	}
+	if cap(*p) < K*N {
+		*p = make([]float64, K*N)
+	}
+	bt := (*p)[:K*N]
+	for j := 0; j < N; j++ {
+		row := B.Row(j)
+		for kk := 0; kk < K; kk++ {
+			bt[kk*N+j] = row[kk]
+		}
+	}
+
+	gemmNTAVX2(A.Data[:M*K], bt, C.Data[:M*N], M, K, N)
+	// Last N%4 columns: scalar fresh dots, same association.
+	if nv := N &^ 3; nv < N {
+		for i := 0; i < M; i++ {
+			ai, ci := A.Row(i), C.Row(i)
+			for j := nv; j < N; j++ {
+				var s float64
+				for kk := 0; kk < K; kk++ {
+					s += ai[kk] * bt[kk*N+j]
+				}
+				ci[j] += s
+			}
+		}
+	}
+	k.pool.Put(p)
+}
+
+func init() {
+	if !cpuHasAVX2() {
+		return
+	}
+	if cpuHasFMA() {
+		sigmoidVecArch = sigmoidVecAVX2
+	}
+	k := &avx2Kernel{}
+	kernels["avx2"] = k
+	// This init runs after gemm.go's (file order), which has already
+	// honored PATHRANK_NN_KERNEL for the generic backends. Make avx2 the
+	// default unless the knob pinned another backend explicitly.
+	if name := os.Getenv("PATHRANK_NN_KERNEL"); name == "" || name == "avx2" {
+		activeKernel.Store(kernelBox{k})
+	}
+}

@@ -107,6 +107,27 @@ func (d *Dense) Forward(x Vec) (Vec, *DenseCache) {
 	return out, &DenseCache{x: x, pre: pre, out: out}
 }
 
+// ForwardInto is the inference path of Forward: it computes the layer
+// output into dst (len W.Rows) without allocating a backward cache. The
+// operation sequence (MatVec, bias add, activation) is identical to
+// Forward, so the result is bit-identical.
+func (d *Dense) ForwardInto(x, dst Vec) {
+	d.W.MatVec(x, dst)
+	AddTo(dst, d.B.W)
+	switch d.Act {
+	case Tanh:
+		TanhVec(dst, dst)
+	case SigmoidAct:
+		SigmoidVec(dst, dst)
+	case ReLU:
+		for i := range dst {
+			if dst[i] < 0 {
+				dst[i] = 0
+			}
+		}
+	}
+}
+
 // Backward propagates dOut, accumulating parameter gradients, and returns
 // the gradient with respect to the input.
 func (d *Dense) Backward(c *DenseCache, dOut Vec) Vec {

@@ -7,7 +7,6 @@
 package nn
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 )
@@ -134,10 +133,27 @@ func (p *Param) NumParams() int { return len(p.W) }
 // (it only adds bounds checks and measured slower), and multi-accumulator
 // unrolling would change the summation order and with it every trained
 // metric. Bitwise reproducibility of the paper tables wins.
+//
+// All four check their operand shapes with a single length compare before
+// the loop (verified free in the axpy/dot benches): a wrong-shaped call
+// must panic with the offending shapes, never truncate into silently wrong
+// numbers.
 
-// dotRows returns Σ row[c]*x[c]; row is trimmed to len(x) so the bounds
-// check is hoisted out of the loop.
+// The shape panics below are constant strings on purpose: even a call to a
+// noinline fmt helper costs ~60 points of inline budget, pushing these
+// kernels past the compiler's limit, and losing their inlining into
+// GRU.Forward/LSTM.Forward costs ~1.3x on the scoring hot path (measured on
+// BenchmarkScoreBatchPerPath). A constant panic keeps every kernel
+// inlinable — verify with `go build -gcflags=-m` when touching these — and
+// still names the kernel that was misused; the batched kernels in gemm.go
+// are per-batch calls, so they keep the richer fmt messages.
+
+// dotRows returns Σ row[c]*x[c]. Lengths must match; the re-slice after
+// the check hoists the bounds check out of the loop.
 func dotRows(row, x Vec) float64 {
+	if len(row) != len(x) {
+		panic("nn: dotRows length mismatch")
+	}
 	row = row[:len(x)]
 	var s float64
 	for c, xv := range x {
@@ -146,8 +162,11 @@ func dotRows(row, x Vec) float64 {
 	return s
 }
 
-// axpyUnrolled computes dst[c] += a*src[c] with len(dst) == len(src).
+// axpyUnrolled computes dst[c] += a*src[c]. Lengths must match.
 func axpyUnrolled(a float64, src, dst Vec) {
+	if len(dst) != len(src) {
+		panic("nn: axpy length mismatch")
+	}
 	n := len(src)
 	dst = dst[:n]
 	c := 0
@@ -168,8 +187,7 @@ func axpyUnrolled(a float64, src, dst Vec) {
 // (len Rows). x must have length Cols.
 func (p *Param) MatVec(x, y Vec) {
 	if len(x) != p.Cols || len(y) != p.Rows {
-		panic(fmt.Sprintf("nn: MatVec shape mismatch: %s is %dx%d, x=%d y=%d",
-			p.Name, p.Rows, p.Cols, len(x), len(y)))
+		panic("nn: MatVec shape mismatch")
 	}
 	cols := p.Cols
 	for r := 0; r < p.Rows; r++ {
@@ -179,6 +197,9 @@ func (p *Param) MatVec(x, y Vec) {
 
 // MatVecAdd computes y += W*x.
 func (p *Param) MatVecAdd(x, y Vec) {
+	if len(x) != p.Cols || len(y) != p.Rows {
+		panic("nn: MatVecAdd shape mismatch")
+	}
 	cols := p.Cols
 	for r := 0; r < p.Rows; r++ {
 		y[r] += dotRows(p.W[r*cols:(r+1)*cols], x)
@@ -187,6 +208,9 @@ func (p *Param) MatVecAdd(x, y Vec) {
 
 // MatTVecAdd computes x += Wᵀ*dy, propagating a gradient through MatVec.
 func (p *Param) MatTVecAdd(dy, x Vec) {
+	if len(dy) != p.Rows || len(x) != p.Cols {
+		panic("nn: MatTVecAdd shape mismatch")
+	}
 	cols := p.Cols
 	for r := 0; r < p.Rows; r++ {
 		d := dy[r]
@@ -199,6 +223,9 @@ func (p *Param) MatTVecAdd(dy, x Vec) {
 
 // AccumOuter accumulates G += dy ⊗ x, the weight gradient of y = W*x.
 func (p *Param) AccumOuter(dy, x Vec) {
+	if len(dy) != p.Rows || len(x) != p.Cols {
+		panic("nn: AccumOuter shape mismatch")
+	}
 	cols := p.Cols
 	for r := 0; r < p.Rows; r++ {
 		d := dy[r]
@@ -235,19 +262,33 @@ func ClipGrad(params []*Param, maxNorm float64) float64 {
 	return norm
 }
 
-// Sigmoid is the logistic function.
+// Sigmoid is the logistic function. Both branches feed Exp the same value
+// -|x| (for x >= 0, -|x| == -x; for x < 0, -|x| == x), so hoisting the call
+// above the branch is bit-identical to the classic two-call form while
+// emitting a single Exp call site.
 func Sigmoid(x float64) float64 {
+	z := math.Exp(-math.Abs(x))
 	if x >= 0 {
-		z := math.Exp(-x)
 		return 1 / (1 + z)
 	}
-	z := math.Exp(x)
 	return z / (1 + z)
 }
 
-// SigmoidVec applies Sigmoid elementwise, writing into dst.
+// sigmoidVecArch, when non-nil, applies Sigmoid to a prefix of the vectors
+// with a SIMD sweep that is bit-identical to the scalar loop (it vectorizes
+// across elements, running each lane through exactly the scalar operation
+// sequence — see sigmoid_avx2_amd64.s) and returns how many elements it
+// handled.
+var sigmoidVecArch func(dst, x Vec) int
+
+// SigmoidVec applies Sigmoid elementwise, writing into dst (dst may alias
+// x).
 func SigmoidVec(dst, x Vec) {
-	for i := range x {
+	i := 0
+	if sigmoidVecArch != nil {
+		i = sigmoidVecArch(dst, x)
+	}
+	for ; i < len(x); i++ {
 		dst[i] = Sigmoid(x[i])
 	}
 }

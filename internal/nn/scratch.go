@@ -41,3 +41,24 @@ func growVecSlice(s []Vec, n int) []Vec {
 	}
 	return s[:n]
 }
+
+// Scratch is an arena-backed workspace for batched inference: the packed
+// matrices of a fused scoring pass are carved from one slab that Reset
+// rewinds, so a pooled Scratch makes the whole pass allocation-free in
+// steady state. Vectors and matrices handed out survive a mid-pass slab
+// growth (they keep referencing the old slab) but are invalidated by
+// Reset. A Scratch is single-goroutine; pool one per worker.
+type Scratch struct {
+	ar arena
+}
+
+// Reset rewinds the arena; memory handed out earlier is reused.
+func (s *Scratch) Reset() { s.ar.reset() }
+
+// Vec returns a zeroed length-n vector carved from the arena.
+func (s *Scratch) Vec(n int) Vec { return s.ar.vec(n) }
+
+// Mat returns a zeroed rows x cols packed matrix carved from the arena.
+func (s *Scratch) Mat(rows, cols int) Mat {
+	return Mat{Rows: rows, Cols: cols, Data: s.ar.vec(rows * cols)}
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 
 	"pathrank/internal/nn"
 	"pathrank/internal/node2vec"
@@ -120,6 +121,15 @@ type Model struct {
 	auxTime *nn.Dense
 
 	params []*nn.Param
+
+	// fwdPool recycles forwardState headers and their id/embedding/summary
+	// buffers across Score and training steps; fusedPool recycles the
+	// packed-matrix workspaces of ScoreBatchFused. Both keep the scoring
+	// hot paths allocation-free in steady state (see the alloc-regression
+	// tests) and are safe for the concurrent Score calls the serving layer
+	// issues against a model that is not being trained.
+	fwdPool   sync.Pool
+	fusedPool sync.Pool
 }
 
 // New builds an untrained model for a graph with numVertices vertices.
@@ -214,6 +224,10 @@ func (m *Model) InitEmbeddings(emb *node2vec.Embeddings) error {
 }
 
 // forwardState carries the activations of one forward pass for backprop.
+// States come from the model's fwdPool: the id/embedding-pointer slices,
+// the mean-pool summary and the inference head output live in buffers that
+// are reused across passes, so a released state makes the next Score
+// allocation-free in steady state.
 type forwardState struct {
 	ids          []int
 	xs           []nn.Vec
@@ -229,28 +243,50 @@ type forwardState struct {
 	auxLenCache  *nn.DenseCache
 	auxTimeOut   nn.Vec
 	auxTimeCache *nn.DenseCache
+
+	// Reusable buffers backing summary (mean-pool bodies) and headOut
+	// (inference passes); owner is the pool the state returns to.
+	summaryBuf nn.Vec
+	headBuf    nn.Vec
+	owner      *Model
 }
 
-// release returns pooled scratch memory held by the state's caches. The
-// state and any activations or gradients derived from it must not be used
-// afterwards.
+// release returns pooled scratch memory held by the state's caches and the
+// state itself to the model's pool. The state and any activations or
+// gradients derived from it must not be used afterwards.
 func (st *forwardState) release() {
 	if st.gruCache != nil {
 		st.gruCache.Release()
+		st.gruCache = nil
 	}
 	if st.biCache != nil {
 		st.biCache.Release()
+		st.biCache = nil
 	}
 	if st.lstmCache != nil {
 		st.lstmCache.Release()
+		st.lstmCache = nil
+	}
+	st.attnCache = nil
+	st.hs = nil
+	st.headCache, st.auxLenCache, st.auxTimeCache = nil, nil, nil
+	if st.owner != nil {
+		st.owner.fwdPool.Put(st)
 	}
 }
 
-// forward runs the network over the path's vertex sequence.
-func (m *Model) forward(p spath.Path) *forwardState {
-	st := &forwardState{}
-	st.ids = make([]int, len(p.Vertices))
-	st.xs = make([]nn.Vec, len(p.Vertices))
+// forward runs the network over the path's vertex sequence. Training passes
+// (train=true) build the backward caches of every head; inference passes
+// compute only the main head, into pooled buffers.
+func (m *Model) forward(p spath.Path, train bool) *forwardState {
+	st, _ := m.fwdPool.Get().(*forwardState)
+	if st == nil {
+		st = &forwardState{}
+	}
+	st.owner = m
+	n := len(p.Vertices)
+	st.ids = growInts(st.ids, n)
+	st.xs = growVecs(st.xs, n)
 	for i, v := range p.Vertices {
 		st.ids[i] = int(v)
 		// Alias the embedding rows: weights do not change between one
@@ -277,23 +313,60 @@ func (m *Model) forward(p spath.Path) *forwardState {
 	if m.cfg.Body == AttnGRUBody {
 		st.summary, st.attnCache = m.attn.Forward(st.hs)
 	} else {
-		st.summary = meanVecs(st.hs)
+		st.summaryBuf = growVec(st.summaryBuf, len(st.hs[0]))
+		meanVecsInto(st.summaryBuf, st.hs)
+		st.summary = st.summaryBuf
 	}
-	st.headOut, st.headCache = m.head.Forward(st.summary)
-	if m.auxLen != nil {
-		st.auxLenOut, st.auxLenCache = m.auxLen.Forward(st.summary)
-		st.auxTimeOut, st.auxTimeCache = m.auxTime.Forward(st.summary)
+	if train {
+		st.headOut, st.headCache = m.head.Forward(st.summary)
+		if m.auxLen != nil {
+			st.auxLenOut, st.auxLenCache = m.auxLen.Forward(st.summary)
+			st.auxTimeOut, st.auxTimeCache = m.auxTime.Forward(st.summary)
+		}
+		return st
 	}
+	st.headBuf = growVec(st.headBuf, m.head.W.Rows)
+	m.head.ForwardInto(st.summary, st.headBuf)
+	st.headOut = st.headBuf
 	return st
 }
 
-func meanVecs(vs []nn.Vec) nn.Vec {
-	out := nn.NewVec(len(vs[0]))
-	for _, v := range vs {
-		nn.AddTo(out, v)
+// meanVecsInto computes the elementwise mean of vs into dst, with the same
+// accumulation order (ascending index, then one scale) as every scoring
+// path in this package — the order is part of the bit-reproducibility
+// contract.
+func meanVecsInto(dst nn.Vec, vs []nn.Vec) {
+	for i := range dst {
+		dst[i] = 0
 	}
-	nn.Scale(1/float64(len(vs)), out)
-	return out
+	for _, v := range vs {
+		nn.AddTo(dst, v)
+	}
+	nn.Scale(1/float64(len(vs)), dst)
+}
+
+// growInts returns s resized to length n, reusing capacity.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// growVecs returns s resized to length n, reusing capacity.
+func growVecs(s []nn.Vec, n int) []nn.Vec {
+	if cap(s) < n {
+		return make([]nn.Vec, n)
+	}
+	return s[:n]
+}
+
+// growVec returns v resized to length n, reusing capacity.
+func growVec(v nn.Vec, n int) nn.Vec {
+	if cap(v) < n {
+		return nn.NewVec(n)
+	}
+	return v[:n]
 }
 
 // backward propagates the loss gradients (dScore on the main head; dLen and
@@ -341,7 +414,7 @@ func (m *Model) Score(p spath.Path) float64 {
 	if len(p.Vertices) == 0 {
 		return 0
 	}
-	st := m.forward(p)
+	st := m.forward(p, false)
 	score := st.headOut[0]
 	st.release()
 	return score

@@ -74,7 +74,7 @@ func (m *Model) Train(queries []dataset.Query, cfg TrainConfig) ([]float64, erro
 		rng.Shuffle(len(samples), func(i, j int) { samples[i], samples[j] = samples[j], samples[i] })
 		var epochLoss float64
 		for _, s := range samples {
-			st := m.forward(s.inst.Path)
+			st := m.forward(s.inst.Path, true)
 			loss, dScore := nn.MSELoss(st.headOut[0], s.inst.Label)
 			var dLen, dTime float64
 			if m.auxLen != nil {
@@ -177,10 +177,23 @@ type Ranked struct {
 	Score float64
 }
 
-// ScoreBatch scores each candidate in parallel and returns the raw scores
-// in input order. Each worker writes a disjoint index, so the result is
-// bitwise identical for any worker count.
+// ScoreBatch scores the candidates and returns the raw scores in input
+// order. It dispatches to the fused batched path (ScoreBatchFused) unless
+// fused scoring is disabled via PATHRANK_FUSED_SCORING=0 or the batch is
+// too small to pack; both paths produce bit-identical scores, so the
+// dispatch is a pure performance decision.
 func (m *Model) ScoreBatch(cands []spath.Path) []float64 {
+	if fusedScoringEnabled && len(cands) > 1 {
+		return m.ScoreBatchFused(cands)
+	}
+	return m.ScoreBatchPerPath(cands)
+}
+
+// ScoreBatchPerPath scores each candidate independently (in parallel) and
+// returns the raw scores in input order — the reference implementation the
+// fused path is tested against. Each worker writes a disjoint index, so the
+// result is bitwise identical for any worker count.
+func (m *Model) ScoreBatchPerPath(cands []spath.Path) []float64 {
 	out := make([]float64, len(cands))
 	parallelFor(len(cands), func(i int) {
 		out[i] = m.Score(cands[i])
@@ -191,8 +204,14 @@ func (m *Model) ScoreBatch(cands []spath.Path) []float64 {
 // RankScored pairs candidates with externally computed scores and sorts
 // them in descending score order. The stable sort keeps the result
 // deterministic under ties. It is the ordering half of Rank, shared with
-// callers that score through a batching layer.
+// callers that score through a batching layer. The slices must pair up:
+// a mismatch means the scoring layer dropped or duplicated entries, and
+// silently zipping them would rank candidates under the wrong scores.
 func RankScored(cands []spath.Path, scores []float64) []Ranked {
+	if len(scores) != len(cands) {
+		panic(fmt.Sprintf("pathrank: RankScored got %d scores for %d candidates — the scoring layer returned a mismatched batch",
+			len(scores), len(cands)))
+	}
 	out := make([]Ranked, len(cands))
 	for i := range cands {
 		out[i] = Ranked{Path: cands[i], Score: scores[i]}

@@ -4,18 +4,18 @@ import (
 	"sync"
 	"time"
 
-	"pathrank/internal/pathrank"
 	"pathrank/internal/spath"
 )
 
 // batcher coalesces NN scoring work from concurrent requests into larger
-// batches. Model.ScoreBatch fans out across a worker pool whose spin-up
-// cost is amortized poorly by a k=5 candidate set; gathering the candidate
-// sets of requests that arrive within a short window scores them in one
-// parallel sweep. Scores are per-path deterministic, so batched and
-// unbatched serving return bit-identical rankings.
+// batches. A k=5 candidate set amortizes the fused scorer's batch setup (and
+// the per-path pool spin-up) poorly; gathering the candidate sets of
+// requests that arrive within a short window scores them in one sweep, which
+// also feeds the batched GEMM kernels wider matrices. Scores are per-path
+// deterministic, so batched and unbatched serving return bit-identical
+// rankings.
 type batcher struct {
-	model    *pathrank.Model
+	scoreFn  func([]spath.Path) []float64
 	window   time.Duration
 	maxPaths int
 
@@ -35,12 +35,14 @@ type scoreReq struct {
 	done   chan struct{}
 }
 
-func newBatcher(model *pathrank.Model, window time.Duration, maxPaths int) *batcher {
+// newBatcher starts a batcher that scores coalesced sweeps with scoreFn
+// (the snapshot's configured scoring path).
+func newBatcher(scoreFn func([]spath.Path) []float64, window time.Duration, maxPaths int) *batcher {
 	if maxPaths <= 0 {
 		maxPaths = 256
 	}
 	b := &batcher{
-		model:    model,
+		scoreFn:  scoreFn,
 		window:   window,
 		maxPaths: maxPaths,
 		reqs:     make(chan *scoreReq),
@@ -63,7 +65,7 @@ func (b *batcher) score(paths []spath.Path) []float64 {
 		<-req.done
 		return req.scores
 	case <-b.quit:
-		return b.model.ScoreBatch(paths)
+		return b.scoreFn(paths)
 	}
 }
 
@@ -119,7 +121,7 @@ func (b *batcher) flush(batch []*scoreReq, total int) {
 	for _, r := range batch {
 		all = append(all, r.paths...)
 	}
-	scores := b.model.ScoreBatch(all)
+	scores := b.scoreFn(all)
 	off := 0
 	for _, r := range batch {
 		r.scores = scores[off : off+len(r.paths) : off+len(r.paths)]

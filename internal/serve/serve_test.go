@@ -627,7 +627,7 @@ func TestBatcherScoresMatchDirect(t *testing.T) {
 	ranker := art.NewRanker()
 	n := art.Graph.NumVertices()
 
-	b := newBatcher(art.Model, time.Millisecond, 128)
+	b := newBatcher(art.Model.ScoreBatch, time.Millisecond, 128)
 
 	var wg sync.WaitGroup
 	for w := 0; w < 6; w++ {
@@ -667,6 +667,32 @@ func TestBatcherScoresMatchDirect(t *testing.T) {
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("post-stop score %d differs", i)
+		}
+	}
+}
+
+// TestDisableFusedScoringBitIdentical pins the Config escape hatch: a
+// snapshot scoring through the per-path reference path must return exactly
+// the scores of the default fused path.
+func TestDisableFusedScoringBitIdentical(t *testing.T) {
+	art := loadedTestArtifact(t)
+	ranker := art.NewRanker()
+	cands, err := ranker.CandidatePaths(0, roadnet.VertexID(art.Graph.NumVertices()-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := newSnapshot(art, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPath, err := newSnapshot(art, Config{DisableFusedScoring: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := perPath.score(cands), fused.score(cands)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("score %d: per-path %v != fused %v", i, got[i], want[i])
 		}
 	}
 }

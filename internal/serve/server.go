@@ -98,6 +98,12 @@ type Config struct {
 	BatchWindow time.Duration
 	// BatchMaxPaths caps the paths per coalesced scoring sweep (default 256).
 	BatchMaxPaths int
+	// DisableFusedScoring pins NN scoring to the per-path reference
+	// implementation instead of the batched (fused) kernels. The two are
+	// bit-identical (test-enforced), so this is an operational escape
+	// hatch, not an accuracy trade-off. The PATHRANK_FUSED_SCORING
+	// environment knob offers the same switch process-wide.
+	DisableFusedScoring bool
 	// MaxK caps the per-request candidate-set override (default 32).
 	MaxK int
 	// MaxBatch caps the queries per /v2/rank batch request (default 64).

@@ -30,10 +30,14 @@ type snapshot struct {
 	cache  *lruCache
 	flight *flightGroup
 	batch  *batcher
-	fp     [sha256.Size]byte
-	fpHex  string
-	graph  [sha256.Size]byte // digest of the serialized road network
-	loaded time.Time
+	// scoreFn is the snapshot's NN scoring path: Model.ScoreBatch (which
+	// dispatches to the fused batched kernels) or Model.ScoreBatchPerPath
+	// when Config.DisableFusedScoring pins the reference implementation.
+	scoreFn func([]spath.Path) []float64
+	fp      [sha256.Size]byte
+	fpHex   string
+	graph   [sha256.Size]byte // digest of the serialized road network
+	loaded  time.Time
 
 	refs    atomic.Int64
 	drained chan struct{}
@@ -91,8 +95,12 @@ func newSnapshot(art *pathrank.Artifact, cfg Config, prev *snapshot) (*snapshot,
 	} else {
 		p.cache = newLRUCache(cfg.CacheSize)
 	}
+	p.scoreFn = art.Model.ScoreBatch
+	if cfg.DisableFusedScoring {
+		p.scoreFn = art.Model.ScoreBatchPerPath
+	}
 	if cfg.BatchWindow > 0 {
-		p.batch = newBatcher(art.Model, cfg.BatchWindow, cfg.BatchMaxPaths)
+		p.batch = newBatcher(p.scoreFn, cfg.BatchWindow, cfg.BatchMaxPaths)
 	}
 	p.refs.Store(1)
 	p.drained = make(chan struct{})

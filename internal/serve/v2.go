@@ -188,7 +188,7 @@ func (p *snapshot) score(paths []spath.Path) []float64 {
 	if p.batch != nil {
 		return p.batch.score(paths)
 	}
-	return p.art.Model.ScoreBatch(paths)
+	return p.scoreFn(paths)
 }
 
 // nopCancel avoids allocating a context.WithCancel on the timeoutless

@@ -203,6 +203,10 @@ func SplitDataset(queries []Query, testFrac float64, seed int64) (train, test []
 // Model and training.
 type (
 	// Model is the PathRank scorer (embedding + GRU + regression head).
+	// Score evaluates one path; ScoreBatch scores a candidate set through
+	// the batched (fused) kernels — bit-identical to per-path scoring but
+	// several times faster — with ScoreBatchPerPath as the pinnable
+	// reference implementation (PATHRANK_FUSED_SCORING=0).
 	Model = pathrank.Model
 	// ModelConfig parameterizes a Model.
 	ModelConfig = pathrank.Config

@@ -41,7 +41,7 @@ METRICS="${BENCHDIFF_METRICS:-allocs_per_op bytes_per_op}"
 # Benchmarks newer than the committed baseline (e.g. the CH engine ones
 # right after they land) are skipped with a note until a baseline that
 # contains them is recorded — see the "not in baseline" branch below.
-TRACKED="${BENCHDIFF_TRACKED:-BenchmarkDijkstra BenchmarkBidirectionalDijkstra BenchmarkTopK5 BenchmarkDiversifiedTopK5 BenchmarkDiversifiedTopK5CH BenchmarkCHQuery BenchmarkCHManyToMany BenchmarkWeightedJaccard BenchmarkNode2vecWalks BenchmarkGRUForwardBackward BenchmarkMapMatch BenchmarkRankQuery BenchmarkRankWithContext}"
+TRACKED="${BENCHDIFF_TRACKED:-BenchmarkDijkstra BenchmarkBidirectionalDijkstra BenchmarkTopK5 BenchmarkDiversifiedTopK5 BenchmarkDiversifiedTopK5CH BenchmarkCHQuery BenchmarkCHManyToMany BenchmarkWeightedJaccard BenchmarkNode2vecWalks BenchmarkGRUForwardBackward BenchmarkMapMatch BenchmarkRankQuery BenchmarkRankWithContext BenchmarkGemmNT BenchmarkScoreBatchFused}"
 
 BASELINE="${BENCHDIFF_BASELINE:-}"
 if [[ -z "$BASELINE" ]]; then
@@ -56,13 +56,17 @@ CURRENT="${1:-}"
 CLEANUP=""
 if [[ -z "$CURRENT" ]]; then
     # Re-run only the tracked benchmarks, with bench.sh's methodology
-    # (quick world, 1 iteration) so the comparison is apples to apples.
+    # (quick world, 1 iteration) so the comparison is apples to apples —
+    # including the baseline's repeat count: repeats after the first run
+    # against warm sync.Pools, so a cold single run and a repeats-mean
+    # baseline disagree on allocs/op by construction, not regression.
+    BASECOUNT="$(grep -o '"runs": [0-9]*' "$BASELINE" | head -1 | tr -dc 0-9 || true)"
     PATTERN="^($(echo "$TRACKED" | tr ' ' '|'))$"
     CURRENT="$(mktemp)"
     CLEANUP="$CURRENT"
     trap 'rm -f "$CLEANUP"' EXIT
-    echo "benchdiff: running tracked benchmarks..." >&2
-    scripts/bench.sh "$CURRENT" "$PATTERN" >&2
+    echo "benchdiff: running tracked benchmarks (count=${BENCHCOUNT:-${BASECOUNT:-1}})..." >&2
+    BENCHCOUNT="${BENCHCOUNT:-${BASECOUNT:-1}}" scripts/bench.sh "$CURRENT" "$PATTERN" >&2
 fi
 
 echo "benchdiff: baseline=$BASELINE current=$CURRENT threshold=${THRESHOLD}% metrics=[$METRICS]"
