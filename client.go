@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"time"
@@ -54,8 +55,19 @@ type Client struct {
 	// queries are read-only, so retrying is always safe.
 	MaxRetries int
 	// Backoff is the base delay between retries (default 100ms), doubled
-	// per attempt; a 503 Retry-After header overrides it.
+	// per attempt with full jitter: each delay is drawn uniformly from
+	// [d/2, d], so a fleet of clients retrying a recovering server spreads
+	// out instead of thundering in lockstep. A 503 Retry-After header
+	// overrides the computed delay (jitter and cap do not apply to an
+	// explicit server instruction).
 	Backoff time.Duration
+	// BackoffCap bounds a single computed delay (default 2s), so a long
+	// retry budget backs off steadily instead of exponentially forever.
+	BackoffCap time.Duration
+	// MaxElapsed, when positive, is the total retry budget measured from
+	// the first attempt: once it is spent, the last error is returned
+	// instead of sleeping again, and a final delay never overshoots it.
+	MaxElapsed time.Duration
 }
 
 // Rank answers one ranking query.
@@ -156,6 +168,14 @@ func (c *Client) do(ctx context.Context, method, path string, payload []byte, ou
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
 	}
+	maxDelay := c.BackoffCap
+	if maxDelay <= 0 {
+		maxDelay = 2 * time.Second
+	}
+	if maxDelay < backoff {
+		maxDelay = backoff
+	}
+	start := time.Now()
 
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -196,9 +216,27 @@ func (c *Client) do(ctx context.Context, method, path string, payload []byte, ou
 		if attempt >= retries || ctx.Err() != nil {
 			return lastErr
 		}
-		delay := backoff << attempt
+		// Exponential backoff, capped, with full jitter in [d/2, d]. The
+		// shift is clamped so a generous retry budget cannot overflow the
+		// doubling into a negative duration.
+		delay := maxDelay
+		if attempt < 20 {
+			if d := backoff << attempt; d < maxDelay {
+				delay = d
+			}
+		}
+		delay = delay/2 + rand.N(delay/2+1)
 		if retryAfter > 0 {
 			delay = retryAfter
+		}
+		if c.MaxElapsed > 0 {
+			remaining := c.MaxElapsed - time.Since(start)
+			if remaining <= 0 {
+				return lastErr
+			}
+			if delay > remaining {
+				delay = remaining
+			}
 		}
 		select {
 		case <-ctx.Done():

@@ -46,10 +46,13 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
+	"pathrank/internal/fault"
 	"pathrank/internal/obsv"
 	"pathrank/internal/pathrank"
 	"pathrank/internal/serve"
@@ -71,8 +74,11 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 0, "concurrent rank-request cap; excess sheds with 503 backlog (0 = unlimited)")
 	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "cap on per-request timeout_ms deadlines")
 	engine := flag.String("engine", "ch", "shortest-path engine for candidate generation: ch, alt or dijkstra")
-	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+	drain := flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain timeout")
+	flag.DurationVar(drain, "drain", 5*time.Second, "deprecated alias for -drain-timeout")
 	watch := flag.Duration("watch", 0, "artifact-file watch interval (0 disables the watcher)")
+	canaryQueries := flag.Int("canary-queries", 8, "golden queries the canary gate scores before publishing a swap (0 disables the gate)")
+	canaryDivergence := flag.Float64("canary-divergence", 0, "max rank divergence vs the live snapshot before a swap is refused (0 = default 0.9)")
 	ingestQueue := flag.Int("ingest-queue", 256, "bounded ingest queue size in trajectories")
 	ingestWorkers := flag.Int("ingest-workers", 2, "map-matching workers")
 	ingestMaxRecords := flag.Int("ingest-max-records", 20000, "max GPS records per ingested trajectory")
@@ -88,6 +94,26 @@ func main() {
 	walSegBytes := flag.Int64("wal-segment-bytes", 4<<20, "WAL segment rotation threshold in bytes")
 	walRetain := flag.Int("wal-retain", 0, "sealed WAL segments to keep (0 keeps all; pruning limits replay depth)")
 	flag.Parse()
+
+	// Fault injection for fire drills: PATHRANK_FAULTS holds a fault.ParseSpec
+	// schedule, PATHRANK_FAULT_SEED the deterministic seed. Off (a nil
+	// pointer check on every site) unless explicitly set.
+	if spec := os.Getenv("PATHRANK_FAULTS"); spec != "" {
+		var seed int64 = 1
+		if v := os.Getenv("PATHRANK_FAULT_SEED"); v != "" {
+			s, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				log.Fatalf("PATHRANK_FAULT_SEED: %v", err)
+			}
+			seed = s
+		}
+		plan, err := fault.ParseSpec(spec, seed)
+		if err != nil {
+			log.Fatalf("PATHRANK_FAULTS: %v", err)
+		}
+		fault.Enable(plan)
+		log.Printf("WARNING: fault injection ACTIVE (seed %d): %s — do not run this configuration in production", seed, plan)
+	}
 
 	start := time.Now()
 	art, err := pathrank.LoadArtifactFile(*artifactPath)
@@ -126,6 +152,8 @@ func main() {
 		ShutdownTimeout:     *drain,
 		ArtifactPath:        *artifactPath,
 		WatchInterval:       *watch,
+		CanaryQueries:       *canaryQueries,
+		CanaryMaxDivergence: *canaryDivergence,
 		MaxIngestRecords:    *ingestMaxRecords,
 		Logf:                log.Printf,
 		OnListen: func(a net.Addr) {
@@ -168,25 +196,40 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer svc.Close()
 		cfg.Ingest = svc
 		cfg.Provenance = svc
+		cfg.Pipeline = svc
 	}
 
 	srv, err = serve.New(art, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	var svcDone chan struct{}
 	if svc != nil {
 		// Started only after srv exists: the publish hook swaps through it.
 		// The retrainer publishes swaps directly, so the file watcher is
 		// only needed for artifacts replaced by external tooling.
+		svcDone = make(chan struct{})
 		go func() {
+			defer close(svcDone)
 			_ = svc.Run(ctx)
 		}()
 	}
 	if err := srv.Run(ctx); err != nil {
 		log.Fatal(err)
+	}
+	// Shutdown order: the HTTP server has drained (no new ingest), so the
+	// pipeline workers can finish their queue items; only once they have
+	// stopped is the WAL closed — Close flushes the unsynced tail, and no
+	// append may race it.
+	if svc != nil {
+		<-svcDone
+		if err := svc.Close(); err != nil {
+			log.Printf("close pipeline: %v", err)
+		} else {
+			log.Printf("pipeline stopped, WAL flushed")
+		}
 	}
 	fmt.Println("shut down cleanly")
 }

@@ -195,9 +195,46 @@ type WALStatus struct {
 	// it discarded.
 	RecoveredRecords int   `json:"recovered_records"`
 	TornBytes        int64 `json:"torn_bytes"`
-	// AppendErrors counts observations dropped because their WAL append
-	// failed (durability could not be guaranteed).
+	// AppendErrors counts WAL append failures; each failing observation is
+	// parked for degraded-mode re-sync rather than dropped (see
+	// PipelineHealth).
 	AppendErrors int64 `json:"append_errors"`
+}
+
+// Pipeline health states reported in PipelineHealth.State and mirrored
+// into the top-level /healthz status.
+const (
+	// PipelineReady means the live pipeline is fully operational.
+	PipelineReady = "ready"
+	// PipelineDegraded means the pipeline is running in degraded mode:
+	// WAL writes are failing, accepted observations are parked in memory,
+	// and a background loop is retrying until the disk recovers.
+	PipelineDegraded = "degraded"
+)
+
+// PipelineHealth is the live pipeline's self-reported health, embedded in
+// the /healthz response when a pipeline backs the server. The serve layer
+// mirrors a degraded state into the top-level health status so ordinary
+// liveness probes see it without parsing this structure.
+type PipelineHealth struct {
+	// State is PipelineReady or PipelineDegraded.
+	State string `json:"state"`
+	// Reason describes the fault behind a degraded state (e.g. the last
+	// WAL append error).
+	Reason string `json:"reason,omitempty"`
+	// DegradedForS is how long the pipeline has been degraded, in seconds.
+	DegradedForS float64 `json:"degraded_for_s,omitempty"`
+	// Parked is the number of observations held in the bounded in-memory
+	// buffer awaiting WAL re-sync; they are not in the training window yet
+	// (the window must stay a subset of the log).
+	Parked int `json:"parked_observations,omitempty"`
+	// Lost counts observations dropped because the parking buffer
+	// overflowed while the WAL was failing — the documented loss bound of
+	// degraded mode.
+	Lost int64 `json:"lost_observations,omitempty"`
+	// WorkerPanics counts contained worker panics (each one recovered,
+	// counted, and the worker kept running).
+	WorkerPanics int64 `json:"worker_panics,omitempty"`
 }
 
 // ProvenanceInfo is the body of GET /v1/provenance without a seq

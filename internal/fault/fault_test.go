@@ -1,0 +1,160 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestNoPlanIsNoop pins the production default: without an active plan
+// every Check returns nil.
+func TestNoPlanIsNoop(t *testing.T) {
+	Disable()
+	for i := 0; i < 100; i++ {
+		if err := Check(SiteWALAppend); err != nil {
+			t.Fatalf("Check with no plan = %v, want nil", err)
+		}
+	}
+}
+
+func TestErrorRuleSchedule(t *testing.T) {
+	plan := NewPlan(1, Rule{Site: "x", Kind: KindError, After: 3, Every: 2, Times: 2})
+	defer Enable(plan)()
+	var got []int
+	for i := 0; i < 12; i++ {
+		if err := Check("x"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected error %v does not wrap ErrInjected", err)
+			}
+			got = append(got, i)
+		}
+	}
+	// Hits 0,1,2 skipped by After; eligible hits are 3,5,7,...; Times
+	// caps the rule at two fires.
+	want := []int{3, 5}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("fired on hits %v, want %v", got, want)
+	}
+	if f := plan.Fired("x"); f != 2 {
+		t.Fatalf("Fired = %d, want 2", f)
+	}
+	if h := plan.Hits("x"); h != 12 {
+		t.Fatalf("Hits = %d, want 12", h)
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	plan := NewPlan(1, Rule{Site: "p", Kind: KindPanic, Times: 1})
+	defer Enable(plan)()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic rule did not panic")
+		}
+	}()
+	_ = Check("p")
+}
+
+func TestDelayRuleContinues(t *testing.T) {
+	// A delay rule slows the site but does not fail it; a later error
+	// rule on the same site still applies.
+	plan := NewPlan(1,
+		Rule{Site: "d", Kind: KindDelay, Delay: time.Millisecond},
+		Rule{Site: "d", Kind: KindError},
+	)
+	defer Enable(plan)()
+	start := time.Now()
+	err := Check("d")
+	if err == nil {
+		t.Fatal("want injected error after delay")
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("delay rule did not sleep")
+	}
+}
+
+// TestProbDeterminism pins that probabilistic rules are a pure function
+// of (seed, site, hit counter): two identical plans fire on identical
+// hit sequences, and a different seed gives a different (but still
+// plausible) sequence.
+func TestProbDeterminism(t *testing.T) {
+	run := func(seed int64) []int {
+		plan := NewPlan(seed, Rule{Site: "c", Kind: KindError, Prob: 0.3})
+		defer Enable(plan)()
+		var fired []int
+		for i := 0; i < 200; i++ {
+			if Check("c") != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different fire counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at fire %d: hit %d vs %d", i, a[i], b[i])
+		}
+	}
+	// ~0.3 of 200 hits: loose bounds, the point is the coin is not stuck.
+	if len(a) < 20 || len(a) > 120 {
+		t.Fatalf("prob=0.3 fired %d/200 times — coin looks broken", len(a))
+	}
+}
+
+func TestEnableRestores(t *testing.T) {
+	Disable()
+	restore := Enable(NewPlan(1, Rule{Site: "r", Kind: KindError}))
+	if Check("r") == nil {
+		t.Fatal("plan not active after Enable")
+	}
+	restore()
+	if Check("r") != nil {
+		t.Fatal("restore did not deactivate the plan")
+	}
+	if Enabled() {
+		t.Fatal("Enabled after restore")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	plan, err := ParseSpec("wal/append:error:after=20:times=5; stream/match:panic:every=50 ;x:delay=5ms:prob=0.5", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.rules[SiteWALAppend]) != 1 || len(plan.rules[SiteMatch]) != 1 || len(plan.rules["x"]) != 1 {
+		t.Fatalf("parsed rules = %v", plan.String())
+	}
+	r := plan.rules[SiteWALAppend][0]
+	if r.Kind != KindError || r.After != 20 || r.Times != 5 {
+		t.Fatalf("wal/append rule = %+v", r.Rule)
+	}
+	d := plan.rules["x"][0]
+	if d.Kind != KindDelay || d.Delay != 5*time.Millisecond || d.Prob != 0.5 {
+		t.Fatalf("delay rule = %+v", d.Rule)
+	}
+	// The normalized rendering re-parses to the same plan.
+	if _, err := ParseSpec(plan.String(), 7); err != nil {
+		t.Fatalf("String() %q does not re-parse: %v", plan.String(), err)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		";;",
+		"siteonly",
+		"x:explode",
+		"x:delay=notadur",
+		"x:error:after=-1",
+		"x:error:prob=2",
+		"x:error:bogus=1",
+		"x:error:after",
+		":error",
+	} {
+		if _, err := ParseSpec(spec, 1); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error", spec)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec drives the PATHRANK_FAULTS spec parser with arbitrary
+// strings: it must either reject cleanly or produce a plan whose
+// normalized rendering re-parses — never panic. Parsed plans are also
+// exercised once per site so trigger bookkeeping can't crash on odd
+// schedules (the fuzzer will find e.g. huge after/every values).
+func FuzzParseSpec(f *testing.F) {
+	f.Add("wal/append:error:after=20:times=5;stream/match:panic:every=50")
+	f.Add("artifact/load:error:prob=0.25")
+	f.Add("wal/sync:delay=10ms")
+	f.Add("x:error;;y:panic:times=1")
+	f.Add("a:delay=1h:after=9999999:every=1000000")
+	f.Fuzz(func(t *testing.T, spec string) {
+		plan, err := ParseSpec(spec, 1)
+		if err != nil {
+			return
+		}
+		rendered := plan.String()
+		again, err := ParseSpec(rendered, 1)
+		if err != nil {
+			t.Fatalf("String() %q of valid spec %q does not re-parse: %v", rendered, spec, err)
+		}
+		for site, rules := range again.rules {
+			// Delay rules would make the fuzzer sleep; everything else is
+			// safe to trigger. Panic rules must panic only via Check.
+			skip := false
+			for _, r := range rules {
+				if r.Kind != KindError {
+					skip = true
+				}
+			}
+			if skip || strings.Contains(site, "\x00") {
+				continue
+			}
+			func() {
+				defer Enable(NewPlan(1))() // isolate: fresh empty plan after
+				defer Enable(again)()
+				_ = Check(site)
+			}()
+		}
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 
 	"pathrank/internal/dataset"
+	"pathrank/internal/fault"
 	"pathrank/internal/nn"
 	"pathrank/internal/node2vec"
 	"pathrank/internal/roadnet"
@@ -367,6 +368,11 @@ func SaveArtifactFile(path string, a *Artifact) error {
 // metadata journal commits the new name while the data pages are still
 // dirty, and the "published" artifact is garbage after the crash).
 func SaveArtifactFileAtomic(path string, a *Artifact) error {
+	// Chaos hook: an injected save failure rejects the persist before the
+	// temp file exists, like a disk that refuses the create.
+	if err := fault.Check(fault.SiteArtifactSave); err != nil {
+		return fmt.Errorf("pathrank: save %s: %w", path, err)
+	}
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -409,6 +415,9 @@ func SaveArtifactFileAtomic(path string, a *Artifact) error {
 
 // LoadArtifactFile reads an artifact from the named file.
 func LoadArtifactFile(path string) (*Artifact, error) {
+	if err := fault.Check(fault.SiteArtifactLoad); err != nil {
+		return nil, fmt.Errorf("pathrank: load %s: %w", path, err)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("pathrank: %w", err)

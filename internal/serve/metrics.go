@@ -51,6 +51,9 @@ type serveMetrics struct {
 	// install, excluding the retired snapshot's background drain).
 	swaps        obsv.Counter
 	swapDuration obsv.Histogram
+	// swapRejected counts candidate artifacts the canary gate refused to
+	// publish (the live snapshot kept serving).
+	swapRejected obsv.Counter
 	// reloadErrors counts failed /v1/reload attempts.
 	reloadErrors obsv.Counter
 	// ingest counts trajectories by outcome: accepted into the pipeline or
@@ -81,6 +84,8 @@ func newServeMetrics(reg *obsv.Registry, s *Server) *serveMetrics {
 		"Artifact hot swaps installed.").With()
 	m.swapDuration = reg.Histogram("pathrank_swap_duration_seconds",
 		"Hot-swap latency in seconds: snapshot build through install.", nil).With()
+	m.swapRejected = reg.Counter("pathrank_swap_rejected_total",
+		"Artifact swaps refused by the canary gate; the previous snapshot kept serving.").With()
 	m.reloadErrors = reg.Counter("pathrank_reload_errors_total",
 		"Failed artifact reload attempts.").With()
 	m.ingest = reg.Counter("pathrank_ingest_trajectories_total",

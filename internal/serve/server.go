@@ -74,6 +74,13 @@ type Ingestor interface {
 	IngestGPS(records []traj.GPSRecord) error
 }
 
+// HealthSource reports the live pipeline's health for GET /healthz. The
+// streaming pipeline in internal/stream implements it; the interface
+// keeps this package from importing the pipeline.
+type HealthSource interface {
+	Health() api.PipelineHealth
+}
+
 // ProvenanceSource reports data-provenance state for GET /v1/provenance:
 // the Merkle commitments of the serving generation, WAL health, and
 // per-trajectory inclusion proofs. The streaming pipeline in
@@ -130,6 +137,28 @@ type Config struct {
 	// WatchInterval > 0 makes Run poll ArtifactPath for changes and
 	// hot-swap automatically (see WatchArtifact).
 	WatchInterval time.Duration
+	// CanaryQueries enables the canary gate that guards every hot swap:
+	// before a candidate snapshot is published, this many pinned golden
+	// origin-destination queries are scored on it and checked for finite
+	// scores, non-empty rankings, and bounded rank divergence against the
+	// live snapshot. A violation refuses the swap (the live snapshot keeps
+	// serving), quarantines file-loaded artifacts, and surfaces through
+	// /healthz and pathrank_swap_rejected_total. 0 (the default) disables
+	// the gate.
+	CanaryQueries int
+	// CanaryMaxDivergence bounds the normalized Kendall-tau distance
+	// between the candidate's and the live snapshot's rankings of the
+	// golden queries, in [0,1]; 0 uses the default (0.9 — only wholesale
+	// reversals fail). Only enforced when the road network is unchanged.
+	CanaryMaxDivergence float64
+	// CanaryTimeout bounds the whole canary gate (default 5s); a gate that
+	// cannot finish in time refuses the swap.
+	CanaryTimeout time.Duration
+	// Pipeline, when non-nil, contributes the live pipeline's health state
+	// to GET /healthz: a degraded pipeline (failing WAL) flips the
+	// top-level health status to "degraded". The streaming pipeline in
+	// internal/stream implements it.
+	Pipeline HealthSource
 	// Ingest, when non-nil, enables POST /v1/ingest.
 	Ingest Ingestor
 	// Provenance, when non-nil, backs GET /v1/provenance with live
@@ -174,7 +203,12 @@ type Server struct {
 
 	obs *serveMetrics
 
+	// lastRejection is the most recent canary-gate refusal (nil before the
+	// first); swapRejected counts them. Both are surfaced in /healthz.
+	lastRejection atomic.Pointer[SwapRejection]
+
 	vars           *expvar.Map
+	swapRejected   expvar.Int
 	reqTotal       expvar.Int
 	rankOK         expvar.Int
 	rankErrors     expvar.Int
@@ -257,6 +291,7 @@ func New(art *pathrank.Artifact, cfg Config) (*Server, error) {
 	s.vars.Set("rank_latency_ns_total", &s.latencyNanos)
 	s.vars.Set("in_flight", &s.inFlightGauge)
 	s.vars.Set("swaps_total", &s.swapsTotal)
+	s.vars.Set("swap_rejections", &s.swapRejected)
 	s.vars.Set("reload_errors", &s.reloadErrors)
 	s.vars.Set("ingest_accepted", &s.ingestAccepted)
 	s.vars.Set("ingest_rejected", &s.ingestRejected)
@@ -323,6 +358,10 @@ type SwapInfo struct {
 // preserved iff the new model's fingerprint and candidate configuration
 // match the old ones (cached rankings are then bit-identical by
 // construction); otherwise it is fully invalidated.
+//
+// With cfg.CanaryQueries > 0 the candidate snapshot must pass the canary
+// gate (see canary.go) before it is installed; a refusal wraps
+// ErrSwapRejected and leaves the current snapshot serving.
 func (s *Server) Swap(art *pathrank.Artifact) (SwapInfo, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
@@ -331,6 +370,15 @@ func (s *Server) Swap(art *pathrank.Artifact) (SwapInfo, error) {
 	next, err := s.buildSnapshot(art, old)
 	if err != nil {
 		return SwapInfo{}, err
+	}
+	if s.cfg.CanaryQueries > 0 {
+		if cerr := s.canaryCheck(next, old); cerr != nil {
+			// The candidate never serves: retiring it drops its creation
+			// reference and stops its batcher. Components it shares with
+			// the live snapshot (cache, engine) are unaffected.
+			next.retire()
+			return SwapInfo{}, s.rejectSwap(next, art.Lineage.Generation, cerr)
+		}
 	}
 	s.snapMu.Lock()
 	s.snap.Store(next)
@@ -356,7 +404,10 @@ func (s *Server) Swap(art *pathrank.Artifact) (SwapInfo, error) {
 }
 
 // Reload reads the artifact bundle at path (or cfg.ArtifactPath when path
-// is empty) and hot-swaps it in.
+// is empty) and hot-swaps it in. An artifact the canary gate refuses is
+// quarantined: the file is renamed aside so the watcher does not re-offer
+// the same bad bundle, and the next good write lands under the original
+// name.
 func (s *Server) Reload(path string) (SwapInfo, error) {
 	if path == "" {
 		path = s.cfg.ArtifactPath
@@ -374,8 +425,36 @@ func (s *Server) Reload(path string) (SwapInfo, error) {
 	if err != nil {
 		s.reloadErrors.Add(1)
 		s.obs.reloadErrors.Inc()
+		if errors.Is(err, ErrSwapRejected) {
+			s.quarantineArtifact(path)
+		}
 	}
 	return info, err
+}
+
+// quarantineArtifact moves a canary-rejected artifact file aside, naming
+// the quarantine after the refused fingerprint, and records the location
+// in the rejection /healthz reports. A rename failure (e.g. the retrainer
+// already replaced the file) is logged and otherwise ignored: quarantine
+// is a hygiene measure, the swap was already refused.
+func (s *Server) quarantineArtifact(path string) {
+	rej := s.lastRejection.Load()
+	if rej == nil {
+		return
+	}
+	qpath := fmt.Sprintf("%s.quarantined-%.12s", path, rej.Fingerprint)
+	if err := os.Rename(path, qpath); err != nil {
+		if s.cfg.Logf != nil {
+			s.cfg.Logf("quarantine %s: %v", path, err)
+		}
+		return
+	}
+	updated := *rej
+	updated.Quarantined = qpath
+	s.lastRejection.Store(&updated)
+	if s.cfg.Logf != nil {
+		s.cfg.Logf("quarantined rejected artifact: %s -> %s", path, qpath)
+	}
 }
 
 // Fingerprint returns the hex fingerprint of the currently served model.
@@ -453,9 +532,13 @@ func (s *Server) Run(ctx context.Context) error {
 // WatchArtifact polls cfg.ArtifactPath every cfg.WatchInterval and
 // hot-swaps the bundle in when its mtime or size changes, until ctx is
 // canceled. The streaming retrainer writes artifacts atomically
-// (rename-into-place), so a change observed here is always a complete
-// bundle; a torn manual copy is rejected by the checksum and retried on
-// the next change.
+// (rename-into-place), so a change observed here is normally a complete
+// bundle; a torn manual copy is rejected by the checksum and — unlike the
+// pre-fault-injection watcher, which waited for the next mtime change —
+// retried on an exponential backoff, so a copy that completes without
+// touching the mtime again is still picked up. Canary-rejected bundles
+// are not retried (Reload quarantined the file; the stat fails until the
+// next good write).
 func (s *Server) WatchArtifact(ctx context.Context) {
 	if s.cfg.ArtifactPath == "" || s.cfg.WatchInterval <= 0 {
 		return
@@ -467,6 +550,8 @@ func (s *Server) WatchArtifact(ctx context.Context) {
 	}
 	tick := time.NewTicker(s.cfg.WatchInterval)
 	defer tick.Stop()
+	backoff := s.cfg.WatchInterval
+	var retryAt time.Time // zero: no failed reload pending retry
 	for {
 		select {
 		case <-ctx.Done():
@@ -475,15 +560,32 @@ func (s *Server) WatchArtifact(ctx context.Context) {
 		}
 		st, err := os.Stat(s.cfg.ArtifactPath)
 		if err != nil {
+			// Missing file: quarantined or mid-replace; wait for the next
+			// write to recreate it.
 			continue
 		}
-		if st.ModTime().Equal(lastMod) && st.Size() == lastSize {
+		changed := !st.ModTime().Equal(lastMod) || st.Size() != lastSize
+		if !changed && (retryAt.IsZero() || time.Now().Before(retryAt)) {
 			continue
 		}
 		lastMod, lastSize = st.ModTime(), st.Size()
-		if _, err := s.Reload(s.cfg.ArtifactPath); err != nil && s.cfg.Logf != nil {
-			s.cfg.Logf("watcher: reload %s: %v", s.cfg.ArtifactPath, err)
+		if _, err := s.Reload(s.cfg.ArtifactPath); err != nil {
+			if s.cfg.Logf != nil {
+				s.cfg.Logf("watcher: reload %s: %v", s.cfg.ArtifactPath, err)
+			}
+			if errors.Is(err, ErrSwapRejected) {
+				// The canary verdict is deterministic for these bytes and
+				// the file is quarantined — retrying would re-reject.
+				retryAt, backoff = time.Time{}, s.cfg.WatchInterval
+				continue
+			}
+			retryAt = time.Now().Add(backoff)
+			if backoff < 16*s.cfg.WatchInterval {
+				backoff *= 2
+			}
+			continue
 		}
+		retryAt, backoff = time.Time{}, s.cfg.WatchInterval
 	}
 }
 
@@ -762,6 +864,13 @@ type healthResponse struct {
 	DataRoot  string         `json:"data_root,omitempty"`
 	ChainRoot string         `json:"chain_root,omitempty"`
 	WAL       *api.WALStatus `json:"wal,omitempty"`
+	// SwapRejections counts canary-gate refusals; LastSwapRejection
+	// details the most recent one (what was kept out of service and why).
+	SwapRejections    int64          `json:"swap_rejections,omitempty"`
+	LastSwapRejection *SwapRejection `json:"last_swap_rejection,omitempty"`
+	// Pipeline is the live pipeline's health; a degraded pipeline flips
+	// the top-level Status to "degraded" (the server itself still serves).
+	Pipeline *api.PipelineHealth `json:"pipeline,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -791,6 +900,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.cfg.Provenance != nil {
 		resp.WAL = s.cfg.Provenance.Provenance().WAL
+	}
+	resp.SwapRejections = s.swapRejected.Value()
+	resp.LastSwapRejection = s.lastRejection.Load()
+	if s.cfg.Pipeline != nil {
+		ph := s.cfg.Pipeline.Health()
+		resp.Pipeline = &ph
+		if ph.State == api.PipelineDegraded {
+			// Ranking still works (the snapshot is intact), but ingest
+			// durability is impaired — surfaced at the top level so plain
+			// liveness probes notice without parsing the pipeline block.
+			resp.Status = api.PipelineDegraded
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -11,6 +11,8 @@ const (
 	obsMatchFailed = "match_failed"
 	obsDropped     = "dropped"
 	obsWALError    = "wal_error"
+	obsParked      = "parked"
+	obsLost        = "lost"
 )
 
 // streamMetrics is the pipeline's Prometheus-format instrumentation. One
@@ -18,11 +20,16 @@ const (
 // (Config.Metrics — pathrank-serve shares one registry between the server
 // and the pipeline so GET /metrics exports both) or a private one.
 type streamMetrics struct {
-	// observations counts ingested trajectories by terminal outcome:
-	// matched into the window, match_failed (HMM decode failure or too few
-	// hops), dropped (queue full), or wal_error (append failed, observation
-	// discarded).
+	// observations counts ingested trajectories by outcome: matched into
+	// the window, match_failed (HMM decode failure or too few hops),
+	// dropped (queue full), wal_error (append failed), parked (held in the
+	// degraded buffer awaiting re-sync; counted matched once drained), or
+	// lost (dropped on parking-buffer overflow — degraded mode's loss
+	// bound).
 	observations *obsv.CounterVec
+	// workerPanics counts contained worker panics by worker ("match",
+	// "retrain"): each one recovered and logged, the worker kept running.
+	workerPanics *obsv.CounterVec
 	// retrains counts retrain attempts by result; retrainDuration is the
 	// end-to-end latency of successful retrains (sync, fine-tune, persist,
 	// marker, publish).
@@ -39,8 +46,11 @@ type streamMetrics struct {
 func newStreamMetrics(reg *obsv.Registry, s *Service) *streamMetrics {
 	m := &streamMetrics{}
 	m.observations = reg.Counter("pathrank_stream_observations_total",
-		"Ingested trajectories by outcome: matched, match_failed, dropped, or wal_error.",
+		"Ingested trajectories by outcome: matched, match_failed, dropped, wal_error, parked, or lost.",
 		"result")
+	m.workerPanics = reg.Counter("pathrank_worker_panics_total",
+		"Contained worker panics by worker (match, retrain); each worker recovered and kept running.",
+		"worker")
 	m.retrains = reg.Counter("pathrank_retrains_total",
 		"Retrain attempts by result: ok or error.", "result")
 	m.retrainDuration = reg.Histogram("pathrank_retrain_duration_seconds",
@@ -65,6 +75,21 @@ func newStreamMetrics(reg *obsv.Registry, s *Service) *streamMetrics {
 			s.mu.Lock()
 			defer s.mu.Unlock()
 			return float64(s.pending)
+		})
+	reg.GaugeFunc("pathrank_pipeline_degraded",
+		"1 while the pipeline is in degraded mode (WAL failing, observations parked), else 0.",
+		func() float64 {
+			if s.degraded.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("pathrank_stream_parked_observations",
+		"Matched observations parked in the degraded buffer awaiting WAL re-sync.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.parked))
 		})
 	reg.GaugeFunc("pathrank_wal_segments",
 		"Segment files in the trajectory WAL (0 when disabled).",

@@ -16,7 +16,15 @@
 // generation writes a retrain marker recording exactly which observations
 // it trained on and with what configuration. A restarted service rebuilds
 // its window from the log, and Replay reconstructs any logged generation
-// bit-for-bit from the log plus the base artifact. Independently of the
+// bit-for-bit from the log plus the base artifact. When the log itself
+// fails (disk full, I/O error), the pipeline does not silently drop
+// observations: it flips into a visible degraded state — matched paths
+// are parked in a bounded in-memory buffer, excluded from the training
+// window (the window must stay a subset of the log), and a background
+// loop re-appends them with exponential backoff until the disk recovers
+// and a final fsync succeeds, at which point the service reports ready
+// again. Worker panics (matcher or retrainer) are contained: recovered,
+// counted, and the worker keeps draining. Independently of the
 // WAL, every retrain seals its training window into a Merkle batch
 // (internal/merkle): the batch root and a chained root over all
 // generations are stamped into the artifact's lineage, and ProveTrajectory
@@ -39,12 +47,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pathrank/internal/api"
 	"pathrank/internal/dataset"
+	"pathrank/internal/fault"
 	"pathrank/internal/merkle"
 	"pathrank/internal/obsv"
 	"pathrank/internal/pathrank"
@@ -125,6 +136,12 @@ type Config struct {
 	// Retention trades replay depth for space: pruned observations cannot
 	// be replayed, so leave it 0 when full-history replay matters.
 	WALRetain int
+	// DegradedBuffer bounds the in-memory parking buffer of degraded mode
+	// in observations (default: Window). While WAL appends fail, matched
+	// paths accumulate here instead of entering the window; on overflow
+	// the oldest parked observation is dropped and counted as lost — the
+	// documented loss bound of degraded mode.
+	DegradedBuffer int
 }
 
 // observation is one map-matched trajectory. seq is the ingest sequence
@@ -148,11 +165,20 @@ type Stats struct {
 	Generation    int
 	Retrains      int64
 	RetrainErrors int64
-	// WALErrors counts observations discarded because their WAL append
-	// failed; Recovered is how many observations the startup window
-	// rebuild replayed from the WAL. Both stay 0 with the WAL disabled.
+	// WALErrors counts WAL append failures (each parks its observation
+	// for degraded-mode re-sync); Recovered is how many observations the
+	// startup window rebuild replayed from the WAL. Both stay 0 with the
+	// WAL disabled.
 	WALErrors int64
 	Recovered int
+	// Degraded reports whether the pipeline is currently in degraded mode
+	// (WAL appends failing, observations parked). Parked is the current
+	// parking-buffer depth; Lost counts observations dropped on parking
+	// overflow; WorkerPanics counts contained worker panics.
+	Degraded     bool
+	Parked       int
+	Lost         int64
+	WorkerPanics int64
 }
 
 // Service is the live pipeline: ingest queue, map-matching workers, and
@@ -174,6 +200,13 @@ type Service struct {
 	// after New.
 	obs *streamMetrics
 
+	// degraded is the pipeline's health flag, readable without s.mu from
+	// metrics and the hot ingest path. The detail behind it (since,
+	// reason, parked buffer) lives under s.mu; recoverKick wakes the
+	// recovery loop when an append failure first parks an observation.
+	degraded    atomic.Bool
+	recoverKick chan struct{}
+
 	mu            sync.Mutex
 	art           *pathrank.Artifact
 	window        []observation // ring buffer once it reaches cfg.Window
@@ -188,6 +221,17 @@ type Service struct {
 	retrainErrors int64
 	walErrors     int64
 	recovered     int // observations replayed from the WAL at startup
+
+	// Degraded-mode state, guarded by mu. parked holds matched
+	// observations whose WAL append failed, oldest first; only the
+	// recovery loop pops it, so parked[0] is stable across an unlocked
+	// re-append attempt. They are not in the window — the window must
+	// stay a subset of the log.
+	degradedSince  time.Time
+	degradedReason string
+	parked         []observation
+	parkedLost     int64
+	workerPanics   int64
 
 	// Provenance of the current generation: chain is the running chained
 	// root (zero before any committed batch), batch the sealed Merkle
@@ -250,6 +294,9 @@ func New(art *pathrank.Artifact, cfg Config) (*Service, error) {
 	if cfg.MinObservations <= 0 {
 		cfg.MinObservations = 16
 	}
+	if cfg.DegradedBuffer <= 0 {
+		cfg.DegradedBuffer = cfg.Window
+	}
 	if cfg.MinHops <= 0 {
 		cfg.MinHops = 2
 	}
@@ -286,10 +333,11 @@ func New(art *pathrank.Artifact, cfg Config) (*Service, error) {
 		engine = spath.NewEngine(kind, art.Graph, spath.ByLength, spath.EngineConfig{})
 	}
 	s := &Service{
-		cfg:     cfg,
-		matcher: traj.NewMatcherEngine(art.Graph, cfg.Match, engine),
-		queue:   make(chan ingestItem, cfg.QueueSize),
-		art:     art,
+		cfg:         cfg,
+		matcher:     traj.NewMatcherEngine(art.Graph, cfg.Match, engine),
+		queue:       make(chan ingestItem, cfg.QueueSize),
+		art:         art,
+		recoverKick: make(chan struct{}, 1),
 	}
 	reg := cfg.Metrics
 	if reg == nil {
@@ -459,12 +507,16 @@ func (s *Service) Stats() Stats {
 		RetrainErrors: s.retrainErrors,
 		WALErrors:     s.walErrors,
 		Recovered:     s.recovered,
+		Degraded:      s.degraded.Load(),
+		Parked:        len(s.parked),
+		Lost:          s.parkedLost,
+		WorkerPanics:  s.workerPanics,
 	}
 }
 
-// Run starts the map-matching workers and, when cfg.Interval > 0, the
-// periodic retrain loop. It blocks until ctx is canceled and all workers
-// have stopped.
+// Run starts the map-matching workers, the WAL recovery loop (when the
+// WAL is enabled), and, when cfg.Interval > 0, the periodic retrain
+// loop. It blocks until ctx is canceled and all workers have stopped.
 func (s *Service) Run(ctx context.Context) error {
 	var wg sync.WaitGroup
 	for i := 0; i < s.cfg.Workers; i++ {
@@ -472,6 +524,13 @@ func (s *Service) Run(ctx context.Context) error {
 		go func() {
 			defer wg.Done()
 			s.matchLoop(ctx)
+		}()
+	}
+	if s.log != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.recoverLoop(ctx)
 		}()
 	}
 	if s.cfg.Interval > 0 {
@@ -485,15 +544,42 @@ func (s *Service) Run(ctx context.Context) error {
 	return nil
 }
 
-// matchLoop drains the ingest queue, recovering network paths.
+// matchLoop drains the ingest queue, recovering network paths. Each
+// trajectory is matched inside a panic guard: a panic anywhere in the
+// match path (the HMM decoder, an engine query, an injected fault) is
+// recovered and counted, the trajectory is abandoned, and the worker
+// keeps draining the queue — one poisoned input must not stop ingest.
 func (s *Service) matchLoop(ctx context.Context) {
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case item := <-s.queue:
-			s.matchOne(ctx, item)
+			s.matchGuarded(ctx, item)
 		}
+	}
+}
+
+// matchGuarded runs matchOne under the worker panic guard.
+func (s *Service) matchGuarded(ctx context.Context, item ingestItem) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.notePanic("match", fmt.Sprintf("trajectory %d", item.seq), r)
+		}
+	}()
+	s.matchOne(ctx, item)
+}
+
+// notePanic records a contained worker panic: counted (Stats, /healthz,
+// pathrank_worker_panics_total) and logged with its stack, never
+// propagated.
+func (s *Service) notePanic(worker, what string, r any) {
+	s.mu.Lock()
+	s.workerPanics++
+	s.mu.Unlock()
+	s.obs.workerPanics.With(worker).Inc()
+	if s.cfg.Logf != nil {
+		s.cfg.Logf("%s worker panic CONTAINED (%s): %v\n%s", worker, what, r, debug.Stack())
 	}
 }
 
@@ -504,6 +590,12 @@ func (s *Service) matchLoop(ctx context.Context) {
 // match failure.
 func (s *Service) matchOne(ctx context.Context, item ingestItem) {
 	path, err := s.matcher.MatchCtx(ctx, item.records)
+	if err == nil {
+		// Injected matcher faults land here, after the real decode: an
+		// error counts like any bad trajectory, a panic is contained by
+		// matchGuarded, a delay models a slow decode.
+		err = fault.Check(fault.SiteMatch)
+	}
 	if err != nil && ctx.Err() != nil {
 		return // shutdown, not a bad trajectory
 	}
@@ -521,16 +613,19 @@ func (s *Service) matchOne(ctx context.Context, item ingestItem) {
 	if s.log != nil {
 		// Write-ahead: the observation must be in the log before it can
 		// influence training, or a crash could yield a generation trained
-		// on data the log never saw. On append failure the observation is
-		// discarded — the window must stay a subset of the log.
+		// on data the log never saw. While degraded, don't hammer the
+		// failing disk with every observation — park directly and let the
+		// recovery loop's backoff probe the log.
+		if s.degraded.Load() {
+			s.park(o, nil)
+			return
+		}
 		if _, err := s.log.Append(encodeObservation(o)); err != nil {
 			s.mu.Lock()
 			s.walErrors++
 			s.mu.Unlock()
 			s.obs.observations.With(obsWALError).Inc()
-			if s.cfg.Logf != nil {
-				s.cfg.Logf("wal: append trajectory %d: %v (observation discarded)", item.seq, err)
-			}
+			s.park(o, err)
 			return
 		}
 	}
@@ -540,6 +635,159 @@ func (s *Service) matchOne(ctx context.Context, item ingestItem) {
 	s.windowAddLocked(o)
 	s.mu.Unlock()
 	s.obs.observations.With(obsMatched).Inc()
+}
+
+// park holds a matched observation whose WAL append failed (or that
+// arrived while the log was already failing) in the bounded degraded
+// buffer, flips the pipeline into its degraded state, and wakes the
+// recovery loop. On overflow the oldest parked observation is dropped
+// and counted as lost — the documented loss bound of degraded mode.
+func (s *Service) park(o observation, cause error) {
+	s.mu.Lock()
+	if len(s.parked) >= s.cfg.DegradedBuffer {
+		s.parked = s.parked[1:]
+		s.parkedLost++
+		s.obs.observations.With(obsLost).Inc()
+	}
+	s.parked = append(s.parked, o)
+	if cause != nil {
+		s.markDegradedLocked(fmt.Sprintf("wal append: %v", cause))
+	} else if !s.degraded.Load() {
+		s.markDegradedLocked("wal append failing")
+	}
+	s.mu.Unlock()
+	s.obs.observations.With(obsParked).Inc()
+	if s.cfg.Logf != nil && cause != nil {
+		s.cfg.Logf("wal: append trajectory %d: %v (observation parked, pipeline degraded)", o.seq, cause)
+	}
+	s.kickRecovery()
+}
+
+// markDegradedLocked flips (or refreshes the reason of) the degraded
+// state. Callers hold s.mu.
+func (s *Service) markDegradedLocked(reason string) {
+	if !s.degraded.Load() {
+		s.degraded.Store(true)
+		s.degradedSince = time.Now()
+	}
+	s.degradedReason = reason
+}
+
+// noteWALFault marks the pipeline degraded after a WAL failure outside
+// the append path (a retrain-boundary fsync) and wakes the recovery
+// loop; recovery clears it once a probe fsync succeeds.
+func (s *Service) noteWALFault(err error) {
+	s.mu.Lock()
+	s.markDegradedLocked(err.Error())
+	s.mu.Unlock()
+	s.kickRecovery()
+}
+
+// kickRecovery wakes the recovery loop without blocking; a buffered
+// token already pending means it will wake anyway.
+func (s *Service) kickRecovery() {
+	select {
+	case s.recoverKick <- struct{}{}:
+	default:
+	}
+}
+
+// recoverLoop is the degraded-mode healer: woken by the first parked
+// observation (or any WAL fault), it re-appends the parked backlog
+// oldest-first with exponential backoff between failed probes, and
+// clears the degraded state only after the backlog is drained AND a
+// final fsync confirms the log is durably caught up.
+func (s *Service) recoverLoop(ctx context.Context) {
+	const (
+		backoffMin = 100 * time.Millisecond
+		backoffMax = 5 * time.Second
+	)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.recoverKick:
+		}
+		backoff := backoffMin
+		for s.degraded.Load() {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(backoff):
+			}
+			if err := s.resyncStep(); err != nil {
+				if backoff *= 2; backoff > backoffMax {
+					backoff = backoffMax
+				}
+				continue
+			}
+			backoff = backoffMin
+		}
+	}
+}
+
+// resyncStep makes one unit of recovery progress: re-append the oldest
+// parked observation, or — once the backlog is empty — fsync the log
+// and clear the degraded state. A non-nil error means the disk is still
+// failing and the caller should back off.
+func (s *Service) resyncStep() error {
+	s.mu.Lock()
+	if len(s.parked) == 0 {
+		s.mu.Unlock()
+		// Drained. The log must prove it is durably healthy before the
+		// service reports ready again: a successful fsync, not merely an
+		// absence of parked work.
+		if err := s.log.Sync(); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if len(s.parked) == 0 && s.degraded.Load() {
+			s.degraded.Store(false)
+			since := s.degradedSince
+			s.degradedReason = ""
+			s.mu.Unlock()
+			if s.cfg.Logf != nil {
+				s.cfg.Logf("wal: recovered, pipeline ready again (degraded for %s)",
+					time.Since(since).Round(time.Millisecond))
+			}
+			return nil
+		}
+		// Raced with a fresh park between drain and fsync; keep going.
+		s.mu.Unlock()
+		return nil
+	}
+	o := s.parked[0]
+	s.mu.Unlock()
+	// Append outside the lock: a hung disk must not wedge Stats/Health.
+	// Only this loop pops parked, so parked[0] is still o afterwards.
+	if _, err := s.log.Append(encodeObservation(o)); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.parked = s.parked[1:]
+	s.matched++
+	s.pending++
+	s.windowAddLocked(o)
+	s.mu.Unlock()
+	s.obs.observations.With(obsMatched).Inc()
+	return nil
+}
+
+// Health reports the pipeline's self-assessed health for /healthz: ready,
+// or degraded with the fault, its duration, and the parked backlog.
+func (s *Service) Health() api.PipelineHealth {
+	h := api.PipelineHealth{State: api.PipelineReady}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h.WorkerPanics = s.workerPanics
+	h.Lost = s.parkedLost
+	if s.degraded.Load() {
+		h.State = api.PipelineDegraded
+		h.Reason = s.degradedReason
+		h.DegradedForS = time.Since(s.degradedSince).Seconds()
+		h.Parked = len(s.parked)
+	}
+	return h
 }
 
 // retrainLoop fires a retrain whenever the cadence elapses with at least
@@ -602,11 +850,23 @@ func (s *Service) RetrainNow() (*pathrank.Artifact, error) {
 
 	if s.log != nil {
 		if err := s.log.Sync(); err != nil {
+			s.noteWALFault(fmt.Errorf("wal sync before retrain: %v", err))
 			return fail(fmt.Errorf("stream: sync WAL before retrain: %w", err))
 		}
 	}
 
-	out, err := s.retrain(base, obs, prev)
+	// The fine-tune runs under the worker panic guard: a panic in the
+	// trainer (bad data, an injected fault) fails this retrain and keeps
+	// the previous generation, instead of killing the retrain loop.
+	out, err := func() (out *retrainOutcome, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				s.notePanic("retrain", fmt.Sprintf("generation %d window", base.Lineage.Generation+1), r)
+				out, err = nil, fmt.Errorf("stream: retrain panicked: %v", r)
+			}
+		}()
+		return s.retrain(base, obs, prev)
+	}()
 	if err != nil {
 		return fail(err)
 	}
@@ -623,9 +883,11 @@ func (s *Service) RetrainNow() (*pathrank.Artifact, error) {
 			return fail(err)
 		}
 		if _, err := s.log.Append(payload); err != nil {
+			s.noteWALFault(fmt.Errorf("wal retrain marker: %v", err))
 			return fail(fmt.Errorf("stream: log retrain marker: %w", err))
 		}
 		if err := s.log.Sync(); err != nil {
+			s.noteWALFault(fmt.Errorf("wal sync retrain marker: %v", err))
 			return fail(fmt.Errorf("stream: sync retrain marker: %w", err))
 		}
 	}
@@ -665,6 +927,9 @@ type retrainOutcome struct {
 // retrain produces the next-generation artifact from base and the window,
 // chaining its provenance onto prev.
 func (s *Service) retrain(base *pathrank.Artifact, obs []observation, prev merkle.Hash) (*retrainOutcome, error) {
+	if err := fault.Check(fault.SiteRetrain); err != nil {
+		return nil, fmt.Errorf("stream: retrain: %w", err)
+	}
 	if len(obs) == 0 {
 		return nil, fmt.Errorf("stream: no observations to retrain on")
 	}

@@ -30,6 +30,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"pathrank/internal/fault"
 )
 
 // Segment file layout (all integers big-endian):
@@ -334,6 +336,9 @@ func scanSegment(r io.ReadSeeker) (first uint64, intact int64, records int, dama
 // and durably records its existence (file fsync + directory fsync), so a
 // crash immediately after rotation cannot lose the segment itself.
 func (l *Log) openSegmentLocked() error {
+	if err := fault.Check(fault.SiteWALRotate); err != nil {
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
 	path := filepath.Join(l.dir, segName(l.nextIndex))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -392,6 +397,11 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	defer l.mu.Unlock()
 	if l.closed {
 		return 0, ErrClosed
+	}
+	// Chaos hook: an injected append failure is a clean rejection before
+	// any frame bytes are written — the disk said no, the log stays intact.
+	if err := fault.Check(fault.SiteWALAppend); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	if l.size >= l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
@@ -463,6 +473,11 @@ func (l *Log) Sync() error {
 func (l *Log) syncLocked() error {
 	if l.synced == l.nextIndex-1 {
 		return nil // nothing new
+	}
+	// Chaos hook: placed after the nothing-new fast path so an injected
+	// fsync failure only fires when there is genuinely unsynced data.
+	if err := fault.Check(fault.SiteWALSync); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
 	}
 	start := time.Now()
 	if err := l.f.Sync(); err != nil {
