@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"pathrank"
+	"pathrank/internal/api"
 )
 
 // hdrHist is a log-bucketed latency histogram in the spirit of HDR
@@ -129,6 +130,10 @@ type genConfig struct {
 	V1Ratio    float64 // fraction of requests sent to the legacy /v1/rank
 	BatchRatio float64 // fraction of v2 requests that are batches
 	BatchSize  int
+	// ExplainRatio is the fraction of single v2 requests sent with
+	// explain=true; against a sharded router the returned stats carry the
+	// per-shard latency breakdown the report aggregates.
+	ExplainRatio float64
 
 	Timeout     time.Duration // per-request deadline
 	MaxInFlight int           // arrivals past this many open requests are dropped, not delayed
@@ -151,6 +156,22 @@ type report struct {
 	Dropped int64            `json:"dropped_arrivals"`
 	Errors  map[string]int64 `json:"errors,omitempty"` // by typed api code
 	Latency latencyReport    `json:"latency_ms"`
+	// Routes and ShardLatency are populated from explain-sampled requests
+	// (ExplainRatio > 0) against a sharded router: how queries routed
+	// (co_shard vs cross_shard) and each shard's contribution by role.
+	Routes       map[string]int64     `json:"routes,omitempty"`
+	ShardLatency []shardLatencyReport `json:"shard_latency,omitempty"`
+}
+
+// shardLatencyReport aggregates one shard's contribution to the sampled
+// queries in one role (proxy, boundary, or corridor).
+type shardLatencyReport struct {
+	Shard    int     `json:"shard"`
+	Role     string  `json:"role"`
+	Requests int64   `json:"requests"` // sampled queries this shard served in this role
+	Calls    int64   `json:"calls"`    // HTTP calls, counting hedged duplicates
+	MeanMs   float64 `json:"mean_ms"`  // mean summed shard wall time per query
+	Hedged   int64   `json:"hedged"`   // sampled queries where the hedge fired
 }
 
 type latencyReport struct {
@@ -168,6 +189,8 @@ type outcome struct {
 	latency time.Duration
 	queries int64
 	errors  map[string]int64
+	route   string          // explain-sampled route kind, "" when unsampled
+	shards  []api.ShardStat // explain-sampled per-shard breakdown
 }
 
 // runLoad drives an open-loop Poisson arrival process against the server
@@ -202,6 +225,15 @@ func runLoad(ctx context.Context, cfg genConfig) (*report, error) {
 
 	rep := &report{TargetRate: cfg.Rate, Errors: make(map[string]int64)}
 	hist := newHdrHist()
+	routes := make(map[string]int64)
+	type shardKey struct {
+		shard int
+		role  string
+	}
+	type shardAgg struct {
+		reqs, calls, hedged, ns int64
+	}
+	shardAggs := make(map[shardKey]*shardAgg)
 	var collect sync.WaitGroup
 	collect.Add(1)
 	go func() {
@@ -212,6 +244,23 @@ func runLoad(ctx context.Context, cfg genConfig) (*report, error) {
 			hist.observe(o.latency)
 			for code, n := range o.errors {
 				rep.Errors[code] += n
+			}
+			if o.route != "" {
+				routes[o.route]++
+			}
+			for _, s := range o.shards {
+				k := shardKey{s.Shard, s.Role}
+				a := shardAggs[k]
+				if a == nil {
+					a = &shardAgg{}
+					shardAggs[k] = a
+				}
+				a.reqs++
+				a.calls += int64(s.Calls)
+				a.ns += s.TotalNs
+				if s.Hedged {
+					a.hedged++
+				}
 			}
 		}
 	}()
@@ -274,6 +323,24 @@ func runLoad(ctx context.Context, cfg genConfig) (*report, error) {
 		P999: ms(hist.quantile(0.999)),
 		Max:  ms(hist.max),
 	}
+	if len(routes) > 0 {
+		rep.Routes = routes
+	}
+	for k, a := range shardAggs {
+		rep.ShardLatency = append(rep.ShardLatency, shardLatencyReport{
+			Shard: k.shard, Role: k.role,
+			Requests: a.reqs, Calls: a.calls,
+			MeanMs: float64(a.ns) / float64(a.reqs) / 1e6,
+			Hedged: a.hedged,
+		})
+	}
+	sort.Slice(rep.ShardLatency, func(i, j int) bool {
+		a, b := rep.ShardLatency[i], rep.ShardLatency[j]
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		return a.Role < b.Role
+	})
 	return rep, nil
 }
 
@@ -310,6 +377,12 @@ func nextSpec(rng *rand.Rand, cfg genConfig) requestSpec {
 		if len(cfg.Engines) > 0 {
 			q.Engine = cfg.Engines[rng.Intn(len(cfg.Engines))]
 		}
+		// Explain sampling applies to single v2 requests only, and draws
+		// from the source only when enabled so existing seeds keep their
+		// request sequences.
+		if cfg.ExplainRatio > 0 && !spec.v1 && !spec.batch {
+			q.Explain = rng.Float64() < cfg.ExplainRatio
+		}
 		spec.queries[i] = q
 	}
 	return spec
@@ -334,8 +407,12 @@ func execute(ctx context.Context, client *pathrank.Client, cfg genConfig, spec r
 			}
 		}
 	default:
-		_, err := client.Rank(rctx, spec.queries[0])
+		res, err := client.Rank(rctx, spec.queries[0])
 		o.errors = classify(err)
+		if err == nil && res.Stats != nil {
+			o.route = res.Stats.Route
+			o.shards = res.Stats.Shards
+		}
 	}
 	o.latency = time.Since(start)
 	return o
@@ -415,5 +492,19 @@ func (r *report) text() string {
 	l := r.Latency
 	fmt.Fprintf(&b, "latency ms  mean %.3f  p50 %.3f  p90 %.3f  p95 %.3f  p99 %.3f  p999 %.3f  max %.3f\n",
 		l.Mean, l.P50, l.P90, l.P95, l.P99, l.P999, l.Max)
+	if len(r.Routes) > 0 {
+		kinds := make([]string, 0, len(r.Routes))
+		for k := range r.Routes {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Fprintf(&b, "routed      %-12s %d sampled\n", k, r.Routes[k])
+		}
+	}
+	for _, s := range r.ShardLatency {
+		fmt.Fprintf(&b, "shard %-3d   %-9s %5d queries  %5d calls  mean %.3f ms  %d hedged\n",
+			s.Shard, s.Role, s.Requests, s.Calls, s.MeanMs, s.Hedged)
+	}
 	return b.String()
 }

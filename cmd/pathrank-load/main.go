@@ -47,6 +47,7 @@ func main() {
 	v1Ratio := flag.Float64("v1-ratio", 0, "fraction of requests sent to the legacy /v1/rank adapter")
 	batchRatio := flag.Float64("batch-ratio", 0, "fraction of v2 requests sent as batches")
 	batchSize := flag.Int("batch-size", 8, "queries per batch request")
+	explainRatio := flag.Float64("explain-ratio", 0, "fraction of single v2 requests sent with explain=true; against a sharded router the report then includes the per-shard latency breakdown")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-request deadline (propagated to the server)")
 	maxInFlight := flag.Int("max-inflight", 256, "open-request cap; arrivals past it are dropped, not delayed")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON on stdout")
@@ -56,19 +57,20 @@ func main() {
 	defer stop()
 
 	cfg := genConfig{
-		BaseURL:     strings.TrimRight(*addr, "/"),
-		Rate:        *rate,
-		Duration:    *duration,
-		Seed:        *seed,
-		Vertices:    *vertices,
-		K:           *k,
-		Strategies:  splitList(*strategies),
-		Engines:     splitList(*engines),
-		V1Ratio:     *v1Ratio,
-		BatchRatio:  *batchRatio,
-		BatchSize:   *batchSize,
-		Timeout:     *timeout,
-		MaxInFlight: *maxInFlight,
+		BaseURL:      strings.TrimRight(*addr, "/"),
+		Rate:         *rate,
+		Duration:     *duration,
+		Seed:         *seed,
+		Vertices:     *vertices,
+		K:            *k,
+		Strategies:   splitList(*strategies),
+		Engines:      splitList(*engines),
+		V1Ratio:      *v1Ratio,
+		BatchRatio:   *batchRatio,
+		BatchSize:    *batchSize,
+		ExplainRatio: *explainRatio,
+		Timeout:      *timeout,
+		MaxInFlight:  *maxInFlight,
 	}
 	if cfg.Vertices == 0 {
 		n, err := fetchVertices(ctx, cfg.BaseURL)

@@ -38,6 +38,19 @@
 // invalid, 404 unroutable, 408 canceled, 504 deadline, 503 backlog with
 // Retry-After. The pathrank.Client SDK (and pathrank-rank -server) speak
 // this API.
+//
+// Sharded deployments (see docs/SHARDING.md) run one process per shard of
+// a partitioned bundle (pathrank-train -partition) plus one router:
+//
+//	pathrank-serve -bundle bundle/ -shard 0 -addr :8081
+//	pathrank-serve -bundle bundle/ -shard 1 -addr :8082
+//	pathrank-serve -bundle bundle/ -router -shards http://localhost:8081,http://localhost:8082
+//
+// A shard worker is this same server over the shard's artifact, plus the
+// /shard/* sub-query endpoints the router stitches cross-shard answers
+// from. The router speaks plain /v2/rank, so clients need no changes.
+// -mmap memory-maps the artifact's raw arrays (format v3) instead of
+// deserializing them, making cold start O(open).
 package main
 
 import (
@@ -48,14 +61,19 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"pathrank/internal/fault"
 	"pathrank/internal/obsv"
+	"pathrank/internal/partition"
 	"pathrank/internal/pathrank"
+	"pathrank/internal/router"
 	"pathrank/internal/serve"
+	"pathrank/internal/shardserve"
 	"pathrank/internal/stream"
 )
 
@@ -93,6 +111,12 @@ func main() {
 	walSyncEvery := flag.Duration("wal-sync-interval", 200*time.Millisecond, "fsync cadence for -wal-fsync interval")
 	walSegBytes := flag.Int64("wal-segment-bytes", 4<<20, "WAL segment rotation threshold in bytes")
 	walRetain := flag.Int("wal-retain", 0, "sealed WAL segments to keep (0 keeps all; pruning limits replay depth)")
+	bundleDir := flag.String("bundle", "", "partitioned bundle directory from pathrank-train -partition (for -shard and -router)")
+	shardIdx := flag.Int("shard", -1, "serve shard N of the -bundle as a shard worker (adds the /shard/* sub-query endpoints)")
+	routerMode := flag.Bool("router", false, "run the fan-out router over the -bundle's shard map; requires -shards")
+	shardURLs := flag.String("shards", "", "comma-separated shard worker base URLs in shard order (router mode)")
+	useMmap := flag.Bool("mmap", false, "memory-map the artifact's raw arrays (format v3) instead of deserializing them")
+	hedgeAfter := flag.Duration("hedge-after", 150*time.Millisecond, "router: duplicate a shard call unanswered for this long (negative disables hedging)")
 	flag.Parse()
 
 	// Fault injection for fire drills: PATHRANK_FAULTS holds a fault.ParseSpec
@@ -115,8 +139,29 @@ func main() {
 		log.Printf("WARNING: fault injection ACTIVE (seed %d): %s — do not run this configuration in production", seed, plan)
 	}
 
+	if *routerMode {
+		if err := runRouter(*bundleDir, *shardURLs, *addr, *hedgeAfter, *maxK, *maxBatch, *maxTimeout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("shut down cleanly")
+		return
+	}
+	if *shardIdx >= 0 {
+		if *bundleDir == "" {
+			log.Fatal("-shard requires -bundle")
+		}
+		if *retrainEvery > 0 || *walDir != "" {
+			log.Fatal("-shard is incompatible with -retrain-interval/-wal-dir: every worker must keep serving the bundle's model, a shard retraining alone would fork the fingerprint")
+		}
+		*artifactPath = filepath.Join(*bundleDir, partition.ShardArtifactName(*shardIdx))
+	}
+
 	start := time.Now()
-	art, err := pathrank.LoadArtifactFile(*artifactPath)
+	loadArtifact := pathrank.LoadArtifactFile
+	if *useMmap {
+		loadArtifact = pathrank.LoadArtifactFileMapped
+	}
+	art, err := loadArtifact(*artifactPath)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -205,6 +250,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *shardIdx >= 0 {
+		ss, err := shardserve.New(srv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("shard worker %d/%d: %d owned boundary vertices",
+			art.Shard.Index, art.Shard.Parts, len(art.Shard.Boundary))
+		if err := ss.Run(ctx, *addr, cfg.OnListen); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("shut down cleanly")
+		return
+	}
 	var svcDone chan struct{}
 	if svc != nil {
 		// Started only after srv exists: the publish hook swaps through it.
@@ -232,4 +290,49 @@ func main() {
 		}
 	}
 	fmt.Println("shut down cleanly")
+}
+
+// runRouter implements -router: load the bundle's shard map and fan
+// /v2/rank out over the shard workers until terminated.
+func runRouter(bundleDir, shardURLs, addr string, hedgeAfter time.Duration, maxK, maxBatch int, maxTimeout time.Duration) error {
+	if bundleDir == "" {
+		return fmt.Errorf("-router requires -bundle")
+	}
+	urls := splitList(shardURLs)
+	if len(urls) == 0 {
+		return fmt.Errorf("-router requires -shards (comma-separated worker URLs in shard order)")
+	}
+	start := time.Now()
+	sm, err := partition.LoadShardMapFile(bundleDir)
+	if err != nil {
+		return err
+	}
+	log.Printf("loaded shard map in %v: %d shards, %d vertices, %d boundary vertices, %d cut edges, fingerprint %.12s",
+		time.Since(start).Round(time.Millisecond), sm.Parts, sm.NumVertices,
+		len(sm.GlobalBoundary()), len(sm.CutEdges), sm.Fingerprint)
+	rt, err := router.New(sm, router.Config{
+		Addr: addr, Shards: urls, HedgeAfter: hedgeAfter,
+		MaxK: maxK, MaxBatch: maxBatch, MaxTimeout: maxTimeout,
+		Metrics: obsv.NewRegistry(), Logf: log.Printf,
+		OnListen: func(a net.Addr) {
+			log.Printf("router listening on %s over %d shards", a, len(urls))
+		},
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	return rt.Run(ctx)
+}
+
+// splitList parses a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
 }

@@ -14,6 +14,15 @@
 // non-zero on any divergence:
 //
 //	pathrank-train -replay wal/ -base base.prart -artifact rebuilt.prart
+//
+// With -partition P it partitions an artifact's road network into P
+// shards and writes a complete sharded serving bundle — per-shard
+// mappable artifacts, the router's shard map with precomputed boundary
+// distance tables, and a JSON manifest (see docs/SHARDING.md). Either
+// standalone from an existing artifact, or straight after training:
+//
+//	pathrank-train -partition 4 -base model.prart -partition-out bundle/
+//	pathrank-train -net net.gob -trips trips.gob -artifact model.prart -partition 4
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 
 	"pathrank/internal/dataset"
 	"pathrank/internal/node2vec"
+	"pathrank/internal/partition"
 	"pathrank/internal/pathrank"
 	"pathrank/internal/roadnet"
 	"pathrank/internal/spath"
@@ -63,12 +73,27 @@ func main() {
 	prep := flag.Bool("prep", true, "embed precomputed speedup structures (contraction hierarchy + ALT landmarks) in the artifact so pathrank-serve cold-starts without preprocessing")
 	prepLandmarks := flag.Int("prep-landmarks", 0, "ALT landmark count for -prep (0 = default)")
 	replay := flag.String("replay", "", "replay the trajectory WAL in this directory instead of training (requires -base)")
-	replayBase := flag.String("base", "", "base artifact the WAL's first replayed generation chains from (for -replay)")
+	replayBase := flag.String("base", "", "base artifact for -replay (the WAL's first generation's parent) or for standalone -partition")
 	replayGen := flag.Int("replay-gen", 0, "stop the replay after this generation (0 = replay the whole log)")
+	partitionP := flag.Int("partition", 0, "partition the artifact into this many shards and write a sharded serving bundle (0 = off)")
+	partitionOut := flag.String("partition-out", "bundle", "output directory for the -partition bundle")
 	flag.Parse()
 
 	if *replay != "" {
 		if err := replayWAL(*replay, *replayBase, *replayGen, *artifactOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	// Standalone partitioning: shard an already-trained artifact without
+	// re-running the pipeline.
+	if *partitionP > 0 && *replayBase != "" {
+		art, err := pathrank.LoadArtifactFile(*replayBase)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := partitionBundle(art, *partitionOut, *partitionP); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -164,7 +189,7 @@ func main() {
 	}
 	fmt.Printf("model -> %s\n", *out)
 
-	if *artifactOut != "" {
+	if *artifactOut != "" || *partitionP > 0 {
 		art := &pathrank.Artifact{
 			Graph:      g,
 			Embeddings: pipe.Embeddings,
@@ -175,11 +200,35 @@ func main() {
 		if *prep {
 			art.Prep = buildPrep(g, *prepLandmarks)
 		}
-		if err := pathrank.SaveArtifactFile(*artifactOut, art); err != nil {
-			log.Fatal(err)
+		if *artifactOut != "" {
+			if err := pathrank.SaveArtifactFile(*artifactOut, art); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("artifact -> %s (serve with: pathrank-serve -artifact %s)\n", *artifactOut, *artifactOut)
 		}
-		fmt.Printf("artifact -> %s (serve with: pathrank-serve -artifact %s)\n", *artifactOut, *artifactOut)
+		if *partitionP > 0 {
+			if err := partitionBundle(art, *partitionOut, *partitionP); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
+}
+
+// partitionBundle implements -partition: shard the artifact's network and
+// write the complete serving bundle.
+func partitionBundle(art *pathrank.Artifact, dir string, parts int) error {
+	start := time.Now()
+	man, err := partition.BuildBundle(art, dir, parts, func(format string, args ...any) {
+		fmt.Printf("  "+format+"\n", args...)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bundle -> %s in %v: %d shards, %d boundary vertices, %d cut edges, imbalance %.3f\n",
+		dir, time.Since(start).Round(time.Millisecond),
+		man.Parts, man.BoundaryVertices, man.CutEdges, man.Imbalance)
+	fmt.Printf("serve with: pathrank-serve -bundle %s -shard <i>  +  pathrank-serve -bundle %s -router -shards <urls>\n", dir, dir)
+	return nil
 }
 
 // replayWAL implements -replay: deterministically reconstruct the model

@@ -32,6 +32,11 @@ const (
 	// CodeBacklog reports a server too loaded to accept the work right
 	// now; the client should retry after a short delay.
 	CodeBacklog = "backlog"
+	// CodeShardUnavailable reports that a sharded deployment's router
+	// could not reach a shard the query needs (down, draining, or serving
+	// a different bundle generation); the client should retry after a
+	// short delay, like CodeBacklog.
+	CodeShardUnavailable = "shard_unavailable"
 	// CodeInternal reports an unexpected server-side failure.
 	CodeInternal = "internal"
 )
@@ -47,7 +52,7 @@ func HTTPStatus(code string) int {
 		return http.StatusGatewayTimeout
 	case CodeCanceled:
 		return http.StatusRequestTimeout
-	case CodeBacklog:
+	case CodeBacklog, CodeShardUnavailable:
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
@@ -139,6 +144,33 @@ type RankStats struct {
 	Candidates int     `json:"candidates"`
 	GenNs      int64   `json:"generation_ns,omitempty"`
 	ScoreNs    int64   `json:"score_ns,omitempty"`
+	// Route classifies how a sharded deployment answered the query:
+	// "co_shard" (both endpoints on one shard, proxied whole) or
+	// "cross_shard" (corridor-stitched across shards). Empty outside a
+	// sharded deployment.
+	Route string `json:"route,omitempty"`
+	// Shards is the per-shard latency breakdown of a routed query.
+	Shards []ShardStat `json:"shards,omitempty"`
+}
+
+// ShardStat is one shard's contribution to a routed query: which shard,
+// what it was asked for, and how long its calls took (including the
+// router's queueing and network time, so the sum can exceed the shard's
+// own server-side numbers).
+type ShardStat struct {
+	// Shard is the shard index in the bundle.
+	Shard int `json:"shard"`
+	// Role is what the shard computed: "proxy" (full co-resident query),
+	// "boundary" (boundary distance vector), or "corridor" (corridor
+	// subgraph extraction; repeated rounds accumulate).
+	Role string `json:"role"`
+	// Calls is the number of HTTP calls made to this shard for the query,
+	// counting hedged duplicates.
+	Calls int `json:"calls"`
+	// TotalNs is the summed wall time of those calls as seen by the router.
+	TotalNs int64 `json:"total_ns"`
+	// Hedged reports whether any call to this shard fired its hedge.
+	Hedged bool `json:"hedged,omitempty"`
 }
 
 // RankResult is one successful ranking: the body of a single-query v2

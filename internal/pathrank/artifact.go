@@ -43,6 +43,12 @@ type Artifact struct {
 	// training chain; the zero value denotes an unstamped (pre-lineage or
 	// externally assembled) artifact.
 	Lineage Lineage
+	// Shard is set when this artifact is one shard of a partitioned
+	// deployment (see internal/partition); nil for whole-graph artifacts.
+	Shard *ShardInfo
+	// closeFn releases the memory mapping backing a mapped artifact; see
+	// Close. Nil for ordinarily loaded artifacts.
+	closeFn func() error
 }
 
 // Lineage is the provenance of an artifact in an incremental-training
@@ -139,9 +145,14 @@ func (m *Model) FingerprintHex() (string, error) {
 //	   lineage added later as a gob-compatible field)
 //	2  adds the precomputed speedup structures (CH + ALT landmark tables)
 //	   as a nested Prep section
+//	3  the mappable shard format: the graph and CH move out of the gob
+//	   payload into a raw flat-array section after it (see artifact_v3.go)
 //
-// Version-2 readers still accept version-1 files — the Prep section
-// decodes as absent and consumers preprocess on demand.
+// Readers accept every version up to artifactVersionRaw — the Prep
+// section of a version-1 file decodes as absent and consumers preprocess
+// on demand. Ordinary saves still write version 2; version 3 is written
+// only by SaveArtifactV3 (shard bundles and anything else that wants the
+// memory-mapped load path).
 const (
 	artifactVersion    = 2
 	minArtifactVersion = 1
@@ -178,8 +189,12 @@ type artifactWire struct {
 	Embeddings []byte // empty when the artifact carries no embeddings
 	Params     []byte
 	// Prep is the serialized spath.Prep (version 2); empty when the
-	// artifact carries no precomputed structures.
+	// artifact carries no precomputed structures. In a version-3 file it
+	// holds at most the ALT tables — the CH lives in the raw section.
 	Prep []byte
+	// Shard marks a partitioned-deployment shard; nil otherwise. A
+	// gob-compatible addition like Lineage.
+	Shard *ShardInfo
 }
 
 // SaveArtifact writes a versioned, checksummed bundle of the artifact to w.
@@ -191,6 +206,7 @@ func SaveArtifact(w io.Writer, a *Artifact) error {
 	wire.ModelConfig = a.Model.Config()
 	wire.Candidates = a.Candidates
 	wire.Lineage = a.Lineage
+	wire.Shard = a.Shard
 
 	var gbuf bytes.Buffer
 	if err := a.Graph.Save(&gbuf); err != nil {
@@ -251,9 +267,24 @@ func LoadArtifact(r io.Reader) (*Artifact, error) {
 	if !bytes.Equal(header[0:8], artifactMagic[:]) {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrArtifactFormat, header[0:8])
 	}
-	if v := binary.BigEndian.Uint32(header[8:12]); v < minArtifactVersion || v > artifactVersion {
+	v := binary.BigEndian.Uint32(header[8:12])
+	if v < minArtifactVersion || v > artifactVersionRaw {
 		return nil, fmt.Errorf("%w: file has version %d, this build reads versions %d-%d",
-			ErrArtifactVersion, v, minArtifactVersion, artifactVersion)
+			ErrArtifactVersion, v, minArtifactVersion, artifactVersionRaw)
+	}
+	if v == artifactVersionRaw {
+		// The raw flat-array section follows the payload; slurp the whole
+		// image into an 8-byte-aligned buffer so the arrays can be
+		// reinterpreted in place, and validate deeply — arbitrary bytes
+		// reach this path (foreign files, fuzzing).
+		rest, err := io.ReadAll(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: read raw section: %v", ErrArtifactCorrupt, err)
+		}
+		data := alignedBytes(52 + len(rest))
+		copy(data, header[:])
+		copy(data[52:], rest)
+		return decodeArtifactV3(data, true)
 	}
 	n := binary.BigEndian.Uint64(header[44:52])
 	if n > maxArtifactPayload {
@@ -289,7 +320,7 @@ func LoadArtifact(r io.Reader) (*Artifact, error) {
 	if err := nn.UnmarshalParams(wire.Params, model.params); err != nil {
 		return nil, fmt.Errorf("pathrank: artifact weights: %w", err)
 	}
-	a := &Artifact{Graph: g, Model: model, Candidates: wire.Candidates, Lineage: wire.Lineage}
+	a := &Artifact{Graph: g, Model: model, Candidates: wire.Candidates, Lineage: wire.Lineage, Shard: wire.Shard}
 	if len(wire.Prep) > 0 {
 		prep, err := spath.LoadPrep(bytes.NewReader(wire.Prep), g)
 		if err != nil {

@@ -1,0 +1,659 @@
+package pathrank
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"unsafe"
+
+	"pathrank/internal/nn"
+	"pathrank/internal/node2vec"
+	"pathrank/internal/roadnet"
+	"pathrank/internal/spath"
+)
+
+// Artifact format version 3: the mappable shard format. The 52-byte
+// header and gob payload are exactly version 2's, except that the graph
+// and the CH half of the prep move OUT of the gob payload into a raw
+// section appended after it:
+//
+//	offset            content
+//	0                 52-byte header (version 3; checksum covers the gob
+//	                  payload only, as in v2)
+//	52                gob payload (model config/params, candidates,
+//	                  lineage, shard info, embeddings, ALT-only prep)
+//	align8(52+plen)   raw section: directory + flat arrays
+//
+// The raw section is the byte image of the graph's CSR arrays
+// (roadnet.GraphData) and, when the artifact carries a CH, the CH query
+// arrays (spath.CHData), each 8-byte aligned. A directory names every
+// array by offset and element count:
+//
+//	8   magic "PRRAWSEC"
+//	4   byte-order probe (0x01020304, native endianness)
+//	4   array count (8 = graph only, 20 = graph + CH)
+//	16n per array: file offset (uint64), element count (uint64)
+//
+// Array order and element types are fixed (see rawGraphArrays /
+// rawCHArrays below), so the directory needs no type tags. Loading is
+// reinterpretation, not deserialization: LoadArtifactFileMapped mmaps
+// the file and wraps the arrays in place (O(open) cold start, page
+// cache shared across replicas on one box), and the io.Reader path
+// reads the section into one buffer and wraps that.
+//
+// Deliberate non-goals, traded for the O(open) cold start:
+//
+//   - The raw section is NOT covered by the header checksum — verifying
+//     it would fault in every page, which is exactly what mapping avoids.
+//     The gob payload (model weights) stays checksummed.
+//   - The byte image is native-endian and uses the writing build's struct
+//     layout; the probe rejects a cross-endian file, and shard bundles
+//     are expected to be built and served on the same architecture.
+const artifactVersionRaw = 3
+
+var rawSectionMagic = [8]byte{'P', 'R', 'R', 'A', 'W', 'S', 'E', 'C'}
+
+const rawEndianProbe uint32 = 0x01020304
+
+// rawGraphArrayCount and rawCHArrayCount are the fixed directory sizes.
+const (
+	rawGraphArrayCount = 8
+	rawCHArrayCount    = 12
+)
+
+// ShardInfo identifies an artifact as one shard of a partitioned
+// deployment. A shard artifact keeps the FULL vertex table under global
+// IDs (so the model's vertex vocabulary — and therefore its scores — are
+// unchanged) but only the edges induced by its owned vertex set,
+// renumbered densely; EdgeGlobal maps them back to full-graph edge IDs
+// so the router can stitch shard answers into full-graph terms.
+type ShardInfo struct {
+	// Index is this shard's position in [0, Parts).
+	Index int
+	// Parts is the partition count of the bundle this shard belongs to.
+	Parts int
+	// Boundary lists this shard's boundary vertices (owned vertices
+	// incident to at least one cut edge), ascending, as global vertex IDs.
+	Boundary []roadnet.VertexID
+	// EdgeGlobal maps local (induced-subgraph) edge IDs to the full
+	// graph's edge IDs; len equals the shard graph's edge count.
+	EdgeGlobal []roadnet.EdgeID
+}
+
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// alignedBytes returns a zeroed buffer of length n whose base address is
+// 8-byte aligned (backed by a []uint64), so raw arrays reinterpreted out
+// of it satisfy their alignment no matter where the allocator would have
+// placed a plain []byte.
+func alignedBytes(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	w := make([]uint64, (n+7)/8)
+	return unsafe.Slice((*byte)(unsafe.Pointer(&w[0])), n)
+}
+
+// rawArray is one directory entry being written.
+type rawArray struct {
+	bytes []byte
+	elems uint64
+}
+
+func rawBytesOf[T any](s []T) rawArray {
+	if len(s) == 0 {
+		return rawArray{}
+	}
+	return rawArray{
+		bytes: unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*int(unsafe.Sizeof(s[0]))),
+		elems: uint64(len(s)),
+	}
+}
+
+// rawGraphArrays flattens g into the fixed directory order.
+func rawGraphArrays(g *roadnet.Graph) []rawArray {
+	d := g.RawData()
+	return []rawArray{
+		rawBytesOf(d.Vertices),
+		rawBytesOf(d.Edges),
+		rawBytesOf(d.OutStart),
+		rawBytesOf(d.OutEdges),
+		rawBytesOf(d.OutTo),
+		rawBytesOf(d.InStart),
+		rawBytesOf(d.InEdges),
+		rawBytesOf(d.InFrom),
+	}
+}
+
+// rawCHArrays flattens a CH into the fixed directory order.
+func rawCHArrays(d spath.CHData) []rawArray {
+	return []rawArray{
+		rawBytesOf(d.Order),
+		rawBytesOf(d.ArcFrom),
+		rawBytesOf(d.ArcTo),
+		rawBytesOf(d.ArcWeight),
+		rawBytesOf(d.ArcMid),
+		rawBytesOf(d.ArcEdge),
+		rawBytesOf(d.UpStart),
+		rawBytesOf(d.UpArcs),
+		rawBytesOf(d.DownStart),
+		rawBytesOf(d.DownArcs),
+		rawBytesOf(d.IdxKeys),
+		rawBytesOf(d.IdxVals),
+	}
+}
+
+// SaveArtifactV3 writes the artifact in format version 3: gob payload
+// (without the graph and CH, which go to the raw section) followed by
+// the raw flat arrays. Prefer SaveArtifactV3File; this form exists for
+// in-memory round-trip tests.
+func SaveArtifactV3(w io.Writer, a *Artifact) error {
+	if a == nil || a.Graph == nil || a.Model == nil {
+		return fmt.Errorf("pathrank: artifact needs a graph and a model")
+	}
+	var wire artifactWire
+	wire.ModelConfig = a.Model.Config()
+	wire.Candidates = a.Candidates
+	wire.Lineage = a.Lineage
+	wire.Shard = a.Shard
+
+	if a.Embeddings != nil {
+		var ebuf bytes.Buffer
+		if err := a.Embeddings.Save(&ebuf); err != nil {
+			return fmt.Errorf("pathrank: artifact embeddings: %w", err)
+		}
+		wire.Embeddings = ebuf.Bytes()
+	}
+	params, err := nn.MarshalParams(a.Model.params)
+	if err != nil {
+		return fmt.Errorf("pathrank: artifact weights: %w", err)
+	}
+	wire.Params = params
+	// The ALT tables (when present) stay in the gob payload; only the CH
+	// moves to the raw section.
+	if a.Prep != nil && a.Prep.ALT != nil {
+		var pbuf bytes.Buffer
+		if err := (&spath.Prep{ALT: a.Prep.ALT}).Save(&pbuf); err != nil {
+			return fmt.Errorf("pathrank: artifact prep: %w", err)
+		}
+		wire.Prep = pbuf.Bytes()
+	}
+
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(wire); err != nil {
+		return fmt.Errorf("pathrank: encode artifact: %w", err)
+	}
+
+	arrays := rawGraphArrays(a.Graph)
+	if a.Prep != nil && a.Prep.CH != nil {
+		arrays = append(arrays, rawCHArrays(a.Prep.CH.RawData())...)
+	}
+
+	// Layout: directory right after the (aligned) payload, arrays after
+	// the directory, each 8-byte aligned.
+	rawStart := align8(52 + payload.Len())
+	dirLen := len(rawSectionMagic) + 4 + 4 + len(arrays)*16
+	off := align8(rawStart + dirLen)
+	offsets := make([]uint64, len(arrays))
+	for i, arr := range arrays {
+		offsets[i] = uint64(off)
+		off = align8(off + len(arr.bytes))
+	}
+
+	var header [52]byte
+	copy(header[0:8], artifactMagic[:])
+	binary.BigEndian.PutUint32(header[8:12], artifactVersionRaw)
+	sum := sha256.Sum256(payload.Bytes())
+	copy(header[12:44], sum[:])
+	binary.BigEndian.PutUint64(header[44:52], uint64(payload.Len()))
+
+	var pad [8]byte
+	pos := 0
+	emit := func(b []byte) error {
+		if err != nil {
+			return err
+		}
+		if _, werr := w.Write(b); werr != nil {
+			err = werr
+			return err
+		}
+		pos += len(b)
+		return nil
+	}
+	padTo := func(n int) error { return emit(pad[:n-pos]) }
+
+	err = nil
+	emit(header[:])
+	emit(payload.Bytes())
+	padTo(rawStart)
+	emit(rawSectionMagic[:])
+	var u32 [4]byte
+	binary.NativeEndian.PutUint32(u32[:], rawEndianProbe)
+	emit(u32[:])
+	binary.NativeEndian.PutUint32(u32[:], uint32(len(arrays)))
+	emit(u32[:])
+	var u64 [8]byte
+	for i, arr := range arrays {
+		binary.NativeEndian.PutUint64(u64[:], offsets[i])
+		emit(u64[:])
+		binary.NativeEndian.PutUint64(u64[:], arr.elems)
+		emit(u64[:])
+	}
+	for i, arr := range arrays {
+		padTo(int(offsets[i]))
+		emit(arr.bytes)
+	}
+	if err != nil {
+		return fmt.Errorf("pathrank: write artifact raw section: %w", err)
+	}
+	return nil
+}
+
+// SaveArtifactV3File writes a version-3 artifact to the named file (not
+// atomic; shard bundles are built offline into a fresh directory).
+func SaveArtifactV3File(path string, a *Artifact) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("pathrank: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := SaveArtifactV3(bw, a); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("pathrank: flush %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// rawDirEntry is one parsed directory entry.
+type rawDirEntry struct {
+	off, elems uint64
+}
+
+// parseRawDirectory reads and bounds-checks the raw-section directory.
+// Every per-array check needed to make slice reinterpretation safe
+// happens here: offset alignment, element-size products, and end-of-file
+// bounds — so a truncated or corrupt file fails with a typed error
+// instead of faulting.
+func parseRawDirectory(data []byte, rawStart int) ([]rawDirEntry, error) {
+	hdrLen := len(rawSectionMagic) + 8
+	if rawStart < 0 || rawStart+hdrLen > len(data) {
+		return nil, fmt.Errorf("%w: raw section truncated", ErrArtifactCorrupt)
+	}
+	d := data[rawStart:]
+	if !bytes.Equal(d[:8], rawSectionMagic[:]) {
+		return nil, fmt.Errorf("%w: bad raw-section magic", ErrArtifactCorrupt)
+	}
+	if probe := binary.NativeEndian.Uint32(d[8:12]); probe != rawEndianProbe {
+		return nil, fmt.Errorf("%w: artifact written on a different byte order", ErrArtifactFormat)
+	}
+	count := binary.NativeEndian.Uint32(d[12:16])
+	if count != rawGraphArrayCount && count != rawGraphArrayCount+rawCHArrayCount {
+		return nil, fmt.Errorf("%w: raw section has %d arrays", ErrArtifactCorrupt, count)
+	}
+	if rawStart+hdrLen+int(count)*16 > len(data) {
+		return nil, fmt.Errorf("%w: raw directory truncated", ErrArtifactCorrupt)
+	}
+	entries := make([]rawDirEntry, count)
+	for i := range entries {
+		base := hdrLen + i*16
+		entries[i] = rawDirEntry{
+			off:   binary.NativeEndian.Uint64(d[base : base+8]),
+			elems: binary.NativeEndian.Uint64(d[base+8 : base+16]),
+		}
+	}
+	return entries, nil
+}
+
+// sliceOf reinterprets a directory entry as a []T, after verifying the
+// entry lies inside data, is 8-byte aligned, and its byte length matches
+// elems*sizeof(T) without overflow.
+func sliceOf[T any](data []byte, e rawDirEntry) ([]T, error) {
+	if e.elems == 0 {
+		return nil, nil
+	}
+	size := uint64(unsafe.Sizeof(*new(T)))
+	if e.off%8 != 0 {
+		return nil, fmt.Errorf("%w: misaligned raw array at %d", ErrArtifactCorrupt, e.off)
+	}
+	if e.elems > (uint64(len(data))-e.off)/size || e.off > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: raw array out of bounds (off %d, %d elems)", ErrArtifactCorrupt, e.off, e.elems)
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&data[e.off])), e.elems), nil
+}
+
+// decodeArtifactV3 reconstructs an artifact from the complete byte image
+// of a version-3 file. The caller has already verified magic and
+// version. data may be a memory mapping (the returned artifact's graph
+// and CH alias it) or an ordinary buffer. deep additionally validates
+// the graph and CH content (endpoint ranges, CSR consistency, shortcut
+// unpackability) — the io.Reader path runs it because arbitrary bytes
+// reach it (fuzzing, foreign files); the mapped path trusts its own
+// writer to keep cold starts O(open).
+func decodeArtifactV3(data []byte, deep bool) (*Artifact, error) {
+	if len(data) < 52 {
+		return nil, fmt.Errorf("%w: short header", ErrArtifactFormat)
+	}
+	plen := binary.BigEndian.Uint64(data[44:52])
+	if plen > maxArtifactPayload || 52+plen > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: payload length %d exceeds file", ErrArtifactCorrupt, plen)
+	}
+	payload := data[52 : 52+plen]
+	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], data[12:44]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrArtifactCorrupt)
+	}
+	var wire artifactWire
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("%w: decode payload: %v", ErrArtifactCorrupt, err)
+	}
+
+	entries, err := parseRawDirectory(data, align8(52+int(plen)))
+	if err != nil {
+		return nil, err
+	}
+	var gd roadnet.GraphData
+	if gd.Vertices, err = sliceOf[roadnet.Vertex](data, entries[0]); err != nil {
+		return nil, err
+	}
+	if gd.Edges, err = sliceOf[roadnet.Edge](data, entries[1]); err != nil {
+		return nil, err
+	}
+	if gd.OutStart, err = sliceOf[int32](data, entries[2]); err != nil {
+		return nil, err
+	}
+	if gd.OutEdges, err = sliceOf[roadnet.EdgeID](data, entries[3]); err != nil {
+		return nil, err
+	}
+	if gd.OutTo, err = sliceOf[roadnet.VertexID](data, entries[4]); err != nil {
+		return nil, err
+	}
+	if gd.InStart, err = sliceOf[int32](data, entries[5]); err != nil {
+		return nil, err
+	}
+	if gd.InEdges, err = sliceOf[roadnet.EdgeID](data, entries[6]); err != nil {
+		return nil, err
+	}
+	if gd.InFrom, err = sliceOf[roadnet.VertexID](data, entries[7]); err != nil {
+		return nil, err
+	}
+	nv, ne := len(gd.Vertices), len(gd.Edges)
+	if nv == 0 || len(gd.OutStart) != nv+1 || len(gd.InStart) != nv+1 ||
+		len(gd.OutEdges) != ne || len(gd.OutTo) != ne || len(gd.InEdges) != ne || len(gd.InFrom) != ne {
+		return nil, fmt.Errorf("%w: raw graph arrays inconsistent (%d vertices, %d edges)", ErrArtifactCorrupt, nv, ne)
+	}
+
+	var chd *spath.CHData
+	if len(entries) > rawGraphArrayCount {
+		ce := entries[rawGraphArrayCount:]
+		chd = &spath.CHData{}
+		if chd.Order, err = sliceOf[int32](data, ce[0]); err != nil {
+			return nil, err
+		}
+		if chd.ArcFrom, err = sliceOf[int32](data, ce[1]); err != nil {
+			return nil, err
+		}
+		if chd.ArcTo, err = sliceOf[int32](data, ce[2]); err != nil {
+			return nil, err
+		}
+		if chd.ArcWeight, err = sliceOf[float64](data, ce[3]); err != nil {
+			return nil, err
+		}
+		if chd.ArcMid, err = sliceOf[int32](data, ce[4]); err != nil {
+			return nil, err
+		}
+		if chd.ArcEdge, err = sliceOf[roadnet.EdgeID](data, ce[5]); err != nil {
+			return nil, err
+		}
+		if chd.UpStart, err = sliceOf[int32](data, ce[6]); err != nil {
+			return nil, err
+		}
+		if chd.UpArcs, err = sliceOf[int32](data, ce[7]); err != nil {
+			return nil, err
+		}
+		if chd.DownStart, err = sliceOf[int32](data, ce[8]); err != nil {
+			return nil, err
+		}
+		if chd.DownArcs, err = sliceOf[int32](data, ce[9]); err != nil {
+			return nil, err
+		}
+		if chd.IdxKeys, err = sliceOf[int64](data, ce[10]); err != nil {
+			return nil, err
+		}
+		if chd.IdxVals, err = sliceOf[int32](data, ce[11]); err != nil {
+			return nil, err
+		}
+		m := len(chd.ArcFrom)
+		if len(chd.Order) != nv || len(chd.ArcTo) != m || len(chd.ArcWeight) != m ||
+			len(chd.ArcMid) != m || len(chd.ArcEdge) != m ||
+			len(chd.UpStart) != nv+1 || len(chd.DownStart) != nv+1 ||
+			len(chd.UpArcs)+len(chd.DownArcs) != m ||
+			len(chd.IdxKeys) != len(chd.IdxVals) {
+			return nil, fmt.Errorf("%w: raw CH arrays inconsistent", ErrArtifactCorrupt)
+		}
+	}
+
+	if deep {
+		if err := validateRawGraph(gd); err != nil {
+			return nil, err
+		}
+		if chd != nil {
+			if err := validateRawCH(gd, *chd); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	g := roadnet.AssembleGraph(gd)
+	if deep {
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: raw graph: %v", ErrArtifactCorrupt, err)
+		}
+	}
+	if err := checkModelShape(nv, wire.ModelConfig, len(wire.Params)); err != nil {
+		return nil, err
+	}
+	model, err := New(nv, wire.ModelConfig)
+	if err != nil {
+		return nil, fmt.Errorf("pathrank: artifact model config: %w", err)
+	}
+	if err := nn.UnmarshalParams(wire.Params, model.params); err != nil {
+		return nil, fmt.Errorf("pathrank: artifact weights: %w", err)
+	}
+	a := &Artifact{Graph: g, Model: model, Candidates: wire.Candidates, Lineage: wire.Lineage, Shard: wire.Shard}
+	if len(wire.Prep) > 0 {
+		prep, err := spath.LoadPrep(bytes.NewReader(wire.Prep), g)
+		if err != nil {
+			return nil, fmt.Errorf("%w: prep section: %v", ErrArtifactCorrupt, err)
+		}
+		a.Prep = prep
+	}
+	if chd != nil {
+		if a.Prep == nil {
+			a.Prep = &spath.Prep{}
+		}
+		a.Prep.CH = spath.AssembleCH(g, *chd)
+	}
+	if len(wire.Embeddings) > 0 {
+		emb, err := node2vec.LoadEmbeddings(bytes.NewReader(wire.Embeddings))
+		if err != nil {
+			return nil, fmt.Errorf("pathrank: artifact embeddings: %w", err)
+		}
+		a.Embeddings = emb
+	}
+	return a, nil
+}
+
+// validateRawGraph checks that the CSR start arrays are monotone and
+// in-bounds, so Graph accessors cannot panic on slicing; Graph.Validate
+// (run by the caller afterwards) covers the per-edge invariants.
+func validateRawGraph(gd roadnet.GraphData) error {
+	ne := int32(len(gd.Edges))
+	for _, starts := range [][]int32{gd.OutStart, gd.InStart} {
+		if starts[0] != 0 || starts[len(starts)-1] != ne {
+			return fmt.Errorf("%w: CSR start array does not span the edge set", ErrArtifactCorrupt)
+		}
+		for i := 1; i < len(starts); i++ {
+			if starts[i] < starts[i-1] {
+				return fmt.Errorf("%w: CSR start array not monotone at %d", ErrArtifactCorrupt, i)
+			}
+		}
+	}
+	for _, eid := range gd.OutEdges {
+		if eid < 0 || int32(eid) >= ne {
+			return fmt.Errorf("%w: out-adjacency edge %d out of range", ErrArtifactCorrupt, eid)
+		}
+	}
+	for _, eid := range gd.InEdges {
+		if eid < 0 || int32(eid) >= ne {
+			return fmt.Errorf("%w: in-adjacency edge %d out of range", ErrArtifactCorrupt, eid)
+		}
+	}
+	nv := int32(len(gd.Vertices))
+	for _, v := range gd.OutTo {
+		if v < 0 || int32(v) >= nv {
+			return fmt.Errorf("%w: out-neighbor %d out of range", ErrArtifactCorrupt, v)
+		}
+	}
+	for _, v := range gd.InFrom {
+		if v < 0 || int32(v) >= nv {
+			return fmt.Errorf("%w: in-neighbor %d out of range", ErrArtifactCorrupt, v)
+		}
+	}
+	return nil
+}
+
+// validateRawCH is the assembled-CH counterpart of spath.LoadPrep's
+// validation: index ranges, monotone adjacency, the rank invariant that
+// makes shortcut unpacking terminate, and half-arc presence in the
+// sorted unpacking index.
+func validateRawCH(gd roadnet.GraphData, d spath.CHData) error {
+	nv := int32(len(gd.Vertices))
+	ne := int32(len(gd.Edges))
+	m := int32(len(d.ArcFrom))
+	for _, starts := range [][]int32{d.UpStart, d.DownStart} {
+		if starts[0] != 0 {
+			return fmt.Errorf("%w: CH adjacency does not start at 0", ErrArtifactCorrupt)
+		}
+		for i := 1; i < len(starts); i++ {
+			if starts[i] < starts[i-1] {
+				return fmt.Errorf("%w: CH adjacency not monotone at %d", ErrArtifactCorrupt, i)
+			}
+		}
+	}
+	if int32(d.UpStart[nv]) != int32(len(d.UpArcs)) || int32(d.DownStart[nv]) != int32(len(d.DownArcs)) {
+		return fmt.Errorf("%w: CH adjacency does not span its arc lists", ErrArtifactCorrupt)
+	}
+	for _, ai := range d.UpArcs {
+		if ai < 0 || ai >= m {
+			return fmt.Errorf("%w: CH up-arc %d out of range", ErrArtifactCorrupt, ai)
+		}
+	}
+	for _, ai := range d.DownArcs {
+		if ai < 0 || ai >= m {
+			return fmt.Errorf("%w: CH down-arc %d out of range", ErrArtifactCorrupt, ai)
+		}
+	}
+	for i := range d.IdxKeys {
+		if i > 0 && d.IdxKeys[i] <= d.IdxKeys[i-1] {
+			return fmt.Errorf("%w: CH unpacking index not strictly sorted at %d", ErrArtifactCorrupt, i)
+		}
+		if d.IdxVals[i] < 0 || d.IdxVals[i] >= m {
+			return fmt.Errorf("%w: CH unpacking index value %d out of range", ErrArtifactCorrupt, d.IdxVals[i])
+		}
+	}
+	findIdx := func(from, to int32) bool {
+		key := int64(from)<<32 | int64(uint32(to))
+		lo, hi := 0, len(d.IdxKeys)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if d.IdxKeys[mid] < key {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo < len(d.IdxKeys) && d.IdxKeys[lo] == key
+	}
+	for i := int32(0); i < m; i++ {
+		from, to, mid := d.ArcFrom[i], d.ArcTo[i], d.ArcMid[i]
+		if from < 0 || from >= nv || to < 0 || to >= nv {
+			return fmt.Errorf("%w: CH arc %d endpoints out of range", ErrArtifactCorrupt, i)
+		}
+		if mid < -1 || mid >= nv {
+			return fmt.Errorf("%w: CH arc %d middle vertex out of range", ErrArtifactCorrupt, i)
+		}
+		if !(d.ArcWeight[i] >= 0) {
+			return fmt.Errorf("%w: CH arc %d has invalid weight", ErrArtifactCorrupt, i)
+		}
+		if mid < 0 {
+			if d.ArcEdge[i] < 0 || int32(d.ArcEdge[i]) >= ne {
+				return fmt.Errorf("%w: CH arc %d edge out of range", ErrArtifactCorrupt, i)
+			}
+			continue
+		}
+		if d.Order[mid] >= d.Order[from] || d.Order[mid] >= d.Order[to] {
+			return fmt.Errorf("%w: CH shortcut %d violates the rank invariant", ErrArtifactCorrupt, i)
+		}
+		if !findIdx(from, mid) || !findIdx(mid, to) {
+			return fmt.Errorf("%w: CH shortcut %d has no half-arc in the unpacking index", ErrArtifactCorrupt, i)
+		}
+	}
+	return nil
+}
+
+// LoadArtifactFileMapped opens a version-3 artifact by memory-mapping it:
+// the graph's CSR arrays and the CH query arrays are used in place, so
+// load cost is independent of their size and N replicas on one machine
+// share the page cache. The returned artifact's Close must be called
+// when it is retired; until then the graph and prep alias the mapping.
+// A version-1/2 file falls back to the ordinary deserializing load (and
+// needs no Close, though calling it is harmless).
+func LoadArtifactFileMapped(path string) (*Artifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pathrank: %w", err)
+	}
+	defer f.Close()
+	data, closeMap, err := mapFile(f)
+	if err != nil {
+		return nil, fmt.Errorf("pathrank: map %s: %w", path, err)
+	}
+	if len(data) < 12 || !bytes.Equal(data[0:8], artifactMagic[:]) {
+		closeMap()
+		return nil, fmt.Errorf("%w: bad magic", ErrArtifactFormat)
+	}
+	if v := binary.BigEndian.Uint32(data[8:12]); v != artifactVersionRaw {
+		// Not a raw-format file: deserialize the ordinary way and drop
+		// the mapping — nothing in the result aliases it.
+		a, err := LoadArtifact(bytes.NewReader(data))
+		closeMap()
+		return a, err
+	}
+	a, err := decodeArtifactV3(data, false)
+	if err != nil {
+		closeMap()
+		return nil, err
+	}
+	a.closeFn = closeMap
+	return a, nil
+}
+
+// Close releases the memory mapping backing a mapped artifact. It is a
+// no-op (and returns nil) for artifacts loaded any other way. After
+// Close, the artifact's graph and prep must not be used.
+func (a *Artifact) Close() error {
+	if a.closeFn == nil {
+		return nil
+	}
+	fn := a.closeFn
+	a.closeFn = nil
+	return fn()
+}

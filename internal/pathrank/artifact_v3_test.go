@@ -1,0 +1,169 @@
+package pathrank
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"pathrank/internal/roadnet"
+	"pathrank/internal/spath"
+)
+
+// v3Artifact is trainedArtifact plus the CH prep the raw section carries.
+func v3Artifact(t testing.TB) *Artifact {
+	t.Helper()
+	art := trainedArtifact(t)
+	art.Prep = spath.BuildPrep(art.Graph, spath.PrepConfig{})
+	return art
+}
+
+// TestArtifactV3RoundTrip saves format v3 and reloads it both ways,
+// demanding bit-identical graph, CH, and model behavior.
+func TestArtifactV3RoundTrip(t *testing.T) {
+	art := v3Artifact(t)
+	path := filepath.Join(t.TempDir(), "v3.prar")
+	if err := SaveArtifactV3File(path, art); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		load func(string) (*Artifact, error)
+	}{
+		{"deserialized", LoadArtifactFile},
+		{"mapped", LoadArtifactFileMapped},
+	} {
+		got, err := mode.load(path)
+		if err != nil {
+			t.Fatalf("%s: %v", mode.name, err)
+		}
+		if got.Graph.NumVertices() != art.Graph.NumVertices() || got.Graph.NumEdges() != art.Graph.NumEdges() {
+			t.Fatalf("%s: graph shape changed", mode.name)
+		}
+		for i := 0; i < art.Graph.NumEdges(); i++ {
+			e, w := art.Graph.Edge(roadnet.EdgeID(i)), got.Graph.Edge(roadnet.EdgeID(i))
+			if e != w {
+				t.Fatalf("%s: edge %d differs: %+v vs %+v", mode.name, i, e, w)
+			}
+		}
+		if got.Prep == nil || got.Prep.CH == nil {
+			t.Fatalf("%s: CH prep lost", mode.name)
+		}
+		// CH answers must match a fresh Dijkstra on the reloaded graph.
+		ws := spath.GetWorkspace(got.Graph)
+		n := got.Graph.NumVertices()
+		targets := []roadnet.VertexID{roadnet.VertexID(n - 1), roadnet.VertexID(n / 2)}
+		want := make([]float64, len(targets))
+		ws.BoundedDistances(got.Graph, 0, targets, math.Inf(1), spath.ByLength, want)
+		ws.Release()
+		eng := got.Prep.BestEngine(got.Graph)
+		rows := [][]float64{make([]float64, len(targets))}
+		eng.ManyToMany([]roadnet.VertexID{0}, targets, math.Inf(1), rows)
+		for j := range targets {
+			if rows[0][j] != want[j] {
+				t.Fatalf("%s: CH distance 0->%d = %g, dijkstra says %g", mode.name, targets[j], rows[0][j], want[j])
+			}
+		}
+		wantFP, err := art.Model.FingerprintHex()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotFP, err := got.Model.FingerprintHex()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantFP != gotFP {
+			t.Fatalf("%s: model fingerprint changed", mode.name)
+		}
+		if err := got.Close(); err != nil {
+			t.Fatalf("%s: close: %v", mode.name, err)
+		}
+	}
+}
+
+// TestArtifactV3MappedColdStartSkipsArrays is the mmap acceptance test: a
+// mapped open must not deserialize the CSR and CH arrays — its heap
+// allocations must stay far below the raw section it maps, while a
+// regular load pays for every array. The graph is sized so the raw
+// arrays dominate the file and the model gob is noise.
+func TestArtifactV3MappedColdStartSkipsArrays(t *testing.T) {
+	g, err := roadnet.Generate(roadnet.GenConfig{
+		Rows: 28, Cols: 28, SpacingM: 200, JitterFrac: 0.2,
+		RemoveFrac: 0.05, ArterialEvery: 5, Motorway: true, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(g.NumVertices(), Config{EmbeddingDim: 2, Hidden: 2, Variant: PRA1, Body: MeanPoolBody, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := &Artifact{Graph: g, Model: m, Prep: spath.BuildPrep(g, spath.PrepConfig{Landmarks: 1})}
+	path := filepath.Join(t.TempDir(), "v3.prar")
+	if err := SaveArtifactV3File(path, art); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	allocBytes := func(load func(string) (*Artifact, error)) uint64 {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		a, err := load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&after)
+		defer a.Close()
+		return after.TotalAlloc - before.TotalAlloc
+	}
+
+	full := allocBytes(LoadArtifactFile)
+	mapped := allocBytes(LoadArtifactFileMapped)
+	t.Logf("file %d bytes, deserialized load allocated %d, mapped load allocated %d", fi.Size(), full, mapped)
+	// A deserialized load reads and decodes the whole file (gob inflates
+	// it further); a mapped load must allocate no more than roughly the
+	// model/metadata gob — well under half the file, and far under the
+	// full load.
+	if mapped >= uint64(fi.Size())/2 {
+		t.Fatalf("mapped load allocated %d bytes for a %d-byte file: raw arrays are being copied", mapped, fi.Size())
+	}
+	if mapped*2 >= full {
+		t.Fatalf("mapped load allocated %d bytes vs %d deserialized: mapping saves nothing", mapped, full)
+	}
+}
+
+// TestArtifactV3ShardInfoRoundTrip checks the shard identity block
+// survives both load paths.
+func TestArtifactV3ShardInfoRoundTrip(t *testing.T) {
+	art := v3Artifact(t)
+	art.Shard = &ShardInfo{
+		Index: 1, Parts: 3,
+		Boundary:   []roadnet.VertexID{0, 3, roadnet.VertexID(art.Graph.NumVertices() - 1)},
+		EdgeGlobal: make([]roadnet.EdgeID, art.Graph.NumEdges()),
+	}
+	for i := range art.Shard.EdgeGlobal {
+		art.Shard.EdgeGlobal[i] = roadnet.EdgeID(i)
+	}
+	path := filepath.Join(t.TempDir(), "shard.prar")
+	if err := SaveArtifactV3File(path, art); err != nil {
+		t.Fatal(err)
+	}
+	for _, load := range []func(string) (*Artifact, error){LoadArtifactFile, LoadArtifactFileMapped} {
+		got, err := load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Shard == nil || got.Shard.Index != 1 || got.Shard.Parts != 3 {
+			t.Fatalf("shard identity lost: %+v", got.Shard)
+		}
+		if len(got.Shard.Boundary) != 3 || len(got.Shard.EdgeGlobal) != art.Graph.NumEdges() {
+			t.Fatalf("shard tables lost: %d boundary, %d edges", len(got.Shard.Boundary), len(got.Shard.EdgeGlobal))
+		}
+		got.Close()
+	}
+}

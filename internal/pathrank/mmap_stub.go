@@ -1,0 +1,24 @@
+//go:build !unix
+
+package pathrank
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without mmap support reads the whole file into an
+// aligned buffer. Loading still avoids deserialization (the raw arrays
+// are reinterpreted in place), but the page-cache sharing and O(open)
+// cold start of the real mapping are lost.
+func mapFile(f *os.File) ([]byte, func() error, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	data := alignedBytes(int(fi.Size()))
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,29 @@
+//go:build unix
+
+package pathrank
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps the whole file read-only and shared, so every process
+// serving the same shard artifact on a machine shares one copy of its
+// pages. The returned release function unmaps; the bytes must not be
+// touched after calling it.
+func mapFile(f *os.File) ([]byte, func() error, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size <= 0 || size > int64(int(^uint(0)>>1)) {
+		return nil, nil, fmt.Errorf("unmappable file size %d", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

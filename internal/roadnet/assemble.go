@@ -1,0 +1,68 @@
+package roadnet
+
+// This file provides the flat-array views of a Graph used by the sharded
+// serving tier: NewGraphFromData builds a graph from complete vertex and
+// edge tables (partition extraction, router corridor assembly — both need
+// explicit Edge.Time, which Builder derives from the category), and
+// RawData/AssembleGraph expose and rewrap the internal CSR arrays so an
+// artifact can persist them verbatim and reconstruct the graph from a
+// memory-mapped file without deserializing.
+
+// GraphData is the complete flat representation of a Graph: the vertex
+// and edge tables plus the CSR adjacency arrays. The slices alias the
+// graph's internal storage and must not be modified.
+type GraphData struct {
+	Vertices []Vertex
+	Edges    []Edge
+	OutStart []int32
+	OutEdges []EdgeID
+	OutTo    []VertexID
+	InStart  []int32
+	InEdges  []EdgeID
+	InFrom   []VertexID
+}
+
+// NewGraphFromData builds a Graph from complete vertex and edge tables,
+// constructing CSR adjacency exactly like Builder.Build. Unlike the
+// Builder methods, the caller supplies finished Edge structs — explicit
+// lengths, times, and IDs — so a subgraph extracted from another graph
+// keeps its original metrics bit-for-bit. Edge IDs must be dense in input
+// order and vertex IDs dense ascending (Validate's invariants); the
+// tables are retained, not copied.
+func NewGraphFromData(vertices []Vertex, edges []Edge) *Graph {
+	b := &Builder{vertices: vertices, edges: edges}
+	return b.Build()
+}
+
+// RawData returns the graph's flat arrays without copying.
+func (g *Graph) RawData() GraphData {
+	return GraphData{
+		Vertices: g.vertices,
+		Edges:    g.edges,
+		OutStart: g.outStart,
+		OutEdges: g.outEdges,
+		OutTo:    g.outTo,
+		InStart:  g.inStart,
+		InEdges:  g.inEdges,
+		InFrom:   g.inFrom,
+	}
+}
+
+// AssembleGraph wraps pre-built arrays as a Graph without copying,
+// rebuilding, or validating. It is the zero-deserialization load path:
+// the arrays may alias a memory-mapped artifact, in which case the graph
+// is read-only and valid only while the mapping is. The caller is
+// responsible for the arrays satisfying RawData's layout (the artifact
+// loader trusts its own writer; foreign data must go through Validate).
+func AssembleGraph(d GraphData) *Graph {
+	return &Graph{
+		vertices: d.Vertices,
+		edges:    d.Edges,
+		outStart: d.OutStart,
+		outEdges: d.OutEdges,
+		outTo:    d.OutTo,
+		inStart:  d.InStart,
+		inEdges:  d.InEdges,
+		inFrom:   d.InFrom,
+	}
+}

@@ -83,18 +83,33 @@ func ParseCategory(s string) (Category, error) {
 // external tool producing the same columns). Vertex IDs must be dense and
 // in order; edge IDs are reassigned densely in input order.
 func ImportCSV(vertices, edges io.Reader) (*Graph, error) {
+	return ImportCSVProgress(vertices, edges, nil)
+}
+
+// importProgressEvery is the row interval between progress callbacks; a
+// power of two so the check is a mask test on the hot row loop.
+const importProgressEvery = 1 << 16
+
+// ImportCSVProgress is ImportCSV with progress reporting for metro-scale
+// files: rows are streamed one at a time (memory stays bounded by the
+// graph under construction, never the raw CSV text), and progress, when
+// non-nil, is called with the running row count of each stage ("vertices"
+// or "edges") every 64k rows and once at the end of each stage.
+func ImportCSVProgress(vertices, edges io.Reader, progress func(stage string, rows int)) (*Graph, error) {
 	vr := csv.NewReader(vertices)
-	vrecs, err := vr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("roadnet: read vertices: %w", err)
+	vr.ReuseRecord = true
+	vr.FieldsPerRecord = 3
+	if _, err := vr.Read(); err != nil {
+		return nil, fmt.Errorf("roadnet: read vertex header: %w", err)
 	}
-	if len(vrecs) < 1 {
-		return nil, fmt.Errorf("roadnet: empty vertex CSV")
-	}
-	b := NewBuilder(len(vrecs)-1, 0)
-	for i, rec := range vrecs[1:] { // skip header
-		if len(rec) != 3 {
-			return nil, fmt.Errorf("roadnet: vertex row %d has %d columns, want 3", i+1, len(rec))
+	b := NewBuilder(0, 0)
+	for i := 0; ; i++ {
+		rec, err := vr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("roadnet: read vertices: %w", err)
 		}
 		id, err := strconv.Atoi(rec[0])
 		if err != nil || id != i {
@@ -109,17 +124,29 @@ func ImportCSV(vertices, edges io.Reader) (*Graph, error) {
 			return nil, fmt.Errorf("roadnet: vertex %d lat: %w", id, err)
 		}
 		b.AddVertex(geo.Point{Lon: lon, Lat: lat})
+		if progress != nil && (i+1)%importProgressEvery == 0 {
+			progress("vertices", i+1)
+		}
+	}
+	if progress != nil {
+		progress("vertices", b.NumVertices())
 	}
 
 	er := csv.NewReader(edges)
-	erecs, err := er.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("roadnet: read edges: %w", err)
+	er.ReuseRecord = true
+	er.FieldsPerRecord = 6
+	if _, err := er.Read(); err != nil {
+		return nil, fmt.Errorf("roadnet: read edge header: %w", err)
 	}
 	n := b.NumVertices()
-	for i, rec := range erecs[1:] {
-		if len(rec) != 6 {
-			return nil, fmt.Errorf("roadnet: edge row %d has %d columns, want 6", i+1, len(rec))
+	rows := 0
+	for i := 0; ; i++ {
+		rec, err := er.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("roadnet: read edges: %w", err)
 		}
 		from, err1 := strconv.Atoi(rec[1])
 		to, err2 := strconv.Atoi(rec[2])
@@ -135,6 +162,13 @@ func ImportCSV(vertices, edges io.Reader) (*Graph, error) {
 			return nil, fmt.Errorf("roadnet: edge row %d: %w", i+1, err)
 		}
 		b.AddEdgeWithLength(VertexID(from), VertexID(to), cat, length)
+		rows = i + 1
+		if progress != nil && rows%importProgressEvery == 0 {
+			progress("edges", rows)
+		}
+	}
+	if progress != nil {
+		progress("edges", rows)
 	}
 	g := b.Build()
 	if err := g.Validate(); err != nil {

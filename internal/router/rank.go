@@ -1,0 +1,252 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"pathrank/internal/api"
+	"pathrank/internal/dataset"
+	"pathrank/internal/pathrank"
+	"pathrank/internal/spath"
+)
+
+// resolved is a validated query with the effective candidate regime
+// materialized — the router-side analogue of the serve layer's
+// buildQuery plus the ranker's resolve, against the shard map instead of
+// a local snapshot. The resolution rules are replicated exactly so a
+// query answered by the router and the same query answered by a
+// single-process server over the unpartitioned artifact agree.
+type resolved struct {
+	src, dst int64
+	cfg      dataset.Config
+	weight   spath.Weight
+	wk       pathrank.WeightKind
+}
+
+// resolve validates q against the shard map and the router limits and
+// materializes the effective candidate configuration.
+func (rt *Router) resolve(q api.RankQuery) (resolved, *api.Error) {
+	n := int64(rt.sm.NumVertices)
+	if q.Src < 0 || q.Src >= n || q.Dst < 0 || q.Dst >= n {
+		return resolved{}, invalidErrf("src/dst must be in [0,%d)", n)
+	}
+	if q.K < 0 || q.K > rt.cfg.MaxK {
+		return resolved{}, invalidErrf("k must be in [0,%d]", rt.cfg.MaxK)
+	}
+	if q.Threshold < 0 || q.Threshold > 1 {
+		return resolved{}, invalidErrf("threshold must be in (0,1], got %g", q.Threshold)
+	}
+	if q.MaxProbe < 0 {
+		return resolved{}, invalidErrf("max_probe must be non-negative")
+	}
+	strategy, err := pathrank.ParseStrategyChoice(q.Strategy)
+	if err != nil {
+		return resolved{}, apiErrorFrom(err)
+	}
+	wk, err := pathrank.ParseWeightKind(q.Weight)
+	if err != nil {
+		return resolved{}, apiErrorFrom(err)
+	}
+	engine, err := pathrank.ParseEngineChoice(q.Engine)
+	if err != nil {
+		return resolved{}, apiErrorFrom(err)
+	}
+	if wk == pathrank.WeightTime && (engine == pathrank.EngineALT || engine == pathrank.EngineCH) {
+		return resolved{}, invalidErrf(
+			"engine %s serves the length metric; use weight=length or engine=dijkstra", engine)
+	}
+	// Shard workers carry CH preparation (the bundle builder always builds
+	// it), never ALT — an explicit ALT request fails here exactly as it
+	// would against a CH-prepared single server.
+	if engine == pathrank.EngineALT {
+		return resolved{}, invalidErrf("engine %s is not prepared for this snapshot", engine)
+	}
+
+	cfg := rt.sm.Candidates
+	if cfg.K <= 0 {
+		cfg = dataset.DefaultConfig()
+	}
+	switch strategy {
+	case pathrank.StrategyTkDI:
+		cfg.Strategy = dataset.TkDI
+	case pathrank.StrategyDTkDI:
+		cfg.Strategy = dataset.DTkDI
+	}
+	if q.K > 0 && q.K != cfg.K {
+		if cfg.MaxProbe > 0 && cfg.K > 0 {
+			cfg.MaxProbe = cfg.MaxProbe * q.K / cfg.K
+		}
+		cfg.K = q.K
+	}
+	if q.Threshold > 0 {
+		cfg.Threshold = q.Threshold
+	}
+	if q.MaxProbe > 0 {
+		cfg.MaxProbe = q.MaxProbe
+	}
+
+	weight := spath.ByLength
+	if wk == pathrank.WeightTime {
+		weight = spath.ByTime
+	} else {
+		wk = pathrank.WeightLength
+	}
+	return resolved{src: q.Src, dst: q.Dst, cfg: cfg, weight: weight, wk: wk}, nil
+}
+
+// requestContext mirrors the serve layer's deadline derivation.
+func (rt *Router) requestContext(r *http.Request, timeoutMs int64) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	if timeoutMs <= 0 {
+		return ctx, func() {}
+	}
+	d := time.Duration(timeoutMs) * time.Millisecond
+	if d > rt.cfg.MaxTimeout {
+		d = rt.cfg.MaxTimeout
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+func (rt *Router) handleRank(w http.ResponseWriter, r *http.Request) {
+	rt.obs.requests.With("/v2/rank").Inc()
+	var req api.RankRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxRankBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		apiErr := invalidErrf("bad request body: %v", err)
+		if errors.As(err, &tooBig) {
+			apiErr = &api.Error{
+				Status:  http.StatusRequestEntityTooLarge,
+				Code:    api.CodeInvalid,
+				Message: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+			}
+		}
+		rt.obs.rankErrors.With(apiErr.Code).Inc()
+		writeErr(w, apiErr)
+		return
+	}
+	ctx, cancel := rt.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	if req.Queries == nil {
+		res, apiErr := rt.rankSingle(ctx, req.RankQuery)
+		if apiErr != nil {
+			rt.obs.rankErrors.With(apiErr.Code).Inc()
+			writeErr(w, apiErr)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	rt.rankBatch(ctx, w, req.Queries)
+}
+
+// rankBatch answers a batch of queries with per-item errors; items run
+// concurrently, bounded by GOMAXPROCS (each item fans out to shards on
+// its own).
+func (rt *Router) rankBatch(ctx context.Context, w http.ResponseWriter, queries []api.RankQuery) {
+	if len(queries) > rt.cfg.MaxBatch {
+		apiErr := invalidErrf("batch has %d queries, limit is %d", len(queries), rt.cfg.MaxBatch)
+		rt.obs.rankErrors.With(apiErr.Code).Inc()
+		writeErr(w, apiErr)
+		return
+	}
+	items := make([]api.BatchItem, len(queries))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range queries {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			items[i].Index = i
+			res, apiErr := rt.rankSingle(ctx, queries[i])
+			if apiErr != nil {
+				items[i].Error = apiErr
+				return
+			}
+			items[i].Response = res
+		}(i)
+	}
+	wg.Wait()
+	nerr := 0
+	for i := range items {
+		if items[i].Error != nil {
+			rt.obs.rankErrors.With(items[i].Error.Code).Inc()
+			nerr++
+		}
+	}
+	writeJSON(w, http.StatusOK, api.BatchResponse{Results: items, Errors: nerr})
+}
+
+// rankSingle answers one query: co-resident pairs are proxied to the
+// owning shard, cross-shard pairs are corridor-stitched.
+func (rt *Router) rankSingle(ctx context.Context, q api.RankQuery) (*api.RankResult, *api.Error) {
+	rs, apiErr := rt.resolve(q)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	i := int(rt.sm.Owner[q.Src])
+	j := int(rt.sm.Owner[q.Dst])
+	if i == j {
+		rt.obs.routed.With("co_shard").Inc()
+		return rt.proxyRank(ctx, i, q)
+	}
+	rt.obs.routed.With("cross_shard").Inc()
+	return rt.crossShard(ctx, q, rs, i, j)
+}
+
+// proxyRank forwards a co-resident query to the owning shard's own
+// /v2/rank and stamps the routing stats in. The shard enumerates on its
+// induced subgraph: the geometric partition keeps co-resident
+// neighborhoods whole, so this is the intended serving semantics —
+// candidates that would detour through a neighboring shard's territory
+// and come back are not considered (unlike cross-shard queries, whose
+// corridor stitching is exact; see docs/SHARDING.md).
+func (rt *Router) proxyRank(ctx context.Context, shard int, q api.RankQuery) (*api.RankResult, *api.Error) {
+	body, err := json.Marshal(api.RankRequest{RankQuery: q})
+	if err != nil {
+		return nil, &api.Error{Status: http.StatusInternalServerError, Code: api.CodeInternal, Message: err.Error()}
+	}
+	rt.obs.shardCalls.With(fmt.Sprint(shard), "proxy").Inc()
+	status, respBody, meta, err := rt.callShard(ctx, shard, http.MethodPost, "/v2/rank", body)
+	if err != nil {
+		return nil, shardUnavailable(shard, err)
+	}
+	if status != http.StatusOK {
+		var env api.ErrorEnvelope
+		if err := json.Unmarshal(respBody, &env); err != nil || env.Error == nil {
+			return nil, &api.Error{
+				Status: http.StatusServiceUnavailable, Code: api.CodeShardUnavailable,
+				Message: fmt.Sprintf("shard %d: HTTP %d with unreadable error body", shard, status),
+			}
+		}
+		env.Error.Status = status
+		return nil, env.Error
+	}
+	var res api.RankResult
+	if err := json.Unmarshal(respBody, &res); err != nil {
+		return nil, &api.Error{
+			Status: http.StatusServiceUnavailable, Code: api.CodeShardUnavailable,
+			Message: fmt.Sprintf("shard %d: unreadable rank response: %v", shard, err),
+		}
+	}
+	if q.Explain {
+		if res.Stats == nil {
+			res.Stats = &api.RankStats{}
+		}
+		res.Stats.Route = "co_shard"
+		res.Stats.Shards = append(res.Stats.Shards, api.ShardStat{
+			Shard: shard, Role: "proxy", Calls: meta.calls, TotalNs: meta.totalNs, Hedged: meta.hedged,
+		})
+	}
+	return &res, nil
+}

@@ -1,0 +1,544 @@
+// Package router implements the fan-out tier of a sharded PathRank
+// deployment. A router owns no graph data beyond the shard map
+// (internal/partition): vertex ownership, the boundary separator, its
+// precomputed full-graph distance tables, the cut edges, and a copy of
+// the ranking model. It answers the ordinary /v2/rank surface:
+//
+//   - co-resident queries (both endpoints on one shard) are proxied to
+//     the owning shard worker's own /v2/rank, whole;
+//   - cross-shard queries are stitched: boundary distance vectors from
+//     the two endpoint shards, combined with the boundary-to-boundary
+//     tables, give exact full-graph source/destination distances at
+//     every separator vertex; a cost corridor extracted from each
+//     participating shard is fused with the qualifying cut edges into a
+//     sub-road-network on which the ordinary top-k enumeration runs.
+//
+// The corridor construction is exact, not approximate: the fused
+// subgraph provably contains every vertex and edge of every loopless
+// source→destination path of cost at most the corridor bound C, and the
+// enumeration is accepted only when its statistics certify that no path
+// outside the bound could have been accepted (otherwise C grows and the
+// corridor is re-extracted). Paths and scores are therefore bit-identical
+// to a single-process server over the unpartitioned graph.
+//
+// Shard calls are hedged: a call not answered within HedgeAfter fires a
+// duplicate, and the first response wins; a shard that cannot be reached
+// at all fails the query with the typed shard_unavailable code (503).
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"pathrank/internal/api"
+	"pathrank/internal/obsv"
+	"pathrank/internal/partition"
+	"pathrank/internal/pathrank"
+	"pathrank/internal/roadnet"
+)
+
+// maxRankBody mirrors internal/serve's request body bound.
+const maxRankBody = 1 << 20
+
+// maxShardResponse bounds a shard response body (corridor subgraphs of
+// metro-scale shards are the large case).
+const maxShardResponse = 1 << 30
+
+// Config parameterizes a Router.
+type Config struct {
+	// Addr is the listen address for Run.
+	Addr string
+	// Shards maps shard index to the worker's base URL (e.g.
+	// "http://10.0.0.3:8080"); its length must equal the bundle's Parts.
+	Shards []string
+	// HedgeAfter is how long a shard call may go unanswered before a
+	// duplicate is fired (default 150ms; negative disables hedging).
+	HedgeAfter time.Duration
+	// CallTimeout bounds each individual shard call (default 10s).
+	CallTimeout time.Duration
+	// HealthInterval is the shard health poll period and the staleness
+	// bound for /healthz's per-shard view (default 2s).
+	HealthInterval time.Duration
+	// MaxK, MaxBatch, MaxTimeout mirror the serve.Config limits (defaults
+	// 32, 64, 30s) so a router validates exactly like a single server.
+	MaxK       int
+	MaxBatch   int
+	MaxTimeout time.Duration
+	// MaxRounds caps corridor growth rounds per cross-shard query
+	// (default 8). The final round jumps the bound past the total edge
+	// weight, so the enumeration is certified complete regardless.
+	MaxRounds int
+	// Metrics, when non-nil, is the registry the router registers its
+	// metric families on; nil gives it a private one.
+	Metrics *obsv.Registry
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+	// OnListen, when non-nil, is invoked with the bound address by Run.
+	OnListen func(net.Addr)
+}
+
+// Router fans /v2/rank out over the shard workers of one bundle.
+type Router struct {
+	cfg   Config
+	sm    *partition.ShardMap
+	model *pathrank.Model
+	start time.Time
+
+	// boundary is the global separator in table order; bpos[v] is a
+	// vertex's index into it (and into the D tables), -1 for non-boundary
+	// vertices. shardBPos[s] lists shard s's boundary positions.
+	boundary  []roadnet.VertexID
+	bpos      []int32
+	shardBPos [][]int32
+
+	client *http.Client
+	health []atomicHealth
+
+	obs routerMetrics
+}
+
+type routerMetrics struct {
+	reg         *obsv.Registry
+	requests    *obsv.CounterVec
+	rankErrors  *obsv.CounterVec
+	routed      *obsv.CounterVec
+	shardCalls  *obsv.CounterVec
+	shardErrors *obsv.CounterVec
+	hedges      *obsv.CounterVec
+	rounds      *obsv.HistogramVec
+}
+
+// New builds a Router over a loaded shard map. shards in cfg.Shards must
+// cover every shard of the bundle.
+func New(sm *partition.ShardMap, cfg Config) (*Router, error) {
+	if len(cfg.Shards) != sm.Parts {
+		return nil, fmt.Errorf("router: bundle has %d shards, %d worker URLs configured", sm.Parts, len(cfg.Shards))
+	}
+	if cfg.HedgeAfter == 0 {
+		cfg.HedgeAfter = 150 * time.Millisecond
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 10 * time.Second
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 2 * time.Second
+	}
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = 32
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 30 * time.Second
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 8
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	model, err := sm.Model()
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		cfg:    cfg,
+		sm:     sm,
+		model:  model,
+		start:  time.Now(),
+		client: &http.Client{},
+		health: make([]atomicHealth, sm.Parts),
+	}
+	rt.boundary = sm.GlobalBoundary()
+	rt.bpos = make([]int32, sm.NumVertices)
+	for i := range rt.bpos {
+		rt.bpos[i] = -1
+	}
+	for i, v := range rt.boundary {
+		rt.bpos[v] = int32(i)
+	}
+	rt.shardBPos = make([][]int32, sm.Parts)
+	for s, list := range sm.Boundary {
+		pos := make([]int32, len(list))
+		for i, v := range list {
+			pos[i] = rt.bpos[v]
+		}
+		rt.shardBPos[s] = pos
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obsv.NewRegistry()
+	}
+	rt.obs = routerMetrics{
+		reg:         reg,
+		requests:    reg.Counter("pathrank_router_requests_total", "Router HTTP requests by path.", "path"),
+		rankErrors:  reg.Counter("pathrank_router_rank_errors_total", "Failed rank queries by error code.", "code"),
+		routed:      reg.Counter("pathrank_router_routed_total", "Rank queries by route kind.", "route"),
+		shardCalls:  reg.Counter("pathrank_router_shard_calls_total", "Shard sub-query calls by shard and role.", "shard", "role"),
+		shardErrors: reg.Counter("pathrank_router_shard_errors_total", "Failed shard calls by shard.", "shard"),
+		hedges:      reg.Counter("pathrank_router_hedges_total", "Hedged (duplicated) shard calls by shard.", "shard"),
+		rounds: reg.Histogram("pathrank_router_corridor_rounds", "Corridor growth rounds per cross-shard query.",
+			[]float64{1, 2, 3, 4, 6, 8}),
+	}
+	return rt, nil
+}
+
+// Metrics returns the router's metric registry.
+func (rt *Router) Metrics() *obsv.Registry { return rt.obs.reg }
+
+// Handler returns the router's HTTP API: the public /v2/rank surface plus
+// health and metrics.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v2/rank", rt.handleRank)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		rt.obs.requests.With("/metrics").Inc()
+		rt.obs.reg.ServeHTTP(w, r)
+	})
+	return mux
+}
+
+// Run listens on cfg.Addr and serves until ctx is canceled, polling shard
+// health in the background.
+func (rt *Router) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", rt.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("router: listen %s: %w", rt.cfg.Addr, err)
+	}
+	if rt.cfg.OnListen != nil {
+		rt.cfg.OnListen(ln.Addr())
+	}
+	pollCtx, stopPoll := context.WithCancel(ctx)
+	defer stopPoll()
+	go rt.pollHealth(pollCtx)
+	hs := &http.Server{Handler: rt.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutErr := hs.Shutdown(shutCtx)
+		<-errc
+		return shutErr
+	case err := <-errc:
+		return err
+	}
+}
+
+// ---- shard health ----
+
+type shardHealth struct {
+	checked time.Time
+	err     string
+	info    api.ShardInfoResponse
+}
+
+type atomicHealth struct {
+	mu sync.Mutex
+	h  *shardHealth
+}
+
+func (a *atomicHealth) load() *shardHealth {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.h
+}
+
+func (a *atomicHealth) store(h *shardHealth) {
+	a.mu.Lock()
+	a.h = h
+	a.mu.Unlock()
+}
+
+// pollHealth refreshes every shard's health each HealthInterval.
+func (rt *Router) pollHealth(ctx context.Context) {
+	tick := time.NewTicker(rt.cfg.HealthInterval)
+	defer tick.Stop()
+	rt.refreshHealth(ctx, false)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			rt.refreshHealth(ctx, false)
+		}
+	}
+}
+
+// refreshHealth re-checks shards whose last check is older than the
+// interval (all of them when none have been checked); onlyStale softens
+// this to serve /healthz without a poller running.
+func (rt *Router) refreshHealth(ctx context.Context, onlyStale bool) {
+	var wg sync.WaitGroup
+	for i := range rt.health {
+		if onlyStale {
+			if h := rt.health[i].load(); h != nil && time.Since(h.checked) < rt.cfg.HealthInterval {
+				continue
+			}
+		}
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			rt.checkShard(ctx, shard)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func (rt *Router) checkShard(ctx context.Context, shard int) {
+	cctx, cancel := context.WithTimeout(ctx, rt.cfg.CallTimeout)
+	defer cancel()
+	h := &shardHealth{checked: time.Now()}
+	req, err := http.NewRequestWithContext(cctx, http.MethodGet, rt.cfg.Shards[shard]+"/shard/info", nil)
+	if err != nil {
+		h.err = err.Error()
+		rt.health[shard].store(h)
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		h.err = err.Error()
+		rt.health[shard].store(h)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	switch {
+	case err != nil:
+		h.err = err.Error()
+	case resp.StatusCode != http.StatusOK:
+		h.err = fmt.Sprintf("shard info: HTTP %d", resp.StatusCode)
+	default:
+		if err := json.Unmarshal(body, &h.info); err != nil {
+			h.err = fmt.Sprintf("shard info: %v", err)
+		} else if h.info.Shard != shard {
+			h.err = fmt.Sprintf("worker identifies as shard %d, configured as %d", h.info.Shard, shard)
+		} else if h.info.Fingerprint != rt.sm.Fingerprint {
+			h.err = fmt.Sprintf("shard serves fingerprint %.12s, bundle is %.12s", h.info.Fingerprint, rt.sm.Fingerprint)
+		}
+	}
+	rt.health[shard].store(h)
+}
+
+// routerHealth is the body of the router's GET /healthz: the same
+// vertex/edge-bearing shape a single server reports (so clients like the
+// load generator need no special casing), plus the per-shard view.
+type routerHealth struct {
+	Status           string        `json:"status"`
+	Role             string        `json:"role"`
+	APIVersions      []string      `json:"api_versions"`
+	UptimeS          float64       `json:"uptime_s"`
+	Vertices         int           `json:"vertices"`
+	Edges            int           `json:"edges"`
+	Parts            int           `json:"parts"`
+	BoundaryVertices int           `json:"boundary_vertices"`
+	CutEdges         int           `json:"cut_edges"`
+	ModelParams      int           `json:"model_params"`
+	Fingerprint      string        `json:"fingerprint"`
+	Shards           []shardStatus `json:"shards"`
+}
+
+type shardStatus struct {
+	Shard       int     `json:"shard"`
+	URL         string  `json:"url"`
+	Healthy     bool    `json:"healthy"`
+	Error       string  `json:"error,omitempty"`
+	Fingerprint string  `json:"fingerprint,omitempty"`
+	CheckedAgoS float64 `json:"checked_ago_s,omitempty"`
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rt.obs.requests.With("/healthz").Inc()
+	rt.refreshHealth(r.Context(), true)
+	resp := routerHealth{
+		Status:           "ok",
+		Role:             "router",
+		APIVersions:      []string{"v2"},
+		UptimeS:          time.Since(rt.start).Seconds(),
+		Vertices:         rt.sm.NumVertices,
+		Edges:            rt.sm.NumEdges,
+		Parts:            rt.sm.Parts,
+		BoundaryVertices: len(rt.boundary),
+		CutEdges:         len(rt.sm.CutEdges),
+		ModelParams:      rt.model.NumParams(),
+		Fingerprint:      rt.sm.Fingerprint,
+	}
+	for i := range rt.health {
+		st := shardStatus{Shard: i, URL: rt.cfg.Shards[i]}
+		if h := rt.health[i].load(); h != nil {
+			st.Healthy = h.err == ""
+			st.Error = h.err
+			st.Fingerprint = h.info.Fingerprint
+			st.CheckedAgoS = time.Since(h.checked).Seconds()
+		} else {
+			st.Error = "not checked yet"
+		}
+		if !st.Healthy {
+			resp.Status = "degraded"
+		}
+		resp.Shards = append(resp.Shards, st)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- shard calls with hedging ----
+
+// callMeta accounts one logical shard call: how many HTTP attempts it
+// took, their summed wall time, and whether the hedge fired.
+type callMeta struct {
+	calls   int
+	totalNs int64
+	hedged  bool
+}
+
+// callShard performs one logical call against a shard with hedged retry:
+// a duplicate attempt fires when the first is still unanswered after
+// HedgeAfter (or immediately, when the first fails at transport level);
+// the first transport-level success wins, whatever its HTTP status.
+func (rt *Router) callShard(ctx context.Context, shard int, method, path string, body []byte) (int, []byte, callMeta, error) {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type attemptResult struct {
+		status int
+		body   []byte
+		ns     int64
+		err    error
+	}
+	results := make(chan attemptResult, 2)
+	attempt := func() {
+		start := time.Now()
+		actx, acancel := context.WithTimeout(cctx, rt.cfg.CallTimeout)
+		defer acancel()
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(actx, method, rt.cfg.Shards[shard]+path, rd)
+		if err != nil {
+			results <- attemptResult{err: err, ns: time.Since(start).Nanoseconds()}
+			return
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			results <- attemptResult{err: err, ns: time.Since(start).Nanoseconds()}
+			return
+		}
+		b, err := io.ReadAll(io.LimitReader(resp.Body, maxShardResponse))
+		resp.Body.Close()
+		if err != nil {
+			results <- attemptResult{err: err, ns: time.Since(start).Nanoseconds()}
+			return
+		}
+		results <- attemptResult{status: resp.StatusCode, body: b, ns: time.Since(start).Nanoseconds()}
+	}
+
+	meta := callMeta{calls: 1}
+	inflight := 1
+	go attempt()
+	var hedgeC <-chan time.Time
+	if rt.cfg.HedgeAfter > 0 {
+		t := time.NewTimer(rt.cfg.HedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	var lastErr error
+	for {
+		select {
+		case r := <-results:
+			inflight--
+			meta.totalNs += r.ns
+			if r.err == nil {
+				return r.status, r.body, meta, nil
+			}
+			lastErr = r.err
+			if meta.calls < 2 && ctx.Err() == nil {
+				// The first attempt failed outright: retry immediately
+				// instead of waiting for the hedge timer.
+				meta.calls++
+				inflight++
+				hedgeC = nil
+				go attempt()
+				continue
+			}
+			if inflight == 0 {
+				rt.obs.shardErrors.With(fmt.Sprint(shard)).Inc()
+				return 0, nil, meta, lastErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			meta.calls++
+			meta.hedged = true
+			inflight++
+			rt.obs.hedges.With(fmt.Sprint(shard)).Inc()
+			go attempt()
+		case <-ctx.Done():
+			rt.obs.shardErrors.With(fmt.Sprint(shard)).Inc()
+			return 0, nil, meta, ctx.Err()
+		}
+	}
+}
+
+// shardUnavailable wraps a transport-level shard failure in the typed
+// error clients retry on.
+func shardUnavailable(shard int, err error) *api.Error {
+	code := api.CodeShardUnavailable
+	if errors.Is(err, context.DeadlineExceeded) {
+		code = api.CodeDeadline
+	} else if errors.Is(err, context.Canceled) {
+		code = api.CodeCanceled
+	}
+	return &api.Error{
+		Status:  api.HTTPStatus(code),
+		Code:    code,
+		Message: fmt.Sprintf("shard %d unreachable: %v", shard, err),
+	}
+}
+
+// ---- shared HTTP helpers (mirroring internal/serve's v2 plumbing) ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, e *api.Error) {
+	if e.Status == 0 {
+		e.Status = api.HTTPStatus(e.Code)
+	}
+	if e.Code == api.CodeBacklog || e.Code == api.CodeShardUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, e.Status, api.ErrorEnvelope{Error: e})
+}
+
+func invalidErrf(format string, args ...any) *api.Error {
+	return &api.Error{
+		Status:  http.StatusBadRequest,
+		Code:    api.CodeInvalid,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+func apiErrorFrom(err error) *api.Error {
+	var ae *api.Error
+	if errors.As(err, &ae) {
+		return ae
+	}
+	code := pathrank.ErrorCodeOf(err)
+	return &api.Error{Status: api.HTTPStatus(code), Code: code, Message: err.Error()}
+}

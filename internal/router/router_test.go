@@ -1,0 +1,465 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"pathrank/internal/api"
+	"pathrank/internal/dataset"
+	"pathrank/internal/geo"
+	"pathrank/internal/partition"
+	"pathrank/internal/pathrank"
+	"pathrank/internal/roadnet"
+	"pathrank/internal/serve"
+	"pathrank/internal/shardserve"
+)
+
+// deployment is one full sharded topology over httptest servers — shard
+// workers, the router over them, and a single-process reference server
+// over the same unpartitioned artifact for bit-identity checks.
+type deployment struct {
+	sm        *partition.ShardMap
+	router    *httptest.Server
+	shards    []*httptest.Server
+	reference *httptest.Server
+}
+
+// buildDeployment partitions a jittered random grid into parts shards and
+// stands the whole serving tier up in-process. Continuous jittered
+// coordinates make edge weights continuous, so shortest paths are unique
+// with probability one and exact path/score comparisons are meaningful.
+func buildDeployment(t testing.TB, seed int64, parts int) *deployment {
+	t.Helper()
+	g, err := roadnet.Generate(roadnet.GenConfig{
+		Rows: 8, Cols: 9, SpacingM: 220, JitterFrac: 0.3,
+		RemoveFrac: 0.07, ArterialEvery: 4, Motorway: true,
+		Origin: geo.Point{Lon: 10, Lat: 57}, Seed: seed,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	model, err := pathrank.New(g.NumVertices(), pathrank.Config{
+		EmbeddingDim: 8, Hidden: 6, Variant: pathrank.PRA2, Body: pathrank.GRUBody, Seed: seed,
+	})
+	if err != nil {
+		t.Fatalf("model: %v", err)
+	}
+	art := &pathrank.Artifact{
+		Graph: g, Model: model,
+		Candidates: dataset.Config{Strategy: dataset.DTkDI, K: 4, Threshold: 0.8},
+	}
+	dir := t.TempDir()
+	if _, err := partition.BuildBundle(art, dir, parts, nil); err != nil {
+		t.Fatalf("bundle: %v", err)
+	}
+
+	d := &deployment{}
+	urls := make([]string, parts)
+	for i := 0; i < parts; i++ {
+		sart, err := pathrank.LoadArtifactFile(dir + "/" + partition.ShardArtifactName(i))
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		srv, err := serve.New(sart, serve.Config{})
+		if err != nil {
+			t.Fatalf("shard %d server: %v", i, err)
+		}
+		t.Cleanup(srv.Close)
+		ss, err := shardserve.New(srv)
+		if err != nil {
+			t.Fatalf("shard %d worker: %v", i, err)
+		}
+		ts := httptest.NewServer(ss.Handler())
+		t.Cleanup(ts.Close)
+		d.shards = append(d.shards, ts)
+		urls[i] = ts.URL
+	}
+
+	sm, err := partition.LoadShardMapFile(dir)
+	if err != nil {
+		t.Fatalf("shard map: %v", err)
+	}
+	d.sm = sm
+	rt, err := New(sm, Config{Shards: urls, HedgeAfter: -1})
+	if err != nil {
+		t.Fatalf("router: %v", err)
+	}
+	d.router = httptest.NewServer(rt.Handler())
+	t.Cleanup(d.router.Close)
+
+	ref, err := serve.New(art, serve.Config{})
+	if err != nil {
+		t.Fatalf("reference server: %v", err)
+	}
+	t.Cleanup(ref.Close)
+	d.reference = httptest.NewServer(ref.Handler())
+	t.Cleanup(d.reference.Close)
+	return d
+}
+
+// postRank POSTs one query to a server's /v2/rank and decodes either the
+// result or the typed error envelope.
+func postRank(t testing.TB, baseURL string, q api.RankQuery) (*api.RankResult, *api.Error, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(api.RankRequest{RankQuery: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v2/rank", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", baseURL, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var env api.ErrorEnvelope
+		if err := json.Unmarshal(raw, &env); err != nil || env.Error == nil {
+			t.Fatalf("HTTP %d with unparseable error body %q", resp.StatusCode, raw)
+		}
+		env.Error.Status = resp.StatusCode
+		return nil, env.Error, resp
+	}
+	var res api.RankResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("bad rank response %q: %v", raw, err)
+	}
+	return &res, nil, resp
+}
+
+// pairs returns deterministic OD pairs with the requested shard
+// relationship (cross-shard or co-resident), up to max.
+func (d *deployment) pairs(cross bool, max int) [][2]int64 {
+	var out [][2]int64
+	n := d.sm.NumVertices
+	for src := 0; src < n && len(out) < max; src += 5 {
+		for dst := 1; dst < n && len(out) < max; dst += 7 {
+			if src == dst {
+				continue
+			}
+			if (d.sm.Owner[src] != d.sm.Owner[dst]) == cross {
+				out = append(out, [2]int64{int64(src), int64(dst)})
+			}
+		}
+	}
+	return out
+}
+
+// TestRouterCrossShardBitIdentity is the acceptance property: a
+// cross-shard query answered by the router over corridor stitching must
+// return exactly — paths AND scores, bit for bit — what a single-process
+// server over the unpartitioned artifact returns, across random
+// partitioned graphs, both candidate strategies, and many OD pairs.
+func TestRouterCrossShardBitIdentity(t *testing.T) {
+	for _, tc := range []struct {
+		seed  int64
+		parts int
+	}{{5, 2}, {21, 3}} {
+		t.Run(fmt.Sprintf("seed=%d/parts=%d", tc.seed, tc.parts), func(t *testing.T) {
+			d := buildDeployment(t, tc.seed, tc.parts)
+			pairs := d.pairs(true, 8)
+			if len(pairs) < 4 {
+				t.Fatalf("only %d cross-shard pairs; split degenerate", len(pairs))
+			}
+			nonEmpty := 0
+			for _, p := range pairs {
+				for _, strategy := range []string{"tkdi", "dtkdi"} {
+					q := api.RankQuery{Src: p[0], Dst: p[1], K: 3, Strategy: strategy}
+					got, gotErr, _ := postRank(t, d.router.URL, q)
+					want, wantErr, _ := postRank(t, d.reference.URL, q)
+					if (gotErr == nil) != (wantErr == nil) {
+						t.Fatalf("%d->%d %s: router err %v, reference err %v", p[0], p[1], strategy, gotErr, wantErr)
+					}
+					if gotErr != nil {
+						if gotErr.Code != wantErr.Code {
+							t.Fatalf("%d->%d %s: router code %s, reference code %s", p[0], p[1], strategy, gotErr.Code, wantErr.Code)
+						}
+						continue
+					}
+					if !reflect.DeepEqual(got.Paths, want.Paths) {
+						t.Fatalf("%d->%d %s: router paths diverge from single-process paths\nrouter:    %+v\nreference: %+v",
+							p[0], p[1], strategy, got.Paths, want.Paths)
+					}
+					if len(got.Paths) > 0 {
+						nonEmpty++
+					}
+				}
+			}
+			if nonEmpty == 0 {
+				t.Fatal("every checked pair came back empty; test is vacuous")
+			}
+		})
+	}
+}
+
+// TestRouterCoShardProxy checks co-resident routing: the router's answer
+// is exactly the owning shard worker's own answer, and explain stats
+// carry the route and the proxy call accounting.
+func TestRouterCoShardProxy(t *testing.T) {
+	d := buildDeployment(t, 5, 2)
+	pairs := d.pairs(false, 4)
+	if len(pairs) == 0 {
+		t.Fatal("no co-resident pairs")
+	}
+	for _, p := range pairs {
+		q := api.RankQuery{Src: p[0], Dst: p[1], K: 3, Explain: true}
+		got, gotErr, _ := postRank(t, d.router.URL, q)
+		if gotErr != nil {
+			t.Fatalf("%d->%d: %v", p[0], p[1], gotErr)
+		}
+		shard := d.shards[d.sm.Owner[p[0]]]
+		want, wantErr, _ := postRank(t, shard.URL, q)
+		if wantErr != nil {
+			t.Fatalf("%d->%d direct: %v", p[0], p[1], wantErr)
+		}
+		if !reflect.DeepEqual(got.Paths, want.Paths) {
+			t.Fatalf("%d->%d: proxied paths differ from the shard's own", p[0], p[1])
+		}
+		if got.Stats == nil || got.Stats.Route != "co_shard" {
+			t.Fatalf("%d->%d: stats %+v, want route co_shard", p[0], p[1], got.Stats)
+		}
+		last := got.Stats.Shards[len(got.Stats.Shards)-1]
+		if last.Role != "proxy" || last.Shard != int(d.sm.Owner[p[0]]) || last.Calls < 1 {
+			t.Fatalf("%d->%d: proxy shard stat %+v", p[0], p[1], last)
+		}
+	}
+}
+
+// TestRouterCrossShardExplain checks the routed-stats surface of a
+// stitched query: the route marker and the boundary + corridor shard
+// breakdown the load generator aggregates.
+func TestRouterCrossShardExplain(t *testing.T) {
+	d := buildDeployment(t, 5, 2)
+	pairs := d.pairs(true, 1)
+	if len(pairs) == 0 {
+		t.Fatal("no cross-shard pairs")
+	}
+	q := api.RankQuery{Src: pairs[0][0], Dst: pairs[0][1], K: 3, Explain: true}
+	res, apiErr, _ := postRank(t, d.router.URL, q)
+	if apiErr != nil {
+		t.Fatal(apiErr)
+	}
+	if res.Stats == nil || res.Stats.Route != "cross_shard" {
+		t.Fatalf("stats %+v, want route cross_shard", res.Stats)
+	}
+	roles := map[string]int{}
+	for _, st := range res.Stats.Shards {
+		roles[st.Role]++
+		if st.Calls < 1 {
+			t.Fatalf("shard stat %+v reports no calls", st)
+		}
+	}
+	if roles["boundary"] != 2 {
+		t.Fatalf("want 2 boundary sweeps (one per endpoint shard), got %+v", roles)
+	}
+	if roles["corridor"] < 2 {
+		t.Fatalf("want corridor extraction on both endpoint shards, got %+v", roles)
+	}
+}
+
+// TestRouterBatch posts a mixed batch — co-resident, cross-shard, and one
+// invalid query — and checks per-item results and errors come back in
+// order and match the single-query answers.
+func TestRouterBatch(t *testing.T) {
+	d := buildDeployment(t, 5, 2)
+	co := d.pairs(false, 1)
+	cross := d.pairs(true, 1)
+	if len(co) == 0 || len(cross) == 0 {
+		t.Fatal("degenerate split")
+	}
+	queries := []api.RankQuery{
+		{Src: co[0][0], Dst: co[0][1], K: 3},
+		{Src: cross[0][0], Dst: cross[0][1], K: 3},
+		{Src: -1, Dst: 1},
+	}
+	body, err := json.Marshal(api.RankRequest{Queries: queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(d.router.URL+"/v2/rank", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch HTTP %d", resp.StatusCode)
+	}
+	var batch api.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != 3 || batch.Errors != 1 {
+		t.Fatalf("batch shape: %d results, %d errors", len(batch.Results), batch.Errors)
+	}
+	for i := 0; i < 2; i++ {
+		item := batch.Results[i]
+		if item.Index != i || item.Error != nil || item.Response == nil {
+			t.Fatalf("item %d: %+v", i, item)
+		}
+		single, apiErr, _ := postRank(t, d.router.URL, queries[i])
+		if apiErr != nil {
+			t.Fatal(apiErr)
+		}
+		if !reflect.DeepEqual(item.Response.Paths, single.Paths) {
+			t.Fatalf("item %d diverges from its single-query answer", i)
+		}
+	}
+	if bad := batch.Results[2]; bad.Error == nil || bad.Error.Code != api.CodeInvalid {
+		t.Fatalf("invalid item: %+v", bad)
+	}
+}
+
+// TestRouterShardDown kills one shard worker and checks the failure mode:
+// queries needing it fail fast with the typed shard_unavailable code and
+// a Retry-After, queries confined to live shards keep working, and the
+// router's /healthz flips to degraded with the dead shard called out.
+func TestRouterShardDown(t *testing.T) {
+	d := buildDeployment(t, 5, 2)
+	cross := d.pairs(true, 1)
+	co := d.pairs(false, 8)
+	if len(cross) == 0 || len(co) == 0 {
+		t.Fatal("degenerate split")
+	}
+	d.shards[1].Close()
+
+	_, apiErr, resp := postRank(t, d.router.URL, api.RankQuery{Src: cross[0][0], Dst: cross[0][1], K: 3})
+	if apiErr == nil {
+		t.Fatal("cross-shard query succeeded with a shard down")
+	}
+	if apiErr.Status != http.StatusServiceUnavailable || apiErr.Code != api.CodeShardUnavailable {
+		t.Fatalf("want typed 503 %s, got %d %s: %s", api.CodeShardUnavailable, apiErr.Status, apiErr.Code, apiErr.Message)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shard_unavailable response carries no Retry-After")
+	}
+
+	// Traffic that never touches the dead shard still flows.
+	served := 0
+	for _, p := range co {
+		if d.sm.Owner[p[0]] != 0 {
+			continue
+		}
+		res, apiErr, _ := postRank(t, d.router.URL, api.RankQuery{Src: p[0], Dst: p[1], K: 3})
+		if apiErr != nil {
+			t.Fatalf("shard-0 query %d->%d failed: %v", p[0], p[1], apiErr)
+		}
+		_ = res
+		served++
+	}
+	if served == 0 {
+		t.Fatal("no shard-0 co-resident pairs exercised")
+	}
+
+	hresp, err := http.Get(d.router.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var health struct {
+		Status string `json:"status"`
+		Parts  int    `json:"parts"`
+		Shards []struct {
+			Shard   int    `json:"shard"`
+			Healthy bool   `json:"healthy"`
+			Error   string `json:"error"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "degraded" || health.Parts != 2 {
+		t.Fatalf("health %+v, want degraded over 2 parts", health)
+	}
+	for _, sh := range health.Shards {
+		switch sh.Shard {
+		case 0:
+			if !sh.Healthy {
+				t.Fatalf("live shard reported unhealthy: %+v", sh)
+			}
+		case 1:
+			if sh.Healthy || sh.Error == "" {
+				t.Fatalf("dead shard reported healthy: %+v", sh)
+			}
+		}
+	}
+}
+
+// TestRouterValidation checks the router rejects what a single server
+// rejects, with the same codes, before any shard is bothered.
+func TestRouterValidation(t *testing.T) {
+	d := buildDeployment(t, 5, 2)
+	n := int64(d.sm.NumVertices)
+	for _, tc := range []struct {
+		name string
+		q    api.RankQuery
+	}{
+		{"src out of range", api.RankQuery{Src: n, Dst: 1}},
+		{"negative dst", api.RankQuery{Src: 0, Dst: -3}},
+		{"k over cap", api.RankQuery{Src: 0, Dst: 1, K: 33}},
+		{"bad strategy", api.RankQuery{Src: 0, Dst: 1, Strategy: "nope"}},
+		{"alt not prepared", api.RankQuery{Src: 0, Dst: 1, Engine: "alt"}},
+		{"time metric on ch", api.RankQuery{Src: 0, Dst: 1, Weight: "time", Engine: "ch"}},
+	} {
+		_, apiErr, _ := postRank(t, d.router.URL, tc.q)
+		if apiErr == nil || apiErr.Code != api.CodeInvalid {
+			t.Fatalf("%s: want %s, got %+v", tc.name, api.CodeInvalid, apiErr)
+		}
+		_, refErr, _ := postRank(t, d.reference.URL, tc.q)
+		if refErr == nil || refErr.Code != apiErr.Code {
+			t.Fatalf("%s: reference server disagrees: %+v vs %+v", tc.name, refErr, apiErr)
+		}
+	}
+}
+
+// benchDeployment builds one deployment for the routing benchmarks and
+// returns a representative co-resident and cross-shard query.
+func benchDeployment(b *testing.B) (*deployment, api.RankQuery, api.RankQuery) {
+	d := buildDeployment(b, 5, 2)
+	co := d.pairs(false, 1)
+	cross := d.pairs(true, 1)
+	if len(co) == 0 || len(cross) == 0 {
+		b.Fatal("degenerate split")
+	}
+	return d,
+		api.RankQuery{Src: co[0][0], Dst: co[0][1], K: 3},
+		api.RankQuery{Src: cross[0][0], Dst: cross[0][1], K: 3}
+}
+
+func benchRank(b *testing.B, url string, q api.RankQuery) {
+	b.Helper()
+	body, err := json.Marshal(api.RankRequest{RankQuery: q})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(url+"/v2/rank", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("HTTP %d", resp.StatusCode)
+		}
+	}
+}
+
+func BenchmarkRouterRankCoShard(b *testing.B) {
+	d, co, _ := benchDeployment(b)
+	benchRank(b, d.router.URL, co)
+}
+
+func BenchmarkRouterRankCrossShard(b *testing.B) {
+	d, _, cross := benchDeployment(b)
+	benchRank(b, d.router.URL, cross)
+}

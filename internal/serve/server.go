@@ -337,6 +337,36 @@ func (s *Server) acquire() *snapshot {
 	return snap
 }
 
+// Snapshot is a pinned, refcounted view of the serving state, for
+// sidecar handlers mounted next to the server's own (the shard-serving
+// layer's boundary and corridor endpoints). The pin participates in the
+// same lifecycle as the server's request handling: a hot swap installed
+// while the pin is held retires the old snapshot only after Release.
+type Snapshot struct {
+	snap *snapshot
+}
+
+// PinSnapshot acquires the current snapshot; the caller must Release it.
+func (s *Server) PinSnapshot() Snapshot {
+	return Snapshot{snap: s.acquire()}
+}
+
+// Artifact returns the pinned snapshot's artifact (graph, model, shard
+// metadata). Valid until Release.
+func (sn Snapshot) Artifact() *pathrank.Artifact {
+	return sn.snap.art
+}
+
+// Fingerprint returns the pinned model's hex fingerprint.
+func (sn Snapshot) Fingerprint() string {
+	return sn.snap.fpHex
+}
+
+// Release drops the pin.
+func (sn Snapshot) Release() {
+	sn.snap.release()
+}
+
 // SwapInfo describes the outcome of a hot swap.
 type SwapInfo struct {
 	// Fingerprint is the hex SHA-256 of the now-serving model.

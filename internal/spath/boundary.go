@@ -1,0 +1,292 @@
+package spath
+
+import (
+	"context"
+	"math"
+	"sort"
+
+	"pathrank/internal/roadnet"
+)
+
+// This file holds the boundary-set search primitives of the sharded
+// serving tier. A shard worker answers two kinds of sub-queries for the
+// router: boundary distance vectors (src → every boundary vertex, or
+// every boundary vertex → dst, under a cost bound) and corridor
+// extraction (which owned vertices lie on some src→dst path of cost at
+// most C, given exact entry distances at the shard's boundary). Both
+// reduce to bounded Dijkstra variants over the pooled Workspace: a
+// reverse counterpart of BoundedDistances, and multi-source searches
+// whose frontier starts from pre-weighted Seeds instead of a single
+// zero-cost source.
+
+// Seed is one starting point of a seeded multi-source search: the search
+// frontier begins at V with accumulated cost Dist, as if V had been
+// reached from an external origin at that cost. Duplicate vertices are
+// allowed; the cheapest seed wins.
+type Seed struct {
+	V    roadnet.VertexID
+	Dist float64
+}
+
+// BoundedDistancesRev is the reverse counterpart of BoundedDistances: it
+// computes exact minimum costs from every source to dst under w, writing
+// out[j] = cost(sources[j] → dst) when that cost is at most bound and
+// +Inf otherwise. The search is a single backward Dijkstra from dst over
+// the in-adjacency, so its cost is proportional to the bounded ball
+// around dst rather than the number of sources.
+func (ws *Workspace) BoundedDistancesRev(g *roadnet.Graph, dst roadnet.VertexID, sources []roadnet.VertexID, bound float64, w Weight, out []float64) {
+	ws.ensure(g)
+	ws.beginBidirectional()
+	gen := ws.gen
+	ws.tgtGen++
+	if ws.tgtGen == 0 {
+		clearU32(ws.tgtStamp)
+		ws.tgtGen = 1
+	}
+	tgen := ws.tgtGen
+	remaining := 0
+	for _, s := range sources {
+		if ws.tgtStamp[s] != tgen {
+			ws.tgtStamp[s] = tgen
+			remaining++
+		}
+	}
+	ws.distB[dst] = 0
+	ws.reachB[dst] = gen
+	ws.heapB.push(dst, 0)
+	for !ws.heapB.empty() && remaining > 0 {
+		v, d := ws.heapB.pop()
+		if d > bound {
+			break
+		}
+		if ws.tgtStamp[v] == tgen {
+			ws.tgtStamp[v] = tgen - 1
+			remaining--
+		}
+		ins := g.InEdges(v)
+		froms := g.InNeighbors(v)
+		for i, eid := range ins {
+			from := froms[i]
+			nd := d + w(g.Edge(eid))
+			if ws.reachB[from] != gen || nd < ws.distB[from] {
+				ws.distB[from] = nd
+				ws.reachB[from] = gen
+				ws.parentB[from] = eid
+				ws.heapB.update(from, nd)
+			}
+		}
+	}
+	for j, s := range sources {
+		if ws.reachB[s] == gen && ws.distB[s] <= bound {
+			out[j] = ws.distB[s]
+		} else {
+			out[j] = math.Inf(1)
+		}
+	}
+}
+
+// SeededDistances runs a multi-source forward Dijkstra whose frontier
+// starts from the given seeds, writing out[v] = min over seeds of
+// seed.Dist + cost(seed.V → v) for every vertex reached at cost at most
+// bound, and +Inf for the rest. out must have length g.NumVertices().
+// It is the corridor-extraction primitive: with seeds carrying exact
+// full-graph distances dist(s, b) at a shard's boundary, out[v] is the
+// exact full-graph dist(s, v) for every owned v inside the bound.
+func (ws *Workspace) SeededDistances(g *roadnet.Graph, seeds []Seed, bound float64, w Weight, out []float64) {
+	ws.ensure(g)
+	ws.begin()
+	gen := ws.gen
+	for _, s := range seeds {
+		if s.Dist > bound || math.IsInf(s.Dist, 1) {
+			continue
+		}
+		if ws.reach[s.V] != gen || s.Dist < ws.dist[s.V] {
+			ws.dist[s.V] = s.Dist
+			ws.reach[s.V] = gen
+			ws.heap.update(s.V, s.Dist)
+		}
+	}
+	for !ws.heap.empty() {
+		v, d := ws.heap.pop()
+		if d > bound {
+			break
+		}
+		outs := g.OutEdges(v)
+		tos := g.OutNeighbors(v)
+		for i, eid := range outs {
+			to := tos[i]
+			nd := d + w(g.Edge(eid))
+			if ws.reach[to] != gen || nd < ws.dist[to] {
+				ws.dist[to] = nd
+				ws.reach[to] = gen
+				ws.heap.update(to, nd)
+			}
+		}
+	}
+	for v := range out {
+		if ws.reach[v] == gen && ws.dist[v] <= bound {
+			out[v] = ws.dist[v]
+		} else {
+			out[v] = math.Inf(1)
+		}
+	}
+}
+
+// SeededDistancesRev is the backward counterpart of SeededDistances: it
+// writes out[v] = min over seeds of cost(v → seed.V) + seed.Dist for
+// every vertex within bound, +Inf otherwise. With seeds carrying exact
+// distances dist(b, t) at a shard's boundary, out[v] is the exact
+// full-graph dist(v, t) for every owned v inside the bound.
+func (ws *Workspace) SeededDistancesRev(g *roadnet.Graph, seeds []Seed, bound float64, w Weight, out []float64) {
+	ws.ensure(g)
+	ws.beginBidirectional()
+	gen := ws.gen
+	for _, s := range seeds {
+		if s.Dist > bound || math.IsInf(s.Dist, 1) {
+			continue
+		}
+		if ws.reachB[s.V] != gen || s.Dist < ws.distB[s.V] {
+			ws.distB[s.V] = s.Dist
+			ws.reachB[s.V] = gen
+			ws.heapB.update(s.V, s.Dist)
+		}
+	}
+	for !ws.heapB.empty() {
+		v, d := ws.heapB.pop()
+		if d > bound {
+			break
+		}
+		ins := g.InEdges(v)
+		froms := g.InNeighbors(v)
+		for i, eid := range ins {
+			from := froms[i]
+			nd := d + w(g.Edge(eid))
+			if ws.reachB[from] != gen || nd < ws.distB[from] {
+				ws.distB[from] = nd
+				ws.reachB[from] = gen
+				ws.heapB.update(from, nd)
+			}
+		}
+	}
+	for v := range out {
+		if ws.reachB[v] == gen && ws.distB[v] <= bound {
+			out[v] = ws.distB[v]
+		} else {
+			out[v] = math.Inf(1)
+		}
+	}
+}
+
+// EnumStats describes one Yen enumeration run: how many paths were
+// examined, the largest cost among them, and whether the loopless path
+// set was exhausted before the caller's budget. The sharded router uses
+// it to certify corridor-restricted enumerations: a run whose MaxCost
+// stayed strictly inside the corridor bound and that did not exhaust the
+// (restricted) path set is bit-identical to the same run on the full
+// graph.
+type EnumStats struct {
+	// Probes is the number of paths pulled from the enumerator,
+	// including the initial shortest path.
+	Probes int
+	// MaxCost is the largest cost among the examined paths (Yen emits in
+	// increasing cost order, so this is the cost of the last one); 0 when
+	// nothing was examined.
+	MaxCost float64
+	// Exhausted reports that the enumerator ran out of loopless paths
+	// before the probe/k budget was spent.
+	Exhausted bool
+}
+
+// TopKStatsCtx is TopKCtx additionally reporting enumeration statistics.
+func TopKStatsCtx(ctx context.Context, g *roadnet.Graph, src, dst roadnet.VertexID, k int, w Weight) ([]Path, EnumStats, error) {
+	var st EnumStats
+	if k <= 0 {
+		return nil, st, nil
+	}
+	ws := GetWorkspace(g)
+	defer ws.Release()
+	ws.bindContext(ctx)
+
+	first, err := ws.Dijkstra(g, src, dst, w)
+	if err != nil {
+		return nil, st, err
+	}
+	ws.fillWeights(g, w)
+	ws.setGoal(g, dst)
+	y := newYenEnum(g, ws, w, dst, first)
+	st.Probes = 1
+	st.MaxCost = first.Cost
+	for len(y.paths) < k {
+		p, ok := y.next()
+		if !ok {
+			st.Exhausted = ws.ctxErr == nil
+			break
+		}
+		st.Probes++
+		st.MaxCost = p.Cost
+	}
+	if ws.ctxErr != nil {
+		return nil, st, ws.ctxErr
+	}
+	return y.paths, st, nil
+}
+
+// DiversifiedTopKStatsCtx is DiversifiedTopKCtx additionally reporting
+// enumeration statistics. The accepted set is identical to
+// DiversifiedTopKCtx's on the same inputs: the probe loop below mirrors
+// diversify exactly, it only observes the paths flowing through it.
+func DiversifiedTopKStatsCtx(ctx context.Context, g *roadnet.Graph, src, dst roadnet.VertexID, k int, w Weight, sim Similarity, threshold float64, maxProbe int) ([]Path, EnumStats, error) {
+	var st EnumStats
+	if k <= 0 {
+		return nil, st, nil
+	}
+	if maxProbe < k {
+		maxProbe = 10 * k
+	}
+	ws := GetWorkspace(g)
+	defer ws.Release()
+	ws.bindContext(ctx)
+	first, err := ws.Dijkstra(g, src, dst, w)
+	if err != nil {
+		return nil, st, err
+	}
+	ws.fillWeights(g, w)
+	ws.setGoal(g, dst)
+	y := newYenEnum(g, ws, w, dst, first)
+
+	accepted := make([]Path, 0, k)
+	p := y.paths[0]
+	st.Probes = 1
+	st.MaxCost = p.Cost
+	for {
+		ok := true
+		for _, q := range accepted {
+			if sim(p, q) > threshold {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			accepted = append(accepted, p)
+			if len(accepted) == k {
+				break
+			}
+		}
+		if st.Probes >= maxProbe {
+			break
+		}
+		var more bool
+		p, more = y.next()
+		if !more {
+			st.Exhausted = ws.ctxErr == nil
+			break
+		}
+		st.Probes++
+		st.MaxCost = p.Cost
+	}
+	sort.Slice(accepted, func(a, b int) bool { return accepted[a].Cost < accepted[b].Cost })
+	if ws.ctxErr != nil {
+		return nil, st, ws.ctxErr
+	}
+	return accepted, st, nil
+}

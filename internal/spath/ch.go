@@ -38,8 +38,12 @@ type ContractionHierarchy struct {
 	downStart, downArcs []int32
 
 	// arcIndex maps (from<<32|to) to the minimum-weight arc for shortcut
-	// unpacking.
+	// unpacking. Hierarchies assembled from a persisted artifact use the
+	// sorted idxKeys/idxVals pair instead (binary search, no O(arcs) map
+	// build at load time); exactly one of the two representations is set.
 	arcIndex map[int64]int32
+	idxKeys  []int64
+	idxVals  []int32
 }
 
 // chArc is a temporary arc during construction.
@@ -561,8 +565,20 @@ func (ch *ContractionHierarchy) unpack(ai int32, edges *[]roadnet.EdgeID) {
 		return
 	}
 	from, to := ch.arcFrom[ai], ch.arcTo[ai]
-	ch.unpack(ch.arcIndex[int64(from)<<32|int64(uint32(mid))], edges)
-	ch.unpack(ch.arcIndex[int64(mid)<<32|int64(uint32(to))], edges)
+	ch.unpack(ch.lookupArc(from, mid), edges)
+	ch.unpack(ch.lookupArc(mid, to), edges)
+}
+
+// lookupArc returns the minimum-weight arc from→to through whichever
+// unpacking index this hierarchy carries: the construction-time map, or
+// the sorted key array of an assembled (persisted) hierarchy.
+func (ch *ContractionHierarchy) lookupArc(from, to int32) int32 {
+	key := int64(from)<<32 | int64(uint32(to))
+	if ch.arcIndex != nil {
+		return ch.arcIndex[key]
+	}
+	i := sort.Search(len(ch.idxKeys), func(i int) bool { return ch.idxKeys[i] >= key })
+	return ch.idxVals[i]
 }
 
 // ManyToMany fills out[i][j] with the exact minimum cost from sources[i] to

@@ -1,0 +1,88 @@
+package spath
+
+import (
+	"sort"
+
+	"pathrank/internal/roadnet"
+)
+
+// CHData is the complete flat representation of a built
+// ContractionHierarchy: every query structure as plain arrays, including
+// the unpacking index in its sorted (IdxKeys/IdxVals) form. It is what
+// the artifact raw section persists, and what AssembleCH rewraps without
+// copying — the slices may alias a memory-mapped file.
+type CHData struct {
+	Order     []int32
+	ArcFrom   []int32
+	ArcTo     []int32
+	ArcWeight []float64
+	ArcMid    []int32
+	ArcEdge   []roadnet.EdgeID
+	UpStart   []int32
+	UpArcs    []int32
+	DownStart []int32
+	DownArcs  []int32
+	// IdxKeys is sorted ascending; IdxVals[i] is the minimum-weight arc
+	// for key IdxKeys[i] (key = from<<32 | uint32(to)).
+	IdxKeys []int64
+	IdxVals []int32
+}
+
+// RawData returns the hierarchy's flat arrays. The adjacency and arc
+// arrays alias internal storage; the index arrays are derived (sorted)
+// from the construction-time map when the hierarchy was built rather
+// than assembled, which costs O(arcs log arcs) once at save time.
+func (ch *ContractionHierarchy) RawData() CHData {
+	d := CHData{
+		Order:     ch.order,
+		ArcFrom:   ch.arcFrom,
+		ArcTo:     ch.arcTo,
+		ArcWeight: ch.arcWeight,
+		ArcMid:    ch.arcMid,
+		ArcEdge:   ch.arcEdge,
+		UpStart:   ch.upStart,
+		UpArcs:    ch.upArcs,
+		DownStart: ch.downStart,
+		DownArcs:  ch.downArcs,
+		IdxKeys:   ch.idxKeys,
+		IdxVals:   ch.idxVals,
+	}
+	if ch.arcIndex != nil {
+		keys := make([]int64, 0, len(ch.arcIndex))
+		for k := range ch.arcIndex {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		vals := make([]int32, len(keys))
+		for i, k := range keys {
+			vals[i] = ch.arcIndex[k]
+		}
+		d.IdxKeys, d.IdxVals = keys, vals
+	}
+	return d
+}
+
+// AssembleCH wraps pre-built arrays as a queryable ContractionHierarchy
+// without copying, rebuilding adjacency, or constructing the unpacking
+// map — load cost is O(1) regardless of arc count, which is what makes a
+// memory-mapped shard artifact cold-start in O(open). The arrays must
+// satisfy RawData's layout for g (the artifact loader trusts its own
+// writer); queries resolve shortcut unpacking by binary search over
+// IdxKeys.
+func AssembleCH(g *roadnet.Graph, d CHData) *ContractionHierarchy {
+	return &ContractionHierarchy{
+		g:         g,
+		order:     d.Order,
+		arcFrom:   d.ArcFrom,
+		arcTo:     d.ArcTo,
+		arcWeight: d.ArcWeight,
+		arcMid:    d.ArcMid,
+		arcEdge:   d.ArcEdge,
+		upStart:   d.UpStart,
+		upArcs:    d.UpArcs,
+		downStart: d.DownStart,
+		downArcs:  d.DownArcs,
+		idxKeys:   d.IdxKeys,
+		idxVals:   d.IdxVals,
+	}
+}
